@@ -1,0 +1,48 @@
+"""Experiment fig1 -- Figure 1: htmldiff marked-up output.
+
+The paper shows htmldiff's marked-up rendering of two versions of the
+restaurant guide page, with icons for insertions and updates.  This
+benchmark regenerates the artifact on two simulated guide versions and
+measures the full HTML -> OEM -> diff -> markup pipeline.
+
+Qualitative expectations (checked):
+* changes at the source surface as insert/update markers;
+* the pipeline scales to the "more than 20,000 lines" page the paper
+  complains about browsing (measured at several page sizes).
+"""
+
+import pytest
+
+from repro import RestaurantGuideSource, html_diff
+from repro.diff.htmldiff import INSERT_MARK, UPDATE_MARK
+
+
+def two_versions(restaurants: int, seed: int = 1997):
+    source = RestaurantGuideSource(seed=seed, initial_restaurants=restaurants,
+                                   events_per_day=max(2.0, restaurants / 4))
+    old = source.render_html()
+    source.advance("8Dec96")
+    new = source.render_html()
+    return old, new
+
+
+def test_fig1_markup_artifact(benchmark, record_artifact):
+    old, new = two_versions(8)
+    result = benchmark(html_diff, old, new)
+    assert result.stats.total > 0
+    assert INSERT_MARK in result.markup or UPDATE_MARK in result.markup
+    summary = (f"page sizes: old={len(old)}B new={len(new)}B\n"
+               f"inferred operations: {result.stats}\n"
+               f"markers: insert={result.markup.count(INSERT_MARK)} "
+               f"update={result.markup.count(UPDATE_MARK)}\n"
+               f"--- first 600 chars of marked-up output ---\n"
+               f"{result.markup[:600]}")
+    record_artifact("fig1_htmldiff", summary)
+
+
+@pytest.mark.parametrize("restaurants", [8, 32, 128])
+def test_fig1_scaling(benchmark, restaurants):
+    """htmldiff cost as the page grows (the paper's 20k-line guide)."""
+    old, new = two_versions(restaurants)
+    result = benchmark(html_diff, old, new)
+    assert result.stats.total >= 0

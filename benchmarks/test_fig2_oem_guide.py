@@ -1,0 +1,52 @@
+"""Experiment fig2 -- Figure 2: the Guide OEM database.
+
+Regenerates the Figure 2 database and checks its load-bearing properties:
+heterogeneous prices (int vs. string), heterogeneous addresses (flat vs.
+structured), a shared parking object with two parents, and the
+parking/nearby-eats cycle.  Measures construction plus validity checking.
+"""
+
+from repro import COMPLEX
+from tests.conftest import make_guide_db
+
+
+def build_and_check():
+    db = make_guide_db()
+    db.check()
+    return db
+
+
+def test_fig2_guide_database(benchmark, record_artifact):
+    db = benchmark(build_and_check)
+
+    # heterogeneity: one int price, one string price, one missing
+    price_types = sorted(type(db.value(p)).__name__
+                         for r in db.children(db.root, "restaurant")
+                         for p in db.children(r, "price"))
+    assert price_types == ["int", "str"]
+
+    # the shared parking object has two distinct parents
+    parents = sorted(set(db.parents("n7")) - {"n7"})
+    assert parents == ["r1", "r2"]
+
+    # the cycle: r1 -> parking -> nearby-eats -> r1
+    assert db.has_arc("r1", "parking", "n7")
+    assert db.has_arc("n7", "nearby-eats", "r1")
+
+    record_artifact("fig2_oem_guide",
+                    f"nodes={len(db)} arcs={db.arc_count()}\n"
+                    f"price value types: {price_types}\n"
+                    f"shared parking parents: {parents}\n\n"
+                    + db.describe())
+
+
+def test_fig2_serialization_round_trip(benchmark):
+    """The OEM interchange format on the Figure 2 graph (cycles included)."""
+    from repro import dumps, loads
+    db = make_guide_db()
+
+    def round_trip():
+        return loads(dumps(db))
+
+    restored = benchmark(round_trip)
+    assert restored.same_as(db)

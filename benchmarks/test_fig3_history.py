@@ -1,0 +1,47 @@
+"""Experiment fig3 -- Figure 3 / Examples 2.2-2.3: applying the history.
+
+Regenerates the Figure 3 database by applying the Example 2.3 history
+H = ((t1,U1),(t2,U2),(t3,U3)) to Figure 2, checks the paper's described
+end state, and measures history application (validity checks + garbage
+collection included).
+"""
+
+from tests.conftest import make_guide_db, make_guide_history
+
+
+def test_fig3_history_application(benchmark, record_artifact):
+    def apply_history():
+        db = make_guide_db()
+        history = make_guide_history()
+        return history.apply_to(db)
+
+    final = benchmark(apply_history)
+
+    # Figure 3's highlighted changes:
+    assert final.value("n1") == 20                        # price update
+    assert final.value("n3") == "Hakata"                  # new restaurant
+    assert final.has_arc("n2", "comment", "n5")           # 5Jan97 comment
+    assert not final.has_arc("r2", "parking", "n7")       # dashed arrow
+    assert final.has_node("n7")                           # still shared
+    final.check()
+
+    record_artifact("fig3_history",
+                    "history: 3 change sets, 8 basic operations\n"
+                    f"final state: nodes={len(final)} "
+                    f"arcs={final.arc_count()}\n\n" + final.describe())
+
+
+def test_fig3_replay_all_snapshots(benchmark):
+    """Replaying yields O0..O3; each intermediate state is a valid OEM db."""
+    db = make_guide_db()
+    history = make_guide_history()
+
+    def replay():
+        return history.replay(db)
+
+    snapshots = benchmark(replay)
+    assert len(snapshots) == 4
+    for snapshot in snapshots:
+        snapshot.check()
+    assert snapshots[0].value("n1") == 10
+    assert snapshots[-1].value("n1") == 20

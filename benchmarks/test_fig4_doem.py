@@ -1,0 +1,68 @@
+"""Experiment fig4 -- Figure 4 / Example 3.1: the DOEM database.
+
+Regenerates D(O, H) for the running example and checks every annotation
+the figure draws: upd(1Jan97, ov:10) on the price, cre/add for the Hakata
+subtree, and the rem-annotated (not removed!) parking arc.  Measures DOEM
+construction and the Section 3.2 derived operations (snapshot extraction,
+history extraction, feasibility).
+"""
+
+from repro import (
+    build_doem,
+    current_snapshot,
+    encoded_history,
+    is_feasible,
+    parse_timestamp,
+    snapshot_at,
+)
+from repro.doem.annotations import Add, Cre, Rem, Upd
+from tests.conftest import make_guide_db, make_guide_history
+
+
+def test_fig4_doem_construction(benchmark, record_artifact):
+    db = make_guide_db()
+    history = make_guide_history()
+    doem = benchmark(build_doem, db, history)
+
+    t1 = parse_timestamp("1Jan97")
+    assert doem.node_annotations("n1") == (Upd(t1, 10),)
+    assert doem.node_annotations("n2") == (Cre(t1),)
+    assert doem.arc_annotations("guide", "restaurant", "n2") == (Add(t1),)
+    assert doem.graph.has_arc("r2", "parking", "n7")   # rem'd arc retained
+    assert doem.arc_annotations("r2", "parking", "n7") == \
+        (Rem(parse_timestamp("8Jan97")),)
+    assert doem.annotation_count() == 8  # one per basic change operation
+
+    record_artifact("fig4_doem", doem.describe())
+
+
+def test_fig4_snapshot_extraction(benchmark):
+    """Ot(D): the preorder traversal of Section 3.2."""
+    doem = build_doem(make_guide_db(), make_guide_history())
+
+    def extract():
+        return snapshot_at(doem, "3Jan97")
+
+    mid = benchmark(extract)
+    assert mid.value("n1") == 20 and not mid.has_node("n5")
+
+
+def test_fig4_history_extraction(benchmark):
+    """H(D) recovers Example 2.3's history exactly."""
+    history = make_guide_history()
+    doem = build_doem(make_guide_db(), history)
+    extracted = benchmark(encoded_history, doem)
+    assert extracted == history
+
+
+def test_fig4_feasibility(benchmark):
+    """The feasibility test: rebuild D(O0(D), H(D)) and compare."""
+    doem = build_doem(make_guide_db(), make_guide_history())
+    assert benchmark(is_feasible, doem)
+
+
+def test_fig4_current_snapshot(benchmark):
+    doem = build_doem(make_guide_db(), make_guide_history())
+    final = make_guide_history().apply_to(make_guide_db())
+    snapshot = benchmark(current_snapshot, doem)
+    assert snapshot.same_as(final)

@@ -1,0 +1,68 @@
+"""Experiment fig5 -- Figure 5: encoding DOEM objects in OEM.
+
+Regenerates the Section 5.1 encoding of the Figure 4 DOEM database and
+checks the structures Figure 5 draws: the &val self-loop / atom, the &upd
+record with &time/&ov/&nv, and the &B-history object with &target and
+&rem.  Measures encode, decode, and the exactness of the round trip, plus
+encoding blow-up on random databases.
+"""
+
+import pytest
+
+from repro import build_doem, decode_doem, encode_doem, parse_timestamp
+from repro import random_database, random_history
+from tests.conftest import make_guide_db, make_guide_history
+
+
+def test_fig5_encode(benchmark, record_artifact):
+    doem = build_doem(make_guide_db(), make_guide_history())
+    encoded = benchmark(encode_doem, doem)
+    oem = encoded.oem
+    oem.check()
+
+    # Figure 5, left: an updated atomic object o1.
+    assert oem.has_arc("guide", "&val", "guide")         # complex self-loop
+    val_atom = next(iter(oem.children("n1", "&val")))
+    assert oem.value(val_atom) == 20
+    record = next(iter(oem.children("n1", "&upd")))
+    assert [oem.value(n) for n in oem.children(record, "&time")] == \
+        [parse_timestamp("1Jan97")]
+    assert [oem.value(n) for n in oem.children(record, "&ov")] == [10]
+    assert [oem.value(n) for n in oem.children(record, "&nv")] == [20]
+
+    # Figure 5, right: a rem-annotated arc's &B-history object.
+    history_obj = next(iter(oem.children("r2", "&parking-history")))
+    assert list(oem.children(history_obj, "&target")) == ["n7"]
+    assert [oem.value(n) for n in oem.children(history_obj, "&rem")] == \
+        [parse_timestamp("8Jan97")]
+
+    blowup = len(oem) / len(doem.graph)
+    record_artifact(
+        "fig5_encoding",
+        f"DOEM: nodes={len(doem.graph)} arcs={doem.graph.arc_count()} "
+        f"annotations={doem.annotation_count()}\n"
+        f"encoding: nodes={len(oem)} arcs={oem.arc_count()}\n"
+        f"node blow-up factor: {blowup:.2f}x")
+
+
+def test_fig5_decode(benchmark):
+    doem = build_doem(make_guide_db(), make_guide_history())
+    encoded = encode_doem(doem)
+    decoded = benchmark(decode_doem, encoded)
+    assert decoded.same_as(doem)
+
+
+@pytest.mark.parametrize("steps", [0, 4, 16])
+def test_fig5_blowup_vs_history_length(benchmark, steps, record_artifact):
+    """Encoding size as annotations accumulate (more history -> bigger)."""
+    db = random_database(seed=5, nodes=40)
+    history = random_history(db, seed=5, steps=steps, set_size=6)
+    doem = build_doem(db, history)
+    encoded = benchmark(encode_doem, doem)
+    ratio = len(encoded.oem) / len(doem.graph)
+    record_artifact(f"fig5_blowup_steps{steps}",
+                    f"history steps={steps} "
+                    f"annotations={doem.annotation_count()} "
+                    f"encoding nodes={len(encoded.oem)} "
+                    f"blow-up={ratio:.2f}x")
+    assert ratio >= 2.0  # &val + history objects at minimum

@@ -1,0 +1,111 @@
+"""Experiment bench-index -- annotation indexes (Section 7 future work).
+
+"Designing indexes on annotations (based on their types and timestamps)
+and studying the use of such indexes" -- the paper leaves this open; we
+built :class:`repro.lore.indexes.AnnotationIndex` and measure what it
+buys over the evaluator's full scan for the QSS workhorse question
+"which objects were created in (t[-1], t[0]]?".
+
+Expected shape: the indexed lookup wins by orders of magnitude on large
+histories, at a one-time rebuild cost linear in the annotation count.
+"""
+
+import pytest
+
+from repro import (
+    AnnotationIndex,
+    ChorelEngine,
+    build_doem,
+    parse_timestamp,
+    random_database,
+    random_history,
+)
+
+SCALES = [10, 40]
+
+
+def make_doem(steps):
+    db = random_database(seed=4242, nodes=80)
+    history = random_history(db, seed=4242, steps=steps, set_size=10)
+    return build_doem(db, history), history
+
+
+@pytest.mark.parametrize("steps", SCALES)
+def test_engine_scan(benchmark, steps):
+    """Baseline: the Chorel engine's full evaluation."""
+    doem, history = make_doem(steps)
+    engine = ChorelEngine(doem, name="root")
+    times = history.timestamps()
+    low = times[len(times) // 2]
+    # '#' cannot carry annotations, so the scan walks every reachable
+    # object and probes creation times through a %-pattern step.
+    query = f"select T from root.# X, X.%<cre at T> where T > {low}"
+
+    def scan():
+        return engine.run(query)
+
+    result = benchmark(scan)
+    assert result is not None
+
+
+@pytest.mark.parametrize("steps", SCALES)
+def test_indexed_lookup(benchmark, steps, record_artifact):
+    """The AnnotationIndex answering the same time-interval question."""
+    doem, history = make_doem(steps)
+    index = AnnotationIndex(doem)
+    times = history.timestamps()
+    low = times[len(times) // 2]
+
+    def lookup():
+        return index.between("cre", low)
+
+    hits = benchmark(lookup)
+    record_artifact(f"index_hits_steps{steps}",
+                    f"steps={steps} total cre={index.count('cre')} "
+                    f"hits after {low}: {len(hits)}")
+
+    # Cross-check against a direct annotation walk (ground truth).
+    expected = sorted(
+        node for node, annotations in doem.annotated_nodes()
+        for annotation in annotations
+        if type(annotation).__name__ == "Cre" and annotation.at > low)
+    assert sorted(node for _, node in hits) == expected
+
+
+@pytest.mark.parametrize("steps", SCALES)
+def test_index_rebuild_cost(benchmark, steps):
+    """The price of the index: a full rebuild scan."""
+    doem, _ = make_doem(steps)
+    index = benchmark(AnnotationIndex, doem)
+    assert index.count("cre") + index.count("add") > 0
+
+
+@pytest.mark.parametrize("backend", ["normal", "indexed"])
+@pytest.mark.parametrize("steps", SCALES)
+def test_engine_level_ablation(benchmark, backend, steps):
+    """The full QSS filter-query shape, normal engine vs. IndexedChorelEngine.
+
+    This is the end-to-end version of the scan-vs-index comparison: the
+    query is exactly what a subscription's filter query looks like, and
+    the indexed engine must return identical rows (asserted) while paying
+    only the interval lookup plus backward path verification.
+    """
+    from repro import ChorelEngine, IndexedChorelEngine
+
+    doem, history = make_doem(steps)
+    times = history.timestamps()
+    low = times[len(times) // 2]
+    query = f"select T, X from root.<add at T>item X where T > {low}"
+
+    normal = ChorelEngine(doem, name="root")
+    expected = sorted(map(str, normal.run(query)))
+
+    if backend == "normal":
+        engine = normal
+    else:
+        engine = IndexedChorelEngine(doem, name="root")
+
+    result = benchmark(engine.run, query)
+    assert sorted(map(str, result)) == expected
+    if backend == "indexed":
+        assert engine.last_plan is not None

@@ -1,0 +1,103 @@
+"""Experiment bench-qss-space -- the Section 6.1 space/time strategies.
+
+"Alternatively, the DOEM Manager could store the previous result in
+addition to the DOEM database, thereby trading space for time."  The
+DOEMManager implements both; this bench measures:
+
+* per-poll time with the cached previous result vs. recomputing it from
+  the DOEM database (cache should win, and the gap should widen with
+  history length);
+* the extra state the cache costs.
+
+Both strategies must produce byte-identical DOEM histories -- asserted.
+"""
+
+import pytest
+
+from repro import RestaurantGuideSource, Wrapper, parse_timestamp
+from repro.doem.snapshot import current_snapshot
+from repro.qss.managers import DOEMManager
+
+DAYS = [5, 20]
+
+
+def run_days(manager: DOEMManager, days: int, seed: int = 31):
+    source = RestaurantGuideSource(seed=seed, initial_restaurants=10,
+                                   events_per_day=3.0)
+    wrapper = Wrapper(source, name="guide")
+    start = parse_timestamp("1Dec96")
+    for day in range(days):
+        when = start.plus(days=day + 1)
+        wrapper.advance(when)
+        result = wrapper.poll("select guide.restaurant")
+        manager.incorporate("S", when, result)
+    return manager
+
+
+@pytest.mark.parametrize("days", DAYS)
+@pytest.mark.parametrize("cached", [True, False],
+                         ids=["cache-previous", "recompute-previous"])
+def test_strategy_cost(benchmark, days, cached):
+    def run():
+        return run_days(DOEMManager(cache_previous_result=cached), days)
+
+    manager = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert manager.doem("S").annotation_count() > 0
+
+
+@pytest.mark.parametrize("keep", [2, 5])
+def test_compaction_policy(benchmark, keep, record_artifact):
+    """Section 6.1 idea #3: bounded-history retention via compaction."""
+    from repro import QSSServer, Subscription
+
+    def run():
+        server = QSSServer(start="1Dec96", deliver_empty=True,
+                           compact_keep_polls=keep)
+        source = RestaurantGuideSource(seed=31, initial_restaurants=10,
+                                       events_per_day=3.0)
+        server.register_wrapper("guide", Wrapper(source, name="guide"))
+        server.subscribe(Subscription(
+            name="S", frequency="every day at 6:00pm",
+            polling_query="select guide.restaurant",
+            filter_query="select S.restaurant<cre at T> where T > t[-1]"),
+            "guide")
+        server.run_until("21Dec96")
+        return server
+
+    server = benchmark.pedantic(run, rounds=3, iterations=1)
+    doem = server.doems.doem("S")
+    unbounded = run_days(DOEMManager(cache_previous_result=True), 20)
+    record_artifact(
+        f"qss_compact_keep{keep}",
+        f"keep={keep} polls: annotations={doem.annotation_count()} "
+        f"nodes={len(doem.graph)}\n"
+        f"unbounded 20 days:  annotations="
+        f"{unbounded.doem('S').annotation_count()} "
+        f"nodes={len(unbounded.doem('S').graph)}")
+    assert len(doem.timestamps()) <= keep
+
+
+@pytest.mark.parametrize("days", DAYS)
+def test_strategies_agree_and_state_sizes(days, record_artifact):
+    cached = run_days(DOEMManager(cache_previous_result=True), days)
+    lean = run_days(DOEMManager(cache_previous_result=False), days)
+
+    # Identical histories regardless of strategy.
+    assert current_snapshot(cached.doem("S")).same_as(
+        current_snapshot(lean.doem("S")))
+    assert cached.doem("S").annotation_count() == \
+        lean.doem("S").annotation_count()
+
+    cached_size = cached.state_size("S")
+    lean_size = lean.state_size("S")
+    assert cached_size["cached_nodes"] > 0
+    assert lean_size["cached_nodes"] == 0
+
+    record_artifact(
+        f"qss_space_days{days}",
+        f"days={days}\n"
+        f"cache-previous:     doem_nodes={cached_size['doem_nodes']} "
+        f"annotations={cached_size['annotations']} "
+        f"cached_nodes={cached_size['cached_nodes']} (extra state)\n"
+        f"recompute-previous: doem_nodes={lean_size['doem_nodes']} "
+        f"annotations={lean_size['annotations']} cached_nodes=0")

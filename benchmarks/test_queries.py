@@ -1,0 +1,71 @@
+"""Experiment ex4.1-4.5 -- the worked queries of Section 4.
+
+Each of the paper's queries runs on the Figure 4 DOEM database; the
+benchmark asserts the paper's stated answer and measures evaluation on
+the native engine.  (The translation backend is covered by
+test_translation.py and equality-tested in the unit suite.)
+"""
+
+import pytest
+
+from repro import ChorelEngine, build_doem
+from tests.conftest import make_guide_db, make_guide_history
+
+
+@pytest.fixture(scope="module")
+def engine():
+    doem = build_doem(make_guide_db(), make_guide_history())
+    return ChorelEngine(doem, name="guide")
+
+
+PAPER_QUERIES = {
+    # exp id -> (query, expected node ids in the answer)
+    "ex4.1": ("select guide.restaurant "
+              "where guide.restaurant.price < 20.5",
+              ["r1"]),                      # "Bangkok Cuisine" only
+    "ex4.2": ("select guide.<add>restaurant",
+              ["n2"]),                      # "Hakata"
+    "ex4.3": ("select guide.<add at T>restaurant where T < 4Jan97",
+              ["n2"]),                      # "Hakata"
+    "ex4.4": ("select N, T, NV "
+              "from guide.restaurant.price<upd at T to NV>, "
+              "guide.restaurant.name N "
+              "where T >= 1Jan97 and NV > 15",
+              ["nm1"]),                     # Bangkok's name + (t1, 20)
+    "ex4.5": ('select N from guide.restaurant R, R.name N '
+              'where R.<add at T>price = "moderate" and T >= 1Jan97',
+              []),                          # no price arc was ever added
+}
+
+
+@pytest.mark.parametrize("exp_id", sorted(PAPER_QUERIES))
+def test_paper_query(engine, benchmark, record_artifact, exp_id):
+    query, expected = PAPER_QUERIES[exp_id]
+    result = benchmark(engine.run, query)
+    from repro.lorel.result import ObjectRef
+    objects = result.objects()
+    assert objects == expected, (exp_id, str(result))
+    rows = "\n".join(str(row) for row in result) or "(empty result)"
+    record_artifact(exp_id.replace(".", "_"),
+                    f"query: {query}\nanswer:\n{rows}")
+
+
+def test_ex44_answer_shape(engine):
+    """Example 4.4's answer object: name / update-time / new-value."""
+    result = engine.run(PAPER_QUERIES["ex4.4"][0])
+    row = result.first()
+    assert row.labels() == ["name", "update-time", "new-value"]
+    assert row["new-value"] == 20
+
+
+@pytest.mark.parametrize("scale", [10, 50, 200])
+def test_query_cost_vs_database_size(benchmark, scale):
+    """Chorel evaluation cost as the DOEM database grows."""
+    from repro import random_database, random_history
+    db = random_database(seed=scale, nodes=scale)
+    history = random_history(db, seed=scale, steps=5, set_size=scale // 5)
+    doem = build_doem(db, history)
+    engine = ChorelEngine(doem, name="root")
+    result = benchmark(engine.run,
+                       "select root.<add at T>item where T >= 1Jan97")
+    assert result is not None

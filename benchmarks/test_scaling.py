@@ -1,0 +1,72 @@
+"""Experiment bench-scale -- cost and size vs. history length.
+
+Sections 3 and 5 motivate DOEM as a *compact* single-structure history:
+this bench quantifies how the structure and its derived operations scale
+as the history grows, on one fixed base database:
+
+* DOEM size (annotations) grows linearly with operations applied;
+* snapshot reconstruction ``Ot(D)`` stays roughly flat (it touches each
+  node/arc once, regardless of how long the history is);
+* history extraction ``H(D)`` grows with the annotation count;
+* a Chorel annotation query grows with the number of matching
+  annotations, not with total history length.
+"""
+
+import pytest
+
+from repro import (
+    ChorelEngine,
+    build_doem,
+    encoded_history,
+    random_database,
+    random_history,
+    snapshot_at,
+)
+
+STEPS = [2, 8, 32]
+
+
+def make_doem(steps):
+    db = random_database(seed=99, nodes=60)
+    history = random_history(db, seed=99, steps=steps, set_size=8)
+    return build_doem(db, history), history
+
+
+@pytest.mark.parametrize("steps", STEPS)
+def test_doem_size_vs_history(benchmark, steps, record_artifact):
+    def build():
+        return make_doem(steps)[0]
+
+    doem = benchmark(build)
+    record_artifact(
+        f"scale_size_steps{steps}",
+        f"steps={steps} annotations={doem.annotation_count()} "
+        f"nodes={len(doem.graph)} arcs={doem.graph.arc_count()}")
+    # Linear growth in the history, not quadratic blow-up (each change
+    # set holds at most set_size+1 operations -- create/link pairs may
+    # overshoot by one).
+    assert doem.annotation_count() <= steps * 9
+
+
+@pytest.mark.parametrize("steps", STEPS)
+def test_snapshot_cost_vs_history(benchmark, steps):
+    doem, history = make_doem(steps)
+    middle = history.timestamps()[len(history) // 2]
+    snapshot = benchmark(snapshot_at, doem, middle)
+    snapshot.check()
+
+
+@pytest.mark.parametrize("steps", STEPS)
+def test_history_extraction_cost(benchmark, steps):
+    doem, history = make_doem(steps)
+    extracted = benchmark(encoded_history, doem)
+    assert extracted == history
+
+
+@pytest.mark.parametrize("steps", STEPS)
+def test_annotation_query_cost_vs_history(benchmark, steps):
+    doem, _ = make_doem(steps)
+    engine = ChorelEngine(doem, name="root")
+    result = benchmark(engine.run,
+                       "select root.<add at T>item where T >= 1Jan97")
+    assert result is not None

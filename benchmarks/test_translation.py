@@ -1,0 +1,84 @@
+"""Experiment ex5.1 -- the Chorel -> Lorel translation of Section 5.
+
+Regenerates the Example 5.1 translated query text, verifies the two
+backends answer identically, and measures translation and
+translated-query evaluation against the native engine -- the overhead the
+paper's Section 7 "more efficient translation" item worries about.
+"""
+
+import pytest
+
+from repro import ChorelEngine, TranslatingChorelEngine, build_doem
+from tests.conftest import make_guide_db, make_guide_history
+
+EX45_QUERY = ('select N from guide.restaurant R, R.name N '
+              'where R.<add at T>price = "moderate" and T >= 1Jan97')
+
+
+@pytest.fixture(scope="module")
+def doem():
+    return build_doem(make_guide_db(), make_guide_history())
+
+
+def test_ex51_translation_text(benchmark, record_artifact, doem):
+    engine = TranslatingChorelEngine(doem, name="guide")
+    translation = benchmark(engine.translate, EX45_QUERY)
+    text = translation.text()
+    # The Example 5.1 shape: nested exists over &price-history/&target/&add
+    # with the &val value access.
+    for piece in ("&price-history", "&target", "&add", "&val", "exists"):
+        assert piece in text, text
+    record_artifact("ex5_1_translation",
+                    f"Chorel:\n{EX45_QUERY}\n\nLorel translation:\n{text}")
+
+
+def test_backends_agree_on_paper_queries(doem):
+    native = ChorelEngine(doem, name="guide")
+    translating = TranslatingChorelEngine(doem, name="guide")
+    queries = [
+        "select guide.restaurant where guide.restaurant.price < 20.5",
+        "select guide.<add>restaurant",
+        "select guide.<add at T>restaurant where T < 4Jan97",
+        "select N, T, NV from guide.restaurant.price<upd at T to NV>, "
+        "guide.restaurant.name N where T >= 1Jan97 and NV > 15",
+        EX45_QUERY,
+    ]
+    for query in queries:
+        assert sorted(map(str, native.run(query))) == \
+            sorted(map(str, translating.run(query))), query
+
+
+@pytest.mark.parametrize("backend", ["native", "translated"])
+def test_backend_evaluation_cost(benchmark, doem, backend, record_artifact):
+    """Native DOEM evaluation vs. Lorel-over-encoding (same query)."""
+    if backend == "native":
+        engine = ChorelEngine(doem, name="guide")
+    else:
+        engine = TranslatingChorelEngine(doem, name="guide")
+    result = benchmark(engine.run, EX45_QUERY)
+    assert len(result) == 0  # the paper's data has no added price arc
+
+
+@pytest.mark.parametrize("backend", ["native", "translated"])
+@pytest.mark.parametrize("scale", [20, 80])
+def test_backend_cost_vs_scale(benchmark, backend, scale):
+    """The translation overhead as the database grows."""
+    from repro import random_database, random_history
+    db = random_database(seed=scale, nodes=scale)
+    history = random_history(db, seed=scale, steps=4, set_size=scale // 5)
+    doem = build_doem(db, history)
+    if backend == "native":
+        engine = ChorelEngine(doem, name="root")
+    else:
+        engine = TranslatingChorelEngine(doem, name="root")
+    query = "select X, OV from root.#.price<upd at T from OV> X"
+    result = benchmark(engine.run, query)
+    assert result is not None
+
+
+def test_encoding_setup_cost(benchmark, doem):
+    """The one-time cost the translated backend pays up front."""
+    def build():
+        return TranslatingChorelEngine(doem, name="guide")
+    engine = benchmark(build)
+    assert engine.encoded.oem is not None

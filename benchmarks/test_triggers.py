@@ -1,0 +1,91 @@
+"""Experiment bench-triggers -- the Section 7 ECA extension, characterized.
+
+Measures rule-evaluation throughput as rule count and condition
+complexity grow: a month of guide evolution folded through trigger
+managers carrying 0 / 4 / 16 rules, and unconditional vs. Chorel-guarded
+rules.  The headline number is the *marginal* cost per rule over plain
+DOEM folding.
+"""
+
+import pytest
+
+from repro import (
+    DOEMDatabase,
+    Event,
+    OEMDatabase,
+    RestaurantGuideSource,
+    TriggerManager,
+    Wrapper,
+    current_snapshot,
+    oem_diff,
+    parse_timestamp,
+)
+
+DAYS = 15
+
+
+def collect_change_sets():
+    """Pre-compute the daily change sets so only folding is measured."""
+    source = RestaurantGuideSource(seed=55, initial_restaurants=10,
+                                   events_per_day=3.0)
+    wrapper = Wrapper(source, name="guide")
+    doem = DOEMDatabase(OEMDatabase(root="answer"))
+    from repro.doem.build import apply_change_set
+    reserved = {"answer"}
+    sets = []
+    start = parse_timestamp("1Dec96")
+    for day in range(DAYS):
+        when = start.plus(days=day + 1)
+        wrapper.advance(when)
+        result = wrapper.poll("select guide.restaurant")
+        changes = oem_diff(current_snapshot(doem), result,
+                           reserved_ids=reserved)
+        sets.append((when, changes))
+        apply_change_set(doem, when, changes)
+        reserved.update(changes.created_nodes())
+    return sets
+
+
+CHANGE_SETS = collect_change_sets()
+
+
+def run_with_rules(rule_count: int, conditional: bool) -> TriggerManager:
+    manager = TriggerManager(root="answer")
+    manager.name = "Guide"
+    sink = []
+    for index in range(rule_count):
+        kind = ("update", "add", "create", "remove")[index % 4]
+        condition = None
+        if conditional:
+            condition = {
+                "update": "select OV, NV from NEW<upd at T from OV to NV> "
+                          "where T = t[0]",
+                "add": "select N from PARENT.name N",
+                "create": "select NEW where NEW != 0",
+                "remove": "select P from PARENT.price P",
+            }[kind]
+        manager.on(f"rule{index}", Event(kind), sink.append,
+                   condition=condition)
+    for when, changes in CHANGE_SETS:
+        manager.fold(when, changes)
+    return manager
+
+
+@pytest.mark.parametrize("rules", [0, 4, 16])
+def test_folding_cost_vs_rule_count(benchmark, rules):
+    manager = benchmark.pedantic(run_with_rules, args=(rules, False),
+                                 rounds=3, iterations=1)
+    if rules:
+        assert manager.activations
+
+
+@pytest.mark.parametrize("conditional", [False, True],
+                         ids=["unconditional", "chorel-guarded"])
+def test_condition_evaluation_cost(benchmark, conditional, record_artifact):
+    manager = benchmark.pedantic(run_with_rules, args=(4, conditional),
+                                 rounds=3, iterations=1)
+    record_artifact(
+        f"triggers_{'guarded' if conditional else 'plain'}",
+        f"rules=4 conditional={conditional} "
+        f"activations={len(manager.activations)} over {DAYS} days")
+    assert manager.activations

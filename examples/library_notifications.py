@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""The library motivating example (Section 1.1) as a QSS subscription.
+
+"Suppose we wish to be notified whenever any 'popular' book becomes
+available where, say, we define a book as popular if it has been checked
+out two or more times in the past month."
+
+The legacy circulation system offers no triggers and no history: QSS polls
+its catalog daily, infers checkouts/returns by differencing, keeps the
+history in a DOEM database, and evaluates a Chorel filter query per poll.
+Popularity is answered from QSS's *own* DOEM history -- the source never
+reveals it.
+
+Run:  python examples/library_notifications.py
+"""
+
+from repro import (
+    LibrarySource,
+    QSC,
+    QSSServer,
+    Subscription,
+    Wrapper,
+)
+
+
+def checkout_count(doem, book, since, until):
+    """Checkouts of ``book`` in ``(since, until]``, from the DOEM history.
+
+    A checkout is a status update whose *new* value is "out"
+    (updFun's (time, old, new) triples, Section 4.2.1).
+    """
+    count = 0
+    for status in doem.graph.children(book, "status"):
+        for when, _old, new in doem.upd_triples(status):
+            if new == "out" and since < when <= until:
+                count += 1
+    return count
+
+
+def main():
+    source = LibrarySource(seed=3, books=6, events_per_day=8.0)
+    server = QSSServer(start="1Dec96")
+    server.register_wrapper("library", Wrapper(source, name="library"))
+    client = QSC(server, user="patron")
+
+    # The subscription: daily polls, notify on returns (status out -> in).
+    client.subscribe(
+        name="Books",
+        frequency="every day at 7:00am",
+        polling_query="define polling query Books as select library.book",
+        filter_query="define filter query Returned as "
+                     "select B, T from Books.book B, "
+                     'B.status<upd at T from OV to NV> '
+                     'where T > t[-1] and OV = "out" and NV = "in"',
+        wrapper="library")
+
+    server.run_until("1Jan97")
+    doem = server.doems.doem("Books")
+    graph = doem.graph
+
+    def title_of(node):
+        for child in graph.children(node, "title"):
+            return graph.value(child)
+        return node
+
+    print(f"One month of daily polls; "
+          f"{len(client.inbox)} return notification(s).\n")
+
+    # On each return, consult the DOEM history for popularity: two or
+    # more checkouts in the month before the notification.
+    popular_alerts = 0
+    for notification in client.inbox:
+        month_ago = notification.polling_time.plus(days=-31)
+        for row in notification.result:
+            book = row["book"].node
+            count = checkout_count(doem, book, month_ago,
+                                   notification.polling_time)
+            marker = "POPULAR -- grab it now!" if count >= 2 else "quiet"
+            print(f"[{notification.polling_time}] returned: "
+                  f"{title_of(book)!r} "
+                  f"({count} checkout(s) in the past month -> {marker})")
+            if count >= 2:
+                popular_alerts += 1
+
+    print(f"\n{popular_alerts} popular-book alert(s) this month.")
+    print("\nGround truth (source-internal circulation counts):")
+    for book in source.books.values():
+        print(f"  {book.title!r}: {book.checkout_count} checkout(s) total, "
+              f"{'out' if book.checked_out else 'in'} now")
+
+
+if __name__ == "__main__":
+    main()

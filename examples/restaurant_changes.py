@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Change queries over an evolving restaurant guide (Section 1.1).
+
+"We are interested in finding out which restaurants were recently added,
+which restaurants were seen as improving, degrading, etc." -- this script
+watches a month of a (simulated) Palo Alto Weekly restaurant guide purely
+through snapshots, folds the inferred changes into a DOEM database, and
+answers exactly those questions in Chorel.
+
+Run:  python examples/restaurant_changes.py
+"""
+
+from repro import (
+    ChorelEngine,
+    DOEMDatabase,
+    OEMDatabase,
+    RestaurantGuideSource,
+    Wrapper,
+    current_snapshot,
+    oem_diff,
+    parse_timestamp,
+)
+from repro.doem.build import apply_change_set
+
+
+def watch_guide(days=30, seed=1997):
+    """Poll the guide daily; return the accumulated DOEM database."""
+    source = RestaurantGuideSource(seed=seed, initial_restaurants=8,
+                                   events_per_day=2.0)
+    wrapper = Wrapper(source, name="guide")
+    doem = DOEMDatabase(OEMDatabase(root="answer"))
+    reserved = {"answer"}
+
+    start = parse_timestamp("1Dec96")
+    for day in range(days):
+        when = start.plus(days=day + 1)
+        wrapper.advance(when)
+        result = wrapper.poll("select guide.restaurant")
+        previous = current_snapshot(doem)
+        changes = oem_diff(previous, result, reserved_ids=reserved)
+        apply_change_set(doem, when, changes)
+        reserved.update(changes.created_nodes())
+    return doem, source
+
+
+def show(title, result, render):
+    print(f"\n== {title} ==")
+    if not result:
+        print("  (none)")
+    for row in result:
+        print("  " + render(row))
+
+
+def main():
+    doem, source = watch_guide()
+    engine = ChorelEngine(doem, name="Guide")
+    engine.register_name("Guide", doem.graph.root)
+    graph = doem.graph
+
+    def name_of(ref):
+        for _, child in doem.live_children(ref.node, parse_timestamp("1Feb97"),
+                                           "name"):
+            return graph.value(child)
+        # fall back to any name the object ever had
+        for child in graph.children(ref.node, "name"):
+            return graph.value(child)
+        return ref.node
+
+    print(f"Watched {len(doem.timestamps())} days of guide snapshots;")
+    print(f"DOEM database: {doem.graph.arc_count()} arcs, "
+          f"{doem.annotation_count()} annotations.")
+    print("Ground-truth events at the source (first 8):")
+    for when, event in source.event_log[:8]:
+        print(f"  {when}: {event}")
+
+    # 1. "find all new restaurant entries" (after the initial load)
+    first_poll = doem.timestamps()[0]
+    new_entries = engine.run(
+        f"select R, T from Guide.<add at T>restaurant R "
+        f"where T > {first_poll}")
+    show("New restaurants (since the first poll)", new_entries,
+         lambda row: f"{name_of(row['restaurant'])} "
+                     f"(added {row['add-time']})")
+
+    # 2. "find all restaurants whose average price changed"
+    price_changes = engine.run(
+        "select R, OV, NV, T from Guide.restaurant R, "
+        "R.price<upd at T from OV to NV>")
+    show("Price changes", price_changes,
+         lambda row: f"{name_of(row['restaurant'])}: "
+                     f"{row['old-value']} -> {row['new-value']} "
+                     f"on {row['update-time']}")
+
+    # 3. improving / degrading by rating updates
+    improving = engine.run(
+        "select R, OV, NV from Guide.restaurant R, "
+        "R.rating<upd at T from OV to NV> where NV > OV")
+    show("Improving (rating went up)", improving,
+         lambda row: f"{name_of(row['restaurant'])}: "
+                     f"{row['old-value']} -> {row['new-value']}")
+    degrading = engine.run(
+        "select R, OV, NV from Guide.restaurant R, "
+        "R.rating<upd at T from OV to NV> where NV < OV")
+    show("Degrading (rating went down)", degrading,
+         lambda row: f"{name_of(row['restaurant'])}: "
+                     f"{row['old-value']} -> {row['new-value']}")
+
+    # 4. disappeared restaurants (arc removed from the answer root)
+    closed = engine.run(
+        "select R, T from Guide.<rem at T>restaurant R")
+    show("Closed restaurants", closed,
+         lambda row: f"{name_of(row['restaurant'])} "
+                     f"(removed {row['remove-time']})")
+
+    # 5. new comments mentioning music, on any restaurant
+    comments = engine.run(
+        'select R, C from Guide.restaurant R, R.<add at T>comment C '
+        'where C like "%music%"')
+    show("New comments about music", comments,
+         lambda row: f"{name_of(row['restaurant'])}: "
+                     f"\"{graph.value(row['comment'].node)}\"")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Chorel: Lorel extended with annotation expressions (Section 4.2).
+
+Two interchangeable backends, exactly the paper's two implementation
+strategies (Section 5):
+
+* :class:`~repro.chorel.engine.ChorelEngine` -- the *native* engine,
+  evaluating directly over a :class:`~repro.doem.model.DOEMDatabase`;
+* :class:`~repro.chorel.translate.TranslatingChorelEngine` -- translates
+  every Chorel query to plain Lorel over the OEM encoding of the DOEM
+  database and runs it on the Lorel substrate.
+
+The equivalence of the two backends on the supported grammar is a tested
+invariant of this library.
+"""
+
+from .engine import ChorelEngine
+from .translate import TranslatingChorelEngine, translate_query
+
+__all__ = ["ChorelEngine", "TranslatingChorelEngine", "translate_query"]

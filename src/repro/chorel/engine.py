@@ -1,0 +1,74 @@
+"""The native Chorel engine: annotation expressions evaluated over DOEM.
+
+This realizes the semantics of Section 4.2.1 directly: annotation
+expressions in path steps are served by the DOEM database's
+``creFun``/``updFun``/``addFun``/``remFun`` accessors, plain steps see the
+current snapshot, and the virtual ``<at T>`` annotations of Section 4.2.2
+re-root navigation and value access at an arbitrary time.
+"""
+
+from __future__ import annotations
+
+from ..doem.model import DOEMDatabase
+from ..lorel.ast import Query
+from ..lorel.eval import TIMEVARS_KEY, Evaluator
+from ..lorel.parser import parse_query
+from ..lorel.result import QueryResult
+from ..lorel.views import DOEMView
+from ..timestamps import Timestamp, parse_timestamp
+
+__all__ = ["ChorelEngine"]
+
+
+class ChorelEngine:
+    """Evaluates Chorel queries over one DOEM database.
+
+    ``name`` registers the database name for root path expressions; QSS
+    registers each subscription's DOEM database under its polling query's
+    name (Section 6: "the name of the DOEM database corresponding to the
+    above polling query is LyttonRestaurants").
+
+    ``polling_times`` (optional, mutable via :meth:`set_polling_times`)
+    provides values for the special time variables ``t[0]``, ``t[-1]``,
+    ... used by QSS filter queries.
+    """
+
+    def __init__(self, doem: DOEMDatabase, name: str | None = None,
+                 polling_times: dict[int, Timestamp] | None = None) -> None:
+        self.doem = doem
+        names = {name or doem.graph.root: doem.graph.root}
+        self.view = DOEMView(doem, names)
+        self._evaluator = Evaluator(self.view)
+        self._polling_times: dict[int, Timestamp] = dict(polling_times or {})
+
+    def register_name(self, name: str, node_id: str) -> None:
+        """Expose ``node_id`` as a database name for path expressions."""
+        self.view._names[name] = node_id
+
+    def set_polling_times(self, times: dict[int, object]) -> None:
+        """Set the ``t[i]`` mapping (index -> timestamp), coercing values."""
+        self._polling_times = {index: parse_timestamp(when)
+                               for index, when in times.items()}
+
+    def parse(self, text: str) -> Query:
+        """Parse Chorel text (annotation expressions allowed)."""
+        return parse_query(text, allow_annotations=True)
+
+    def run(self, query: str | Query,
+            bindings: dict[str, str] | None = None) -> QueryResult:
+        """Parse (if needed) and evaluate a query over the DOEM database.
+
+        ``bindings`` pre-binds variables to node identifiers before
+        evaluation -- the trigger subsystem uses this to hand a rule's
+        condition the triggering object (``NEW``, ``PARENT``).
+        """
+        if isinstance(query, str):
+            query = self.parse(query)
+        env = {}
+        if self._polling_times:
+            env[TIMEVARS_KEY] = dict(self._polling_times)
+        if bindings:
+            from ..lorel.eval import NodeBinding
+            for name, node_id in bindings.items():
+                env[name] = NodeBinding(node_id)
+        return self._evaluator.run(query, env)

@@ -1,0 +1,186 @@
+"""The ``repro`` command line: query, diff, and inspect OEM/DOEM files.
+
+Subcommands (``python -m repro <cmd> --help`` for details):
+
+* ``validate FILE``            -- parse a textual OEM file and check it;
+* ``show FILE``                -- pretty-print a textual OEM file;
+* ``query FILE QUERY``         -- run a Lorel query over an OEM file;
+* ``diff OLD NEW``             -- infer the change set between snapshots;
+* ``htmldiff OLD NEW``         -- marked-up HTML diff (Figure 1);
+* ``history STORE NAME``       -- show the encoded history of a stored
+  DOEM database (from a Lore store directory);
+* ``timeline STORE NAME NODE`` -- one object's full change history;
+* ``chorel STORE NAME QUERY``  -- run a Chorel query over a stored DOEM
+  database (native engine; ``--translate`` shows/uses the Lorel
+  translation instead).
+
+Everything prints to stdout; exit code 0 on success, 1 on any
+:class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .chorel import ChorelEngine, TranslatingChorelEngine
+from .diff import html_diff, oem_diff
+from .doem.extract import encoded_history
+from .errors import ReproError
+from .lore.storage import LoreStore
+from .lorel import LorelEngine
+from .oem.serialize import dumps, loads
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DOEM/Chorel tools: query, diff, and inspect "
+                    "semistructured data and its changes.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="parse and check a textual OEM file")
+    validate.add_argument("file", type=Path)
+
+    show = commands.add_parser("show", help="pretty-print an OEM file")
+    show.add_argument("file", type=Path)
+    show.add_argument("--depth", type=int, default=6,
+                      help="maximum rendering depth (default 6)")
+
+    query = commands.add_parser(
+        "query", help="run a Lorel query over an OEM file")
+    query.add_argument("file", type=Path)
+    query.add_argument("text", help="the Lorel query")
+    query.add_argument("--name", default=None,
+                       help="database name for root paths "
+                            "(default: the root node id)")
+
+    diff = commands.add_parser(
+        "diff", help="infer the change set between two OEM snapshots")
+    diff.add_argument("old", type=Path)
+    diff.add_argument("new", type=Path)
+
+    hdiff = commands.add_parser(
+        "htmldiff", help="marked-up HTML diff of two HTML files (Fig. 1)")
+    hdiff.add_argument("old", type=Path)
+    hdiff.add_argument("new", type=Path)
+    hdiff.add_argument("-o", "--output", type=Path, default=None,
+                       help="write markup here instead of stdout")
+
+    history = commands.add_parser(
+        "history", help="show the encoded history H(D) of a stored DOEM db")
+    history.add_argument("store", type=Path, help="Lore store directory")
+    history.add_argument("name", help="stored DOEM database name")
+
+    timeline = commands.add_parser(
+        "timeline", help="show one object's full change history")
+    timeline.add_argument("store", type=Path, help="Lore store directory")
+    timeline.add_argument("name", help="stored DOEM database name")
+    timeline.add_argument("node", help="object identifier")
+
+    chorel = commands.add_parser(
+        "chorel", help="run a Chorel query over a stored DOEM database")
+    chorel.add_argument("store", type=Path, help="Lore store directory")
+    chorel.add_argument("name", help="stored DOEM database name")
+    chorel.add_argument("text", help="the Chorel query")
+    chorel.add_argument("--db-name", default=None,
+                        help="database name for root paths")
+    chorel.add_argument("--translate", action="store_true",
+                        help="use the Lorel-translation backend and print "
+                             "the translated query first")
+    return parser
+
+
+def _load_oem(path: Path):
+    return loads(path.read_text(encoding="utf-8"))
+
+
+def _run(args: argparse.Namespace, out) -> int:
+    if args.command == "validate":
+        db = _load_oem(args.file)
+        db.check()
+        print(f"OK: {len(db)} node(s), {db.arc_count()} arc(s), "
+              f"root &{db.root}", file=out)
+
+    elif args.command == "show":
+        db = _load_oem(args.file)
+        print(db.describe(max_depth=args.depth), file=out)
+
+    elif args.command == "query":
+        db = _load_oem(args.file)
+        engine = LorelEngine(db, name=args.name or db.root)
+        result = engine.run(args.text)
+        print(result if result else "(empty result)", file=out)
+
+    elif args.command == "diff":
+        old_db, new_db = _load_oem(args.old), _load_oem(args.new)
+        changes = oem_diff(old_db, new_db)
+        if not changes:
+            print("(no changes)", file=out)
+        for op in changes.canonical_order():
+            print(op, file=out)
+
+    elif args.command == "htmldiff":
+        result = html_diff(args.old.read_text(encoding="utf-8"),
+                           args.new.read_text(encoding="utf-8"))
+        if args.output is not None:
+            args.output.write_text(result.markup, encoding="utf-8")
+            print(f"{result.stats} -> {args.output}", file=out)
+        else:
+            print(result.markup, file=out)
+
+    elif args.command == "history":
+        store = LoreStore(args.store)
+        doem = store.get_doem(args.name)
+        history = encoded_history(doem)
+        if not len(history):
+            print("(empty history)", file=out)
+        for when, changes in history:
+            print(f"{when}:", file=out)
+            for op in changes.canonical_order():
+                print(f"  {op}", file=out)
+
+    elif args.command == "timeline":
+        store = LoreStore(args.store)
+        doem = store.get_doem(args.name)
+        events = doem.timeline(args.node)
+        if not events:
+            print(f"&{args.node}: no recorded changes", file=out)
+        for when, text in events:
+            print(f"{when}: {text}", file=out)
+
+    elif args.command == "chorel":
+        store = LoreStore(args.store)
+        doem = store.get_doem(args.name)
+        db_name = args.db_name or doem.graph.root
+        if args.translate:
+            engine = TranslatingChorelEngine(doem, name=db_name)
+            translation = engine.translate(args.text)
+            print("-- translated Lorel:", file=out)
+            for line in translation.text().splitlines():
+                print(f"--   {line}", file=out)
+            result = engine.run(args.text)
+        else:
+            result = ChorelEngine(doem, name=db_name).run(args.text)
+        print(result if result else "(empty result)", file=out)
+
+    else:  # pragma: no cover - argparse enforces the choices
+        raise ReproError(f"unknown command {args.command!r}")
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _run(args, out)
+    except (ReproError, FileNotFoundError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

@@ -1,0 +1,23 @@
+"""Snapshot differencing: inferring changes from pairs of OEM snapshots.
+
+"We are often forced to infer changes based on a sequence of data
+snapshots" (Section 1.2).  The paper delegates the algorithmics to its
+companion papers [CRGMW96, CGM97]; this package implements a
+label/value-guided hierarchical matching differ with the property QSS
+needs: for snapshots ``A`` and ``B``, :func:`~repro.diff.oemdiff.oem_diff`
+returns a valid change set ``U`` with ``U(A)`` isomorphic to ``B``.
+
+* :mod:`~repro.diff.matching` -- node correspondence between snapshots;
+* :mod:`~repro.diff.oemdiff` -- change-operation inference (the OEMdiff
+  module of Figure 7);
+* :mod:`~repro.diff.htmldiff` -- the htmldiff tool of Figure 1: HTML to
+  OEM, diff, and marked-up HTML output.
+"""
+
+from .matching import match_snapshots, Matching
+from .oemdiff import oem_diff, apply_diff
+from .iddiff import id_diff
+from .htmldiff import html_to_oem, html_diff
+
+__all__ = ["match_snapshots", "Matching", "oem_diff", "apply_diff",
+           "id_diff", "html_to_oem", "html_diff"]

@@ -1,0 +1,44 @@
+"""DOEM (Delta-OEM): OEM graphs annotated with change histories.
+
+Section 3 of the paper: "annotations are tags attached to the nodes and
+arcs of an OEM graph that encode the history of basic change operations on
+those nodes and arcs.  There is a one-to-one correspondence between
+annotations and the basic change operations."
+
+Public surface:
+
+* :mod:`~repro.doem.annotations` -- ``cre``/``upd``/``add``/``rem`` tags;
+* :class:`~repro.doem.model.DOEMDatabase` -- Definition 3.1;
+* :func:`~repro.doem.build.build_doem` -- ``D(O, H)`` (Section 3.1);
+* :mod:`~repro.doem.snapshot` -- ``O0(D)``, ``Ot(D)``, current snapshot;
+* :mod:`~repro.doem.extract` -- ``H(D)`` and the feasibility test;
+* :mod:`~repro.doem.encoding` -- the DOEM-in-OEM encoding (Section 5.1).
+"""
+
+from .annotations import Add, Annotation, Cre, Rem, Upd
+from .model import DOEMDatabase
+from .build import build_doem
+from .snapshot import current_snapshot, original_snapshot, snapshot_at
+from .extract import encoded_history, is_feasible, original_database
+from .encoding import decode_doem, encode_doem, EncodedDOEM
+from .compact import compact
+
+__all__ = [
+    "Annotation",
+    "Cre",
+    "Upd",
+    "Add",
+    "Rem",
+    "DOEMDatabase",
+    "build_doem",
+    "snapshot_at",
+    "original_snapshot",
+    "current_snapshot",
+    "encoded_history",
+    "original_database",
+    "is_feasible",
+    "encode_doem",
+    "decode_doem",
+    "EncodedDOEM",
+    "compact",
+]

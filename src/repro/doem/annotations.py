@@ -1,0 +1,96 @@
+"""The four annotation kinds of Section 3.
+
+Nodes may carry ``cre(t)`` (created at ``t``) and ``upd(t, ov)`` (updated
+at ``t``; ``ov`` is the *old* value) annotations; arcs may carry ``add(t)``
+and ``rem(t)``.  Annotations are immutable and ordered by timestamp, with
+a deterministic kind-based tiebreak so annotation lists have a canonical
+sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..timestamps import Timestamp, parse_timestamp
+from ..oem.values import AtomicValue, Value, check_value, value_repr
+
+__all__ = ["Cre", "Upd", "Add", "Rem", "Annotation",
+           "NodeAnnotation", "ArcAnnotation", "sort_key"]
+
+
+@dataclass(frozen=True)
+class Cre:
+    """``cre(t)``: the node was created at time ``t``."""
+
+    at: Timestamp
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at", parse_timestamp(self.at))
+
+    def __str__(self) -> str:
+        return f"cre(t:{self.at})"
+
+
+@dataclass(frozen=True)
+class Upd:
+    """``upd(t, ov)``: the node was updated at ``t``; ``ov`` is the old value."""
+
+    at: Timestamp
+    old_value: Value
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at", parse_timestamp(self.at))
+        check_value(self.old_value)
+
+    def __str__(self) -> str:
+        return f"upd(t:{self.at}, ov:{value_repr(self.old_value)})"
+
+
+@dataclass(frozen=True)
+class Add:
+    """``add(t)``: the arc was added at time ``t``."""
+
+    at: Timestamp
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at", parse_timestamp(self.at))
+
+    def __str__(self) -> str:
+        return f"add(t:{self.at})"
+
+
+@dataclass(frozen=True)
+class Rem:
+    """``rem(t)``: the arc was removed at time ``t``."""
+
+    at: Timestamp
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at", parse_timestamp(self.at))
+
+    def __str__(self) -> str:
+        return f"rem(t:{self.at})"
+
+
+NodeAnnotation = Union[Cre, Upd]
+"""Annotations that may appear on nodes."""
+
+ArcAnnotation = Union[Add, Rem]
+"""Annotations that may appear on arcs."""
+
+Annotation = Union[Cre, Upd, Add, Rem]
+"""Any annotation."""
+
+_KIND_ORDER = {Cre: 0, Upd: 1, Add: 0, Rem: 1}
+
+
+def sort_key(annotation: Annotation) -> tuple:
+    """Canonical sort key: by timestamp, then kind, then old value text.
+
+    Within one timestamp an ``add`` precedes a ``rem`` (an arc added and
+    later removed at distinct times never ties; a tie can only arise from
+    hand-built DOEM databases, where this order keeps behaviour stable).
+    """
+    extra = value_repr(annotation.old_value) if isinstance(annotation, Upd) else ""
+    return (annotation.at, _KIND_ORDER[type(annotation)], extra)

@@ -1,0 +1,150 @@
+"""Constructing the DOEM database ``D(O, H)`` (Section 3.1).
+
+Starting from the OEM database ``O`` with empty annotation sets, each
+timestamped change set of the history is *folded into* the graph:
+
+* ``updNode`` performs the update **and** attaches ``upd(t, old value)``;
+* ``creNode`` creates the node and attaches ``cre(t)``;
+* ``addArc`` adds the arc and attaches ``add(t)`` (re-adding a previously
+  removed arc annotates the existing, dead arc);
+* ``remArc`` does **not** remove the arc -- it attaches ``rem(t)``.
+
+"This representation directly stores the changes themselves, not the
+before and after images of the changes, and thus takes the snapshot-delta
+approach."
+
+Because removed arcs linger, operation validity is checked against the
+*conceptual current snapshot* (liveness via annotations), not against the
+raw DOEM graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import InvalidChangeError
+from ..oem.changes import AddArc, ChangeOp, CreNode, RemArc, UpdNode
+from ..oem.history import ChangeSet, OEMHistory
+from ..oem.model import OEMDatabase
+from ..oem.values import COMPLEX
+from ..timestamps import POS_INF, Timestamp
+from .annotations import Add, Cre, Rem, Upd
+from .model import DOEMDatabase
+
+__all__ = ["build_doem", "apply_change_set", "DOEMApplier"]
+
+
+class DOEMApplier:
+    """Incrementally folds change sets into a DOEM database.
+
+    The QSS DOEM Manager (Section 6.1) keeps one of these per
+    subscription: every polling interval produces one change set, which is
+    incorporated with :meth:`apply`.
+    """
+
+    def __init__(self, doem: DOEMDatabase) -> None:
+        self.doem = doem
+        self._dead_nodes: set[str] = set()
+
+    # -- liveness helpers (current conceptual snapshot) -----------------
+
+    def _node_is_live(self, node_id: str) -> bool:
+        return self.doem.graph.has_node(node_id) and node_id not in self._dead_nodes
+
+    def _arc_is_live(self, source: str, label: str, target: str) -> bool:
+        if not self.doem.graph.has_arc(source, label, target):
+            return False
+        return self.doem.arc_live_at(source, label, target, POS_INF)
+
+    def _live_children_exist(self, node_id: str) -> bool:
+        return any(True for _ in self.doem.live_children(node_id, POS_INF))
+
+    # -- the four operations --------------------------------------------
+
+    def _apply_op(self, op: ChangeOp, when: Timestamp) -> None:
+        graph = self.doem.graph
+        if isinstance(op, CreNode):
+            if graph.has_node(op.node):
+                raise InvalidChangeError(
+                    f"creNode: identifier {op.node!r} already used "
+                    f"(identifiers of deleted nodes are not reused)")
+            graph.create_node(op.node, op.value)
+            self.doem.annotate_node(op.node, Cre(when))
+        elif isinstance(op, UpdNode):
+            if not self._node_is_live(op.node):
+                raise InvalidChangeError(f"updNode: node {op.node!r} is not live")
+            if op.value is not COMPLEX and self._live_children_exist(op.node):
+                raise InvalidChangeError(
+                    f"updNode({op.node}): object still has live subobjects")
+            old_value = graph.value(op.node)
+            graph._values[op.node] = op.value  # bypass child check: dead arcs linger
+            self.doem.annotate_node(op.node, Upd(when, old_value))
+        elif isinstance(op, AddArc):
+            if not self._node_is_live(op.source):
+                raise InvalidChangeError(f"addArc: parent {op.source!r} is not live")
+            if not self._node_is_live(op.target):
+                raise InvalidChangeError(f"addArc: child {op.target!r} is not live")
+            if not graph.is_complex(op.source):
+                raise InvalidChangeError(f"addArc: parent {op.source!r} is atomic")
+            if self._arc_is_live(*op.arc):
+                raise InvalidChangeError(f"addArc: arc {op.arc} already present")
+            if not graph.has_arc(*op.arc):
+                graph.add_arc(*op.arc)
+            self.doem.annotate_arc(op.source, op.label, op.target, Add(when))
+        elif isinstance(op, RemArc):
+            if not self._arc_is_live(*op.arc):
+                raise InvalidChangeError(f"remArc: arc {op.arc} is not present")
+            self.doem.annotate_arc(op.source, op.label, op.target, Rem(when))
+        else:  # pragma: no cover - exhaustiveness guard
+            raise InvalidChangeError(f"unknown change operation: {op!r}")
+
+    def apply(self, when: Timestamp, change_set: ChangeSet) -> None:
+        """Fold one timestamped change set into the DOEM database.
+
+        Operations run in the canonical order (cre -> rem -> upd -> add);
+        afterwards, nodes unreachable in the *current snapshot* are marked
+        dead (Section 2.2's deletion rule), though their history stays in
+        the graph.
+        """
+        for op in change_set.canonical_order():
+            self._apply_op(op, when)
+        self._mark_dead_nodes()
+
+    def _mark_dead_nodes(self) -> None:
+        """Mark nodes unreachable through live arcs as conceptually deleted."""
+        graph = self.doem.graph
+        live = {graph.root}
+        frontier = [graph.root]
+        while frontier:
+            node = frontier.pop()
+            for _, child in self.doem.live_children(node, POS_INF):
+                if child not in live:
+                    live.add(child)
+                    frontier.append(child)
+        self._dead_nodes = set(graph.nodes()) - live
+
+
+def apply_change_set(doem: DOEMDatabase, when: object,
+                     change_set: ChangeSet | Iterable[ChangeOp]) -> DOEMDatabase:
+    """Fold one change set into ``doem`` (convenience wrapper)."""
+    from ..timestamps import parse_timestamp
+    if not isinstance(change_set, ChangeSet):
+        change_set = ChangeSet(change_set)
+    applier = DOEMApplier(doem)
+    applier._mark_dead_nodes()
+    applier.apply(parse_timestamp(when), change_set)
+    return doem
+
+
+def build_doem(origin: OEMDatabase, history: OEMHistory) -> DOEMDatabase:
+    """Construct ``D(O, H)`` for an OEM database and a valid history.
+
+    ``origin`` is copied; the result owns its own graph.  Raises
+    :class:`~repro.errors.InvalidChangeError` if the history is not valid
+    for ``origin``.
+    """
+    doem = DOEMDatabase(origin.copy())
+    applier = DOEMApplier(doem)
+    for when, change_set in history:
+        applier.apply(when, change_set)
+    return doem

@@ -1,0 +1,100 @@
+"""Recovering the encoded history ``H(D)`` and the feasibility test (Section 3.2).
+
+A DOEM database faithfully captures the whole history of the underlying
+OEM database: :func:`encoded_history` rebuilds ``H(D)`` from the
+annotations, :func:`original_database` rebuilds ``O0(D)``, and
+:func:`is_feasible` checks whether a (possibly hand-built) DOEM database
+equals ``D(O0(D), H(D))`` -- i.e. whether it could have arisen from *some*
+valid history.  For feasible databases the paper proves the pair
+``(O0(D), H(D))`` is unique; the round-trip property tests exercise
+exactly that claim.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidChangeError, InvalidHistoryError
+from ..oem.changes import AddArc, ChangeOp, CreNode, RemArc, UpdNode
+from ..oem.history import ChangeSet, OEMHistory
+from ..oem.model import OEMDatabase
+from ..timestamps import Timestamp
+from .annotations import Add, Cre, Rem, Upd
+from .build import build_doem
+from .model import DOEMDatabase
+from .snapshot import original_snapshot
+
+__all__ = ["encoded_history", "original_database", "is_feasible"]
+
+
+def encoded_history(doem: DOEMDatabase) -> OEMHistory:
+    """``H(D)``: the history encoded by the annotations of ``doem``.
+
+    Following Section 3.2: the timestamps of ``H(D)`` are exactly the
+    timestamps occurring in annotations; the change set ``Ui`` at ``ti``
+    contains
+
+    1. ``addArc``/``remArc`` for each arc with an ``add(ti)``/``rem(ti)``
+       annotation;
+    2. ``updNode(n, v)`` for each ``upd(ti, ov)`` annotation, where ``v``
+       is the *next* value of ``n`` (the old value of the temporally next
+       update, or the current value when none follows);
+    3. ``creNode(n, v)`` for each ``cre(ti)`` annotation, with ``v``
+       defined the same way (value at creation = old value of the first
+       update, or current value if never updated).
+    """
+    buckets: dict[Timestamp, list[ChangeOp]] = {}
+
+    def bucket(when: Timestamp) -> list[ChangeOp]:
+        return buckets.setdefault(when, [])
+
+    graph = doem.graph
+    for arc, annotations in doem.annotated_arcs():
+        for annotation in annotations:
+            if isinstance(annotation, Add):
+                bucket(annotation.at).append(AddArc(*arc))
+            else:
+                bucket(annotation.at).append(RemArc(*arc))
+
+    for node_id, annotations in doem.annotated_nodes():
+        updates = [a for a in annotations if isinstance(a, Upd)]
+        for index, annotation in enumerate(updates):
+            if index + 1 < len(updates):
+                next_value = updates[index + 1].old_value
+            else:
+                next_value = graph.value(node_id)
+            bucket(annotation.at).append(UpdNode(node_id, next_value))
+        creations = [a for a in annotations if isinstance(a, Cre)]
+        for annotation in creations:
+            if updates:
+                initial_value = updates[0].old_value
+            else:
+                initial_value = graph.value(node_id)
+            bucket(annotation.at).append(CreNode(node_id, initial_value))
+
+    history = OEMHistory()
+    for when in sorted(buckets):
+        history.append(when, ChangeSet(buckets[when]))
+    return history
+
+
+def original_database(doem: DOEMDatabase) -> OEMDatabase:
+    """``O0(D)``: the original snapshot (alias of
+    :func:`repro.doem.snapshot.original_snapshot`, re-exported here so the
+    extraction API is complete in one module)."""
+    return original_snapshot(doem)
+
+
+def is_feasible(doem: DOEMDatabase) -> bool:
+    """Does ``doem`` represent some valid ``(O, H)`` pair?
+
+    Section 3.2: "We construct the original snapshot ``O0(D)`` and the
+    encoded history ``H(D)`` for ``D`` as above, and test if
+    ``D(O0(D), H(D)) = D``."  Extraction or replay failures (e.g. a
+    change set that is not valid) mean infeasible.
+    """
+    try:
+        origin = original_database(doem)
+        history = encoded_history(doem)
+        rebuilt = build_doem(origin, history)
+    except (InvalidChangeError, InvalidHistoryError):
+        return False
+    return rebuilt.same_as(doem)

@@ -1,0 +1,126 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch one base class.  Subsystems raise the more specific
+classes below; they carry enough context (node identifiers, source
+positions, query text) to diagnose a failure without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class OEMError(ReproError):
+    """Base class for errors concerning OEM databases."""
+
+
+class UnknownNodeError(OEMError):
+    """An operation referenced a node identifier not present in the database."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"unknown node identifier: {node_id!r}")
+        self.node_id = node_id
+
+
+class DuplicateNodeError(OEMError):
+    """A node was created with an identifier that already exists."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"node identifier already in use: {node_id!r}")
+        self.node_id = node_id
+
+
+class InvalidChangeError(OEMError):
+    """A basic change operation was not valid for the target database.
+
+    Section 2.1 of the paper defines the preconditions of the four basic
+    change operations (creNode, updNode, addArc, remArc); this error is
+    raised when one of those preconditions fails.
+    """
+
+
+class InvalidHistoryError(OEMError):
+    """A change set or history violated the validity rules of Section 2.2."""
+
+
+class ValueError_(OEMError):
+    """An atomic value was of an unsupported type."""
+
+
+class SerializationError(ReproError):
+    """Reading or writing the textual OEM format failed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class DOEMError(ReproError):
+    """Base class for errors concerning DOEM databases."""
+
+
+class InfeasibleDOEMError(DOEMError):
+    """A DOEM database does not correspond to any valid (O, H) pair."""
+
+
+class EncodingError(DOEMError):
+    """The OEM encoding of a DOEM database was malformed or undecodable."""
+
+
+class QueryError(ReproError):
+    """Base class for query-language errors (Lorel and Chorel)."""
+
+
+class LexError(QueryError):
+    """The query text could not be tokenized."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(QueryError):
+    """The query text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class EvaluationError(QueryError):
+    """A query failed during evaluation (e.g., unbound variable)."""
+
+
+class TranslationError(QueryError):
+    """A Chorel query could not be translated to Lorel."""
+
+
+class TimestampError(ReproError):
+    """A textual timestamp could not be coerced to the time domain."""
+
+
+class DiffError(ReproError):
+    """The snapshot differencing algorithm failed."""
+
+
+class QSSError(ReproError):
+    """Base class for Query Subscription Service errors."""
+
+
+class FrequencyError(QSSError):
+    """A frequency specification could not be parsed."""
+
+
+class SubscriptionError(QSSError):
+    """A subscription was malformed or referenced unknown components."""

@@ -1,0 +1,17 @@
+"""A miniature Lore: persistent storage and indexes for OEM/DOEM databases.
+
+The paper implements DOEM and Chorel "on top of" the Lore DBMS [MAG+97],
+which supplies object storage and query processing for OEM.  This package
+is the corresponding substrate in pure Python:
+
+* :class:`~repro.lore.storage.LoreStore` -- a named collection of OEM and
+  DOEM databases with file persistence (the QSS "DOEM Store" of Figure 7);
+* :mod:`~repro.lore.indexes` -- label, value, and **annotation** indexes.
+  Annotation indexes (by kind and timestamp) are the paper's Section 7
+  future-work item; the index-ablation benchmark measures what they buy.
+"""
+
+from .storage import LoreStore
+from .indexes import AnnotationIndex, LabelIndex, ValueIndex
+
+__all__ = ["LoreStore", "LabelIndex", "ValueIndex", "AnnotationIndex"]

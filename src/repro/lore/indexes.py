@@ -1,0 +1,214 @@
+"""Indexes over OEM graphs and DOEM annotations.
+
+Lore maintains label and value indexes to accelerate path-expression
+evaluation; the paper's future-work list adds "indexes on annotations
+(based on their types and timestamps) ... to achieve a more efficient
+translation of Chorel queries" (Section 7).  All three are implemented
+here as explicit, rebuildable structures:
+
+* :class:`LabelIndex` -- label -> arcs (parent, child) pairs;
+* :class:`ValueIndex` -- exact-match hash plus a sorted array for range
+  scans over comparable atomic values;
+* :class:`AnnotationIndex` -- (annotation kind, timestamp range) ->
+  annotated nodes/arcs, the structure the QSS filter queries (``T >
+  t[-1]``) want.
+
+The indexes are deliberately *not* wired invisibly into the evaluator;
+the benchmarks compare indexed scans against full evaluator scans to
+quantify the ablation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from ..doem.annotations import Add, Cre, Rem, Upd
+from ..doem.model import DOEMDatabase
+from ..oem.model import Arc, OEMDatabase
+from ..oem.values import COMPLEX, is_atomic_value
+from ..timestamps import NEG_INF, POS_INF, Timestamp, parse_timestamp
+
+__all__ = ["LabelIndex", "ValueIndex", "AnnotationIndex"]
+
+
+class LabelIndex:
+    """An inverted index from arc labels to the arcs bearing them."""
+
+    def __init__(self, db: OEMDatabase | None = None) -> None:
+        self._by_label: dict[str, list[Arc]] = {}
+        if db is not None:
+            self.rebuild(db)
+
+    def rebuild(self, db: OEMDatabase) -> None:
+        """Re-scan the database and rebuild the index from scratch."""
+        self._by_label = {}
+        for arc in db.arcs():
+            self._by_label.setdefault(arc.label, []).append(arc)
+
+    def arcs(self, label: str) -> list[Arc]:
+        """All arcs labeled ``label``."""
+        return list(self._by_label.get(label, ()))
+
+    def labels(self) -> list[str]:
+        """All distinct labels, sorted."""
+        return sorted(self._by_label)
+
+    def parents_of_label(self, label: str) -> set[str]:
+        """Distinct sources of ``label`` arcs."""
+        return {arc.source for arc in self._by_label.get(label, ())}
+
+    def count(self, label: str) -> int:
+        """Number of arcs labeled ``label``."""
+        return len(self._by_label.get(label, ()))
+
+
+class ValueIndex:
+    """Exact and range lookup of atomic node values.
+
+    Values are partitioned by coarse type (number / string / timestamp /
+    bool) so that range scans stay well-ordered; Lorel's coercing
+    comparisons can consult both the number and string partitions when a
+    literal is ambiguous.
+    """
+
+    _NUMBER = "number"
+    _STRING = "string"
+    _TIMESTAMP = "timestamp"
+    _BOOL = "bool"
+
+    def __init__(self, db: OEMDatabase | None = None) -> None:
+        self._exact: dict[tuple[str, object], list[str]] = {}
+        self._sorted: dict[str, list[tuple[object, str]]] = {}
+        if db is not None:
+            self.rebuild(db)
+
+    @classmethod
+    def _partition(cls, value: object) -> str | None:
+        if isinstance(value, bool):
+            return cls._BOOL
+        if isinstance(value, (int, float)):
+            return cls._NUMBER
+        if isinstance(value, Timestamp):
+            return cls._TIMESTAMP
+        if isinstance(value, str):
+            return cls._STRING
+        return None
+
+    def rebuild(self, db: OEMDatabase) -> None:
+        """Re-scan the database and rebuild the index from scratch."""
+        self._exact = {}
+        buckets: dict[str, list[tuple[object, str]]] = {}
+        for node in db.nodes():
+            value = db.value(node)
+            if value is COMPLEX or not is_atomic_value(value):
+                continue
+            partition = self._partition(value)
+            if partition is None:
+                continue
+            self._exact.setdefault((partition, value), []).append(node)
+            sort_key = value.ticks if isinstance(value, Timestamp) else value
+            buckets.setdefault(partition, []).append((sort_key, node))
+        self._sorted = {partition: sorted(items)
+                        for partition, items in buckets.items()}
+
+    def lookup(self, value: object) -> list[str]:
+        """Nodes whose value equals ``value`` exactly (same partition)."""
+        partition = self._partition(value)
+        if partition is None:
+            return []
+        return list(self._exact.get((partition, value), ()))
+
+    def range_scan(self, low: object | None, high: object | None,
+                   *, include_low: bool = True,
+                   include_high: bool = True) -> list[str]:
+        """Nodes with values in the given range (same-partition bounds)."""
+        probe = low if low is not None else high
+        if probe is None:
+            raise ValueError("range_scan needs at least one bound")
+        partition = self._partition(probe)
+        items = self._sorted.get(partition, [])
+        keys = [key for key, _ in items]
+
+        def norm(value: object) -> object:
+            return value.ticks if isinstance(value, Timestamp) else value
+
+        start = 0
+        if low is not None:
+            edge = norm(low)
+            start = bisect.bisect_left(keys, edge) if include_low \
+                else bisect.bisect_right(keys, edge)
+        end = len(items)
+        if high is not None:
+            edge = norm(high)
+            end = bisect.bisect_right(keys, edge) if include_high \
+                else bisect.bisect_left(keys, edge)
+        return [node for _, node in items[start:end]]
+
+
+class AnnotationIndex:
+    """Timestamp-ordered index over DOEM annotations, by kind.
+
+    Answers the workhorse question of QSS filter queries -- "which
+    annotations of kind K fall in the time interval (lo, hi]?" -- in
+    O(log n + answers) instead of a full graph scan.
+    """
+
+    _NODE_KINDS = {"cre": Cre, "upd": Upd}
+    _ARC_KINDS = {"add": Add, "rem": Rem}
+
+    def __init__(self, doem: DOEMDatabase | None = None) -> None:
+        # kind -> sorted list of (ticks-ordering key, timestamp, subject)
+        self._entries: dict[str, list[tuple[tuple, Timestamp, object]]] = {}
+        if doem is not None:
+            self.rebuild(doem)
+
+    @staticmethod
+    def _order_key(when: Timestamp) -> tuple:
+        return when._order_key()  # stable total order incl. infinities
+
+    def rebuild(self, doem: DOEMDatabase) -> None:
+        """Re-scan the DOEM database and rebuild all four kind lists."""
+        buckets: dict[str, list[tuple[tuple, Timestamp, object]]] = {
+            kind: [] for kind in ("cre", "upd", "add", "rem")}
+        for node, annotations in doem.annotated_nodes():
+            for annotation in annotations:
+                kind = "cre" if isinstance(annotation, Cre) else "upd"
+                buckets[kind].append(
+                    (self._order_key(annotation.at), annotation.at, node))
+        for arc, annotations in doem.annotated_arcs():
+            for annotation in annotations:
+                kind = "add" if isinstance(annotation, Add) else "rem"
+                buckets[kind].append(
+                    (self._order_key(annotation.at), annotation.at, arc))
+        self._entries = {kind: sorted(items, key=lambda e: (e[0], str(e[2])))
+                         for kind, items in buckets.items()}
+
+    def count(self, kind: str) -> int:
+        """Number of annotations of ``kind`` in the index."""
+        return len(self._entries.get(kind, ()))
+
+    def between(self, kind: str, low: object = NEG_INF,
+                high: object = POS_INF, *, include_low: bool = False,
+                include_high: bool = True) -> list[tuple[Timestamp, object]]:
+        """Annotations of ``kind`` with timestamps in the interval.
+
+        The default bounds ``(low, high]`` match the QSS predicate shape
+        ``T > t[-1] and T <= t[0]``.  Subjects are node ids for
+        ``cre``/``upd`` and :class:`~repro.oem.model.Arc` for
+        ``add``/``rem``.
+        """
+        if kind not in self._entries:
+            raise KeyError(f"unknown annotation kind {kind!r}")
+        items = self._entries[kind]
+        keys = [entry[0] for entry in items]
+        low_ts, high_ts = parse_timestamp(low), parse_timestamp(high)
+        start = bisect.bisect_left(keys, self._order_key(low_ts)) \
+            if include_low else bisect.bisect_right(keys, self._order_key(low_ts))
+        end = bisect.bisect_right(keys, self._order_key(high_ts)) \
+            if include_high else bisect.bisect_left(keys, self._order_key(high_ts))
+        return [(when, subject) for _, when, subject in items[start:end]]
+
+    def created_since(self, low: object) -> list[str]:
+        """Node ids created strictly after ``low`` (QSS's common ask)."""
+        return [node for _, node in self.between("cre", low)]

@@ -1,0 +1,135 @@
+"""The Lore store: named OEM/DOEM databases with file persistence.
+
+Figure 7 shows QSS keeping its DOEM databases in a "DOEM Store" backed by
+Lore.  :class:`LoreStore` plays that role: it holds named databases in
+memory, persists them to a directory as textual OEM files (DOEM databases
+persist through their OEM encoding, exactly the paper's storage scheme of
+Section 5.1), and reloads them on demand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..doem.encoding import EncodedDOEM, decode_doem, encode_doem
+from ..doem.model import DOEMDatabase
+from ..errors import SerializationError
+from ..oem.model import OEMDatabase
+from ..oem.serialize import dumps, loads
+
+__all__ = ["LoreStore"]
+
+_OEM_SUFFIX = ".oem"
+_DOEM_SUFFIX = ".doem.oem"
+_META_SUFFIX = ".meta.json"
+
+
+class LoreStore:
+    """A named collection of OEM and DOEM databases.
+
+    In-memory by default; pass ``directory`` for durable storage.  Names
+    are restricted to filesystem-safe identifiers.  DOEM databases are
+    stored via their OEM encoding plus a small JSON sidecar recording the
+    encoding-object ids, so a store round-trip is exact.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self._oem: dict[str, OEMDatabase] = {}
+        self._doem: dict[str, DOEMDatabase] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not name or any(ch in name for ch in "/\\. \t\n"):
+            raise SerializationError(f"illegal store name: {name!r}")
+        return name
+
+    # ------------------------------------------------------------------
+    # OEM databases
+    # ------------------------------------------------------------------
+
+    def put_oem(self, name: str, db: OEMDatabase) -> None:
+        """Store (and persist, when durable) an OEM database under ``name``."""
+        self._check_name(name)
+        self._oem[name] = db
+        if self.directory is not None:
+            path = self.directory / f"{name}{_OEM_SUFFIX}"
+            path.write_text(dumps(db), encoding="utf-8")
+
+    def get_oem(self, name: str) -> OEMDatabase:
+        """Fetch an OEM database, loading from disk if necessary."""
+        self._check_name(name)
+        if name in self._oem:
+            return self._oem[name]
+        if self.directory is not None:
+            path = self.directory / f"{name}{_OEM_SUFFIX}"
+            if path.exists():
+                db = loads(path.read_text(encoding="utf-8"))
+                self._oem[name] = db
+                return db
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # DOEM databases (persisted through the Section 5.1 encoding)
+    # ------------------------------------------------------------------
+
+    def put_doem(self, name: str, doem: DOEMDatabase) -> None:
+        """Store (and persist, when durable) a DOEM database under ``name``."""
+        self._check_name(name)
+        self._doem[name] = doem
+        if self.directory is not None:
+            encoded = encode_doem(doem)
+            path = self.directory / f"{name}{_DOEM_SUFFIX}"
+            path.write_text(dumps(encoded.oem), encoding="utf-8")
+            meta = self.directory / f"{name}{_META_SUFFIX}"
+            meta.write_text(json.dumps(
+                {"object_ids": sorted(encoded.object_ids)}), encoding="utf-8")
+
+    def get_doem(self, name: str) -> DOEMDatabase:
+        """Fetch a DOEM database, decoding from disk if necessary."""
+        self._check_name(name)
+        if name in self._doem:
+            return self._doem[name]
+        if self.directory is not None:
+            path = self.directory / f"{name}{_DOEM_SUFFIX}"
+            meta = self.directory / f"{name}{_META_SUFFIX}"
+            if path.exists() and meta.exists():
+                oem = loads(path.read_text(encoding="utf-8"))
+                object_ids = set(json.loads(
+                    meta.read_text(encoding="utf-8"))["object_ids"])
+                doem = decode_doem(EncodedDOEM(oem, object_ids))
+                self._doem[name] = doem
+                return doem
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+
+    def delete(self, name: str) -> None:
+        """Remove a database (both kinds) from memory and disk."""
+        self._check_name(name)
+        self._oem.pop(name, None)
+        self._doem.pop(name, None)
+        if self.directory is not None:
+            for suffix in (_OEM_SUFFIX, _DOEM_SUFFIX, _META_SUFFIX):
+                path = self.directory / f"{name}{suffix}"
+                if path.exists():
+                    path.unlink()
+
+    def names(self) -> list[str]:
+        """All database names present in memory or on disk."""
+        found = set(self._oem) | set(self._doem)
+        if self.directory is not None:
+            for path in self.directory.iterdir():
+                stem = path.name
+                for suffix in (_DOEM_SUFFIX, _META_SUFFIX, _OEM_SUFFIX):
+                    if stem.endswith(suffix):
+                        found.add(stem[:-len(suffix)])
+                        break
+        return sorted(found)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names()

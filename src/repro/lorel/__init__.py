@@ -1,0 +1,24 @@
+"""Lorel: the Stanford query language for semistructured data (Section 4.1).
+
+This package implements a from-scratch Lorel substrate sufficient for the
+paper: select-from-where queries, path expressions with the ``#`` wildcard
+and ``%`` label patterns, the forgiving coercion type system, ``like``,
+``exists ... in ... :`` conditions, and a small update language.  Chorel
+(:mod:`repro.chorel`) reuses the same lexer, parser, and evaluator with
+annotation expressions enabled.
+
+Public surface:
+
+* :class:`~repro.lorel.engine.LorelEngine` -- parse + evaluate over OEM;
+* :func:`~repro.lorel.parser.parse_query` -- text to AST;
+* :class:`~repro.lorel.result.QueryResult` -- rows + OEM packaging;
+* :mod:`~repro.lorel.update` -- update statements compiling to change ops.
+"""
+
+from .engine import LorelEngine
+from .parser import parse_query, parse_definition
+from .result import QueryResult
+from .pretty import format_query
+
+__all__ = ["LorelEngine", "parse_query", "parse_definition",
+           "QueryResult", "format_query"]

@@ -1,0 +1,54 @@
+"""The Lorel engine: parse + evaluate plain Lorel over an OEM database.
+
+This is the library's stand-in for the Lore system's query processor
+[MAG+97]: the substrate Chorel is implemented on.  It deliberately rejects
+Chorel annotation syntax -- use :class:`repro.chorel.ChorelEngine` for
+change queries.
+"""
+
+from __future__ import annotations
+
+from ..oem.model import OEMDatabase
+from .ast import Query
+from .eval import Evaluator
+from .parser import parse_query
+from .result import QueryResult
+from .views import OEMView
+
+__all__ = ["LorelEngine"]
+
+
+class LorelEngine:
+    """Evaluates Lorel queries over one OEM database.
+
+    ``name`` registers the database name used as the entry point of root
+    path expressions; by default the root's node id doubles as the name
+    (the Guide examples use a root named ``guide``).  Additional entry
+    points may be registered with :meth:`register_name`.
+    """
+
+    def __init__(self, db: OEMDatabase, name: str | None = None) -> None:
+        self.db = db
+        names = {name or db.root: db.root}
+        self.view = OEMView(db, names)
+        self._evaluator = Evaluator(self.view)
+
+    def register_name(self, name: str, node_id: str) -> None:
+        """Expose ``node_id`` as a database name for path expressions."""
+        self.view._names[name] = node_id
+
+    def parse(self, text: str) -> Query:
+        """Parse Lorel text (annotation expressions rejected)."""
+        return parse_query(text, allow_annotations=False)
+
+    def run(self, query: str | Query) -> QueryResult:
+        """Parse (if needed) and evaluate a query."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        return self._evaluator.run(query)
+
+    def run_ast(self, query: Query) -> QueryResult:
+        """Evaluate an already-parsed query AST (may contain annotations;
+        used by the Chorel->Lorel translation backend, whose generated
+        ASTs are plain Lorel by construction)."""
+        return self._evaluator.run(query)

@@ -1,0 +1,202 @@
+"""The tokenizer shared by Lorel and Chorel.
+
+Notable lexical quirks this lexer must handle:
+
+* timestamp literals such as ``4Jan97`` start with digits but are not
+  numbers -- the lexer scans the longest identifier-ish run after a number
+  and checks :func:`repro.timestamps.is_timestamp_literal`;
+* ``<`` is both the comparison operator and the opener of a Chorel
+  annotation expression.  The lexer emits a structural ``LANGLE`` when the
+  character is *immediately* followed by an annotation keyword (``cre``,
+  ``upd``, ``add``, ``rem``, ``at``) and a comparison ``OP`` otherwise;
+  the parser double-checks with context;
+* QSS filter queries use special time variables ``t[0]``, ``t[-1]`` ...
+  (Section 6), lexed as single ``TIMEVAR`` tokens;
+* encoding labels start with ``&`` (``&val``, ``&price-history``) and
+  labels may contain ``-`` (``nearby-eats``), so ``-`` only starts a
+  number/operator when it cannot continue an identifier.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import LexError
+from ..timestamps import is_timestamp_literal, parse_timestamp
+from .tokens import KEYWORDS, Token, TokenKind
+
+__all__ = ["tokenize"]
+
+_IDENT_START = re.compile(r"[A-Za-z_]")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")
+_AMP_IDENT_RE = re.compile(r"&[A-Za-z_][A-Za-z0-9_\-]*")
+_NUMBER_RE = re.compile(r"\d+(\.\d+)?([eE][-+]?\d+)?")
+_TS_TAIL_RE = re.compile(r"[A-Za-z0-9\-]*")
+_TIMEVAR_RE = re.compile(r"t\[\s*(-?\d+)\s*\]")
+_ANNOT_WORDS = ("cre", "upd", "add", "rem", "at")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`~repro.errors.LexError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+
+    while pos < length:
+        ch = text[pos]
+
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+
+        if ch == "-" and text.startswith("--", pos):  # SQL-style comment
+            newline = text.find("\n", pos)
+            pos = length if newline < 0 else newline
+            continue
+
+        # QSS time variables: t[0], t[-1] ...
+        if ch == "t":
+            match = _TIMEVAR_RE.match(text, pos)
+            if match:
+                tokens.append(Token(TokenKind.TIMEVAR, match.group(0),
+                                    int(match.group(1)), pos))
+                pos = match.end()
+                continue
+
+        if _IDENT_START.match(ch):
+            match = _IDENT_RE.match(text, pos)
+            word = match.group(0)
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                kind = TokenKind.KEYWORD
+                value: object = lowered
+            else:
+                kind = TokenKind.IDENT
+                value = word
+            tokens.append(Token(kind, word, value, pos))
+            pos = match.end()
+            continue
+
+        if ch == "&":
+            match = _AMP_IDENT_RE.match(text, pos)
+            if not match:
+                raise LexError("stray '&'", pos)
+            tokens.append(Token(TokenKind.AMP_IDENT, match.group(0),
+                                match.group(0), pos))
+            pos = match.end()
+            continue
+
+        if ch.isdigit():
+            # Try a timestamp literal first: digits followed by letters
+            # (4Jan97) or an ISO / slash date shape.
+            number = _NUMBER_RE.match(text, pos)
+            tail = _TS_TAIL_RE.match(text, number.end())
+            candidate = text[pos:tail.end()]
+            if candidate != number.group(0) or "-" in candidate:
+                if is_timestamp_literal(candidate):
+                    tokens.append(Token(TokenKind.TIMESTAMP, candidate,
+                                        parse_timestamp(candidate), pos))
+                    pos = tail.end()
+                    continue
+                # A run like 12abc that is not a timestamp is an error.
+                if candidate != number.group(0):
+                    raise LexError(f"malformed literal {candidate!r}", pos)
+            raw = number.group(0)
+            if "." in raw or "e" in raw or "E" in raw:
+                tokens.append(Token(TokenKind.REAL, raw, float(raw), pos))
+            else:
+                tokens.append(Token(TokenKind.INT, raw, int(raw), pos))
+            pos = number.end()
+            continue
+
+        if ch == "-" and pos + 1 < length and text[pos + 1].isdigit():
+            number = _NUMBER_RE.match(text, pos + 1)
+            raw = text[pos:number.end()]
+            if "." in raw or "e" in raw or "E" in raw:
+                tokens.append(Token(TokenKind.REAL, raw, float(raw), pos))
+            else:
+                tokens.append(Token(TokenKind.INT, raw, int(raw), pos))
+            pos = number.end()
+            continue
+
+        if ch == '"' or ch == "'":
+            end = pos + 1
+            chunks: list[str] = []
+            while end < length and text[end] != ch:
+                if text[end] == "\\" and end + 1 < length:
+                    escape = text[end + 1]
+                    chunks.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                    end += 2
+                else:
+                    chunks.append(text[end])
+                    end += 1
+            if end >= length:
+                raise LexError("unterminated string literal", pos)
+            tokens.append(Token(TokenKind.STRING, text[pos:end + 1],
+                                "".join(chunks), pos))
+            pos = end + 1
+            continue
+
+        if ch == "<":
+            rest = text[pos + 1:pos + 6].lstrip().lower()
+            if any(rest.startswith(word) for word in _ANNOT_WORDS):
+                tokens.append(Token(TokenKind.LANGLE, "<", "<", pos))
+                pos += 1
+                continue
+            for op in ("<=", "<>", "<"):
+                if text.startswith(op, pos):
+                    tokens.append(Token(TokenKind.OP, op, op, pos))
+                    pos += len(op)
+                    break
+            continue
+
+        if ch == ">":
+            if text.startswith(">=", pos):
+                tokens.append(Token(TokenKind.OP, ">=", ">=", pos))
+                pos += 2
+            else:
+                # RANGLE vs OP is resolved by the parser from context; emit
+                # a RANGLE -- the parser treats it as '>' in expressions.
+                tokens.append(Token(TokenKind.RANGLE, ">", ">", pos))
+                pos += 1
+            continue
+
+        if ch in "=!":
+            for op in ("!=", "==", "="):
+                if text.startswith(op, pos):
+                    tokens.append(Token(TokenKind.OP, op, op, pos))
+                    pos += len(op)
+                    break
+            else:
+                raise LexError(f"unexpected character {ch!r}", pos)
+            continue
+
+        if ch in "|*+":  # GPE operators: (a|b), label*, label+
+            tokens.append(Token(TokenKind.OP, ch, ch, pos))
+            pos += 1
+            continue
+
+        simple = {
+            ".": TokenKind.DOT,
+            ",": TokenKind.COMMA,
+            ":": TokenKind.COLON,
+            "(": TokenKind.LPAREN,
+            ")": TokenKind.RPAREN,
+            "#": TokenKind.HASH,
+        }.get(ch)
+        if simple is not None:
+            tokens.append(Token(simple, ch, ch, pos))
+            pos += 1
+            continue
+
+        if ch == "%":
+            # '%' only appears inside label patterns; the parser assembles
+            # them from IDENT/'%' runs, so emit it as an IDENT fragment.
+            tokens.append(Token(TokenKind.IDENT, "%", "%", pos))
+            pos += 1
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", pos)
+
+    tokens.append(Token(TokenKind.EOF, "", None, length))
+    return tokens

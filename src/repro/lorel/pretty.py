@@ -1,0 +1,25 @@
+"""Pretty-printing queries back to concrete syntax.
+
+The AST classes render themselves via ``__str__``; this module adds a
+multi-line formatter used when showing translated queries (Example 5.1
+prints the Lorel translation of a Chorel query) and guarantees the
+round-trip property ``parse(format(q)) == parse(str(q))`` that the
+translation tests rely on.
+"""
+
+from __future__ import annotations
+
+from .ast import Query
+
+__all__ = ["format_query"]
+
+
+def format_query(query: Query) -> str:
+    """Render ``query`` with one clause per line (re-parseable)."""
+    lines = ["select " + ", ".join(str(item) for item in query.select)]
+    if query.from_items:
+        lines.append("from " + ",\n     ".join(str(item)
+                                               for item in query.from_items))
+    if query.where is not None:
+        lines.append(f"where {query.where}")
+    return "\n".join(lines)

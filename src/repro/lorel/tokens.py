@@ -1,0 +1,59 @@
+"""Token definitions shared by the Lorel and Chorel front ends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenKind", "Token", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"            # labels, variables, database names
+    AMP_IDENT = "amp_ident"    # &val, &price-history -- encoding labels
+    KEYWORD = "keyword"        # select, from, where, ...
+    INT = "int"
+    REAL = "real"
+    STRING = "string"
+    TIMESTAMP = "timestamp"    # 1Jan97, 1997-01-05, ...
+    TIMEVAR = "timevar"        # t[0], t[-1], ... (QSS filter queries)
+    OP = "op"                  # = != <> <= >= < >
+    DOT = "dot"
+    COMMA = "comma"
+    COLON = "colon"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    LANGLE = "langle"          # < opening an annotation expression
+    RANGLE = "rangle"          # > closing an annotation expression
+    HASH = "hash"              # the path wildcard #
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "select", "from", "where", "and", "or", "not", "like", "exists", "in",
+    "as", "define", "polling", "filter", "query", "true", "false",
+    # annotation keywords (contextual -- also legal as labels):
+    "cre", "upd", "add", "rem", "at", "to",
+})
+"""Reserved words.  The annotation keywords are contextual: they act as
+keywords only inside ``<...>`` annotation expressions and remain usable as
+arc labels elsewhere."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    kind: TokenKind
+    text: str
+    value: object
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the given (case-insensitive) keyword."""
+        return self.kind is TokenKind.KEYWORD and self.text.lower() == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r})"

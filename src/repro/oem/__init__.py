@@ -1,0 +1,44 @@
+"""The Object Exchange Model (OEM) substrate.
+
+OEM (Section 2 of the paper; originally [PGMW95]) is a simple graph-based
+data model: nodes are objects, labeled arcs are object--subobject
+relationships, atomic objects carry values, and persistence is by
+reachability from a distinguished root.
+
+Public surface:
+
+* :class:`~repro.oem.model.OEMDatabase` -- the database itself.
+* :mod:`~repro.oem.values` -- the atomic value domain and Lorel coercion.
+* :mod:`~repro.oem.changes` -- the four basic change operations.
+* :mod:`~repro.oem.history` -- change sets and OEM histories.
+* :mod:`~repro.oem.serialize` -- a textual interchange format.
+* :mod:`~repro.oem.builder` -- an ergonomic construction DSL.
+"""
+
+from .values import COMPLEX, AtomicValue, Value, is_atomic_value
+from .model import Arc, OEMDatabase
+from .changes import AddArc, ChangeOp, CreNode, RemArc, UpdNode
+from .history import ChangeSet, OEMHistory
+from .builder import GraphBuilder
+from .serialize import dumps, loads, from_json, to_json
+
+__all__ = [
+    "COMPLEX",
+    "AtomicValue",
+    "Value",
+    "is_atomic_value",
+    "Arc",
+    "OEMDatabase",
+    "ChangeOp",
+    "CreNode",
+    "UpdNode",
+    "AddArc",
+    "RemArc",
+    "ChangeSet",
+    "OEMHistory",
+    "GraphBuilder",
+    "dumps",
+    "loads",
+    "from_json",
+    "to_json",
+]

@@ -1,0 +1,160 @@
+"""An ergonomic construction DSL for OEM databases.
+
+The paper's running example (Figure 2) is a graph with shared subobjects
+(node ``n7`` has two parents) and a cycle (``parking`` / ``nearby-eats``).
+Building such graphs through raw ``create_node``/``add_arc`` calls is
+noisy, so :class:`GraphBuilder` lets nested Python dictionaries describe
+the tree-shaped part and named references (:class:`Ref`) describe sharing
+and cycles::
+
+    builder = GraphBuilder()
+    parking = builder.ref("parking_lot")
+    builder.build({
+        "restaurant": [
+            {"name": "Janta", "parking": parking},
+            {"name": "Bangkok Cuisine",
+             "parking": builder.define(parking, {
+                 "address": "Lytton lot 2",
+                 "nearby-eats": builder.root_ref()})},
+        ],
+    })
+    db = builder.database
+
+Dictionaries become complex objects, lists fan out multiple same-labeled
+arcs, scalars become atomic objects, and refs stitch the graph together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import OEMError
+from .model import OEMDatabase
+from .values import COMPLEX, is_atomic_value
+
+__all__ = ["Ref", "GraphBuilder", "build_database"]
+
+
+@dataclass
+class Ref:
+    """A named placeholder for a node that may be defined before or after use."""
+
+    name: str
+    node_id: str | None = None
+    _pending: list[tuple[str, str]] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        state = self.node_id if self.node_id else "undefined"
+        return f"Ref({self.name!r} -> {state})"
+
+
+class _Definition:
+    """Marks a spec that both defines a ref and describes its content."""
+
+    def __init__(self, ref: Ref, spec: object) -> None:
+        self.ref = ref
+        self.spec = spec
+
+
+class GraphBuilder:
+    """Builds an :class:`~repro.oem.model.OEMDatabase` from nested specs."""
+
+    def __init__(self, root: str = "root") -> None:
+        self.database = OEMDatabase(root=root)
+        self._refs: dict[str, Ref] = {}
+
+    # ------------------------------------------------------------------
+
+    def ref(self, name: str) -> Ref:
+        """Get (or create) the named reference handle."""
+        if name not in self._refs:
+            self._refs[name] = Ref(name)
+        return self._refs[name]
+
+    def root_ref(self) -> Ref:
+        """A reference resolving to the database root (for cycles back up)."""
+        anchor = self.ref("__root__")
+        anchor.node_id = self.database.root
+        return anchor
+
+    def define(self, ref: Ref | str, spec: object) -> _Definition:
+        """Attach content to a reference at its point of use."""
+        if isinstance(ref, str):
+            ref = self.ref(ref)
+        return _Definition(ref, spec)
+
+    # ------------------------------------------------------------------
+
+    def build(self, spec: Mapping, at: str | None = None) -> str:
+        """Materialize ``spec`` under the node ``at`` (default: the root).
+
+        Returns the node id the spec was attached to.  Raises
+        :class:`~repro.errors.OEMError` if any reference is still
+        undefined once construction finishes.
+        """
+        parent = self.database.root if at is None else at
+        self._fill_complex(parent, spec)
+        unresolved = [ref.name for ref in self._refs.values()
+                      if ref.node_id is None and ref._pending]
+        if unresolved:
+            raise OEMError(
+                f"undefined reference(s) after build: {sorted(unresolved)}")
+        return parent
+
+    # ------------------------------------------------------------------
+
+    def _materialize(self, spec: object) -> str:
+        """Create (or locate) the node described by ``spec``; return its id."""
+        if isinstance(spec, _Definition):
+            node_id = self._materialize(spec.spec)
+            self._bind(spec.ref, node_id)
+            return node_id
+        if isinstance(spec, Ref):
+            if spec.node_id is not None:
+                return spec.node_id
+            # Forward reference: mint the node now, fill it in later.
+            node_id = self.database.create_node(
+                self.database.new_node_id(), COMPLEX)
+            self._bind(spec, node_id)
+            return node_id
+        if isinstance(spec, Mapping):
+            node_id = self.database.create_node(
+                self.database.new_node_id(), COMPLEX)
+            self._fill_complex(node_id, spec)
+            return node_id
+        if is_atomic_value(spec):
+            return self.database.create_node(
+                self.database.new_node_id(), spec)  # type: ignore[arg-type]
+        raise OEMError(f"cannot build an OEM object from {spec!r}")
+
+    def _fill_complex(self, node_id: str, spec: Mapping) -> None:
+        for label, child_spec in spec.items():
+            children: Sequence[object]
+            if isinstance(child_spec, (list, tuple)):
+                children = child_spec
+            else:
+                children = [child_spec]
+            for child in children:
+                if isinstance(child, Ref) and child.node_id is None:
+                    # Defer the arc until the ref is defined, so the target
+                    # can be atomic as well as complex.
+                    child._pending.append((node_id, label))
+                    continue
+                child_id = self._materialize(child)
+                self.database.add_arc(node_id, label, child_id)
+
+    def _bind(self, ref: Ref, node_id: str) -> None:
+        if ref.node_id is not None and ref.node_id != node_id:
+            raise OEMError(f"reference {ref.name!r} defined twice")
+        ref.node_id = node_id
+        for source, label in ref._pending:
+            self.database.add_arc(source, label, node_id)
+        ref._pending.clear()
+
+
+def build_database(spec: Mapping, root: str = "root") -> OEMDatabase:
+    """One-shot helper: build a database from a plain nested spec (no refs)."""
+    builder = GraphBuilder(root=root)
+    builder.build(spec)
+    return builder.database

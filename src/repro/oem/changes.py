@@ -1,0 +1,172 @@
+"""The four basic change operations of Section 2.1.
+
+``creNode``, ``updNode``, ``addArc``, and ``remArc`` are the only ways an
+OEM database changes at the database level; Lorel-style updates
+(:mod:`repro.oem.history` / :mod:`repro.lorel.update`) compile down to
+them.  Each operation is an immutable dataclass with:
+
+* :meth:`ChangeOp.is_valid` -- the paper's precondition against a database;
+* :meth:`ChangeOp.apply` -- perform the operation (raising
+  :class:`~repro.errors.InvalidChangeError` when invalid);
+* :meth:`ChangeOp.inverse` -- the compensating operation, used by tests and
+  by the DOEM snapshot reconstruction checks.
+
+There is deliberately **no** delete operation: "In OEM, persistence is by
+reachability from the distinguished root node ... to delete an object it
+suffices to remove all arcs leading to it."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import InvalidChangeError
+from .model import OEMDatabase
+from .values import COMPLEX, Value, check_value, value_repr
+
+__all__ = ["CreNode", "UpdNode", "AddArc", "RemArc", "ChangeOp"]
+
+
+@dataclass(frozen=True)
+class CreNode:
+    """``creNode(n, v)``: create a new object ``n`` with initial value ``v``."""
+
+    node: str
+    value: Value
+
+    def __post_init__(self) -> None:
+        check_value(self.value)
+
+    def is_valid(self, db: OEMDatabase) -> bool:
+        """The identifier must not occur in the database."""
+        return not db.has_node(self.node)
+
+    def apply(self, db: OEMDatabase) -> None:
+        """Create the node; raises if the identifier is taken."""
+        if not self.is_valid(db):
+            raise InvalidChangeError(f"creNode: node {self.node!r} already exists")
+        db.create_node(self.node, self.value)
+
+    def inverse(self, db: OEMDatabase) -> "ChangeOp | None":
+        """Creation has no basic inverse (deletion is by unreachability)."""
+        return None
+
+    def touched_nodes(self) -> frozenset[str]:
+        """Node identifiers this operation mentions."""
+        return frozenset({self.node})
+
+    def __str__(self) -> str:
+        return f"creNode({self.node}, {value_repr(self.value)})"
+
+
+@dataclass(frozen=True)
+class UpdNode:
+    """``updNode(n, v)``: change the value of object ``n`` to ``v``.
+
+    The object must be atomic or a complex object without subobjects.
+    """
+
+    node: str
+    value: Value
+
+    def __post_init__(self) -> None:
+        check_value(self.value)
+
+    def is_valid(self, db: OEMDatabase) -> bool:
+        """Node must exist; a node with children can only stay complex."""
+        if not db.has_node(self.node):
+            return False
+        if db.has_children(self.node) and self.value is not COMPLEX:
+            return False
+        return True
+
+    def apply(self, db: OEMDatabase) -> None:
+        """Update the value; raises when the precondition fails."""
+        if not db.has_node(self.node):
+            raise InvalidChangeError(f"updNode: unknown node {self.node!r}")
+        db.update_value(self.node, self.value)
+
+    def inverse(self, db: OEMDatabase) -> "ChangeOp":
+        """The update restoring the value currently in ``db``."""
+        return UpdNode(self.node, db.value(self.node))
+
+    def touched_nodes(self) -> frozenset[str]:
+        """Node identifiers this operation mentions."""
+        return frozenset({self.node})
+
+    def __str__(self) -> str:
+        return f"updNode({self.node}, {value_repr(self.value)})"
+
+
+@dataclass(frozen=True)
+class AddArc:
+    """``addArc(p, l, c)``: add an ``l``-labeled arc from ``p`` to ``c``."""
+
+    source: str
+    label: str
+    target: str
+
+    def is_valid(self, db: OEMDatabase) -> bool:
+        """Endpoints exist, parent complex, arc not already present."""
+        return (db.has_node(self.source) and db.has_node(self.target)
+                and db.is_complex(self.source)
+                and not db.has_arc(self.source, self.label, self.target))
+
+    def apply(self, db: OEMDatabase) -> None:
+        """Add the arc; raises when the precondition fails."""
+        db.add_arc(self.source, self.label, self.target)
+
+    def inverse(self, db: OEMDatabase) -> "ChangeOp":
+        """Removing the arc undoes adding it."""
+        return RemArc(self.source, self.label, self.target)
+
+    def touched_nodes(self) -> frozenset[str]:
+        """Node identifiers this operation mentions."""
+        return frozenset({self.source, self.target})
+
+    @property
+    def arc(self) -> tuple[str, str, str]:
+        """The ``(source, label, target)`` triple."""
+        return (self.source, self.label, self.target)
+
+    def __str__(self) -> str:
+        return f"addArc({self.source}, {self.label!r}, {self.target})"
+
+
+@dataclass(frozen=True)
+class RemArc:
+    """``remArc(p, l, c)``: remove the ``l``-labeled arc from ``p`` to ``c``."""
+
+    source: str
+    label: str
+    target: str
+
+    def is_valid(self, db: OEMDatabase) -> bool:
+        """Endpoints exist and the arc is present."""
+        return (db.has_node(self.source) and db.has_node(self.target)
+                and db.has_arc(self.source, self.label, self.target))
+
+    def apply(self, db: OEMDatabase) -> None:
+        """Remove the arc; raises when the precondition fails."""
+        db.remove_arc(self.source, self.label, self.target)
+
+    def inverse(self, db: OEMDatabase) -> "ChangeOp":
+        """Adding the arc back undoes removing it."""
+        return AddArc(self.source, self.label, self.target)
+
+    def touched_nodes(self) -> frozenset[str]:
+        """Node identifiers this operation mentions."""
+        return frozenset({self.source, self.target})
+
+    @property
+    def arc(self) -> tuple[str, str, str]:
+        """The ``(source, label, target)`` triple."""
+        return (self.source, self.label, self.target)
+
+    def __str__(self) -> str:
+        return f"remArc({self.source}, {self.label!r}, {self.target})"
+
+
+ChangeOp = Union[CreNode, UpdNode, AddArc, RemArc]
+"""Any of the four basic change operations."""

@@ -1,0 +1,96 @@
+"""QSC: the Query Subscription Client.
+
+"QSC implements a user interface that supports subscription creation and
+deletion, and also delivers notifications to the user" (Section 6.1).
+This client is programmatic rather than graphical: it creates
+subscriptions against a server, accumulates the notifications it
+receives, and renders them as text.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SubscriptionError
+from .server import QSSServer
+from .subscription import Notification, Subscription
+
+__all__ = ["QSC"]
+
+
+class QSC:
+    """One client of a QSS server.
+
+    Multiple clients may attach to the same server; each receives only
+    the notifications of its own subscriptions.
+    """
+
+    def __init__(self, server: QSSServer, user: str = "local") -> None:
+        self.server = server
+        self.user = user
+        self.inbox: list[Notification] = []
+        self._callbacks: list[Callable[[Notification], None]] = []
+        self._subscriptions: set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def on_notification(self, callback: Callable[[Notification], None]) -> None:
+        """Register an extra callback invoked on every delivery."""
+        self._callbacks.append(callback)
+
+    def _receive(self, notification: Notification) -> None:
+        self.inbox.append(notification)
+        for callback in self._callbacks:
+            callback(notification)
+
+    # ------------------------------------------------------------------
+
+    def subscribe(self, name: str, frequency: str, polling_query: str,
+                  filter_query: str, wrapper: str,
+                  polling_name: str | None = None) -> Subscription:
+        """Create a subscription from its three components (Section 6).
+
+        ``polling_query`` and ``filter_query`` may be plain queries or
+        full ``define polling/filter query N as ...`` statements; in the
+        latter case the DOEM database takes the polling definition's name.
+        """
+        polling_text = polling_query.strip()
+        filter_text = filter_query.strip()
+        if polling_text.lower().startswith("define"):
+            subscription = Subscription.from_definitions(
+                name, frequency, polling_text, filter_text, user=self.user)
+        else:
+            subscription = Subscription(
+                name=name, frequency=frequency, polling_query=polling_text,
+                filter_query=filter_text, polling_name=polling_name,
+                user=self.user)
+        self.server.subscribe(subscription, wrapper, deliver=self._receive)
+        self._subscriptions.add(name)
+        return subscription
+
+    def unsubscribe(self, name: str) -> None:
+        """Cancel one of this client's subscriptions."""
+        if name not in self._subscriptions:
+            raise SubscriptionError(
+                f"{self.user!r} has no subscription named {name!r}")
+        self.server.unsubscribe(name)
+        self._subscriptions.discard(name)
+
+    def subscriptions(self) -> list[str]:
+        """Names of this client's active subscriptions."""
+        return sorted(self._subscriptions)
+
+    # ------------------------------------------------------------------
+
+    def notifications(self, name: str | None = None) -> list[Notification]:
+        """Received notifications, optionally for one subscription."""
+        if name is None:
+            return list(self.inbox)
+        return [notification for notification in self.inbox
+                if notification.subscription == name]
+
+    def render_inbox(self) -> str:
+        """A text rendering of the inbox (newest last)."""
+        if not self.inbox:
+            return "(no notifications)"
+        return "\n".join(str(notification) for notification in self.inbox)

@@ -1,0 +1,152 @@
+"""Frequency specifications: when a subscription polls its source.
+
+Section 6: "The first component is a frequency specification f that
+specifies how often QSS should check the information source ... Examples
+are 'every Friday at 5:00pm' and 'every 10 minutes'.  The frequency
+specification implies a sequence of time instants (t1, t2, t3, ...),
+which we call polling times."
+
+:class:`FrequencySpec` parses the textual forms the paper uses and
+enumerates polling times from a start instant.  Supported forms::
+
+    every 10 minutes | every 2 hours | every 30 seconds | every 3 days
+    every day at 11:30pm            (a.k.a. "every night at 11:30pm")
+    every friday at 5:00pm          (any weekday name)
+    every week | every hour | every minute | every day
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import FrequencyError
+from ..timestamps import Timestamp, parse_timestamp
+
+__all__ = ["FrequencySpec"]
+
+_WEEKDAYS = {
+    "monday": 0, "tuesday": 1, "wednesday": 2, "thursday": 3,
+    "friday": 4, "saturday": 5, "sunday": 6,
+}
+_UNIT_SECONDS = {
+    "second": 1, "minute": 60, "hour": 3600, "day": 86400, "week": 604800,
+}
+
+_INTERVAL_RE = re.compile(
+    r"^\s*every\s+(?:(\d+)\s+)?(second|minute|hour|day|week)s?\s*$",
+    re.IGNORECASE)
+_DAILY_RE = re.compile(
+    r"^\s*every\s+(day|night|morning|evening)\s+at\s+"
+    r"(\d{1,2}):(\d{2})\s*(am|pm)?\s*$", re.IGNORECASE)
+_WEEKLY_RE = re.compile(
+    r"^\s*every\s+([a-z]+)\s+at\s+(\d{1,2}):(\d{2})\s*(am|pm)?\s*$",
+    re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class FrequencySpec:
+    """A parsed frequency specification.
+
+    ``kind`` is ``interval`` (fixed period in seconds) or ``daily`` /
+    ``weekly`` (calendar-aligned).  Use :meth:`parse` to build one from
+    the textual form, :meth:`next_after` / :meth:`polling_times` to
+    enumerate polling instants.
+    """
+
+    kind: str
+    period_seconds: int = 0
+    hour: int = 0
+    minute: int = 0
+    weekday: int = 0
+    text: str = ""
+
+    @classmethod
+    def parse(cls, text: str) -> "FrequencySpec":
+        """Parse a textual frequency specification (see module docstring)."""
+        match = _INTERVAL_RE.match(text)
+        if match:
+            count = int(match.group(1) or 1)
+            if count <= 0:
+                raise FrequencyError(f"non-positive interval in {text!r}")
+            unit = match.group(2).lower()
+            return cls(kind="interval",
+                       period_seconds=count * _UNIT_SECONDS[unit], text=text)
+
+        match = _DAILY_RE.match(text)
+        if match:
+            hour, minute = cls._clock(match.group(2), match.group(3),
+                                      match.group(4), text)
+            return cls(kind="daily", hour=hour, minute=minute, text=text)
+
+        match = _WEEKLY_RE.match(text)
+        if match:
+            day_name = match.group(1).lower()
+            if day_name not in _WEEKDAYS:
+                raise FrequencyError(
+                    f"unknown weekday {day_name!r} in {text!r}")
+            hour, minute = cls._clock(match.group(2), match.group(3),
+                                      match.group(4), text)
+            return cls(kind="weekly", weekday=_WEEKDAYS[day_name],
+                       hour=hour, minute=minute, text=text)
+
+        raise FrequencyError(f"unrecognizable frequency specification: {text!r}")
+
+    @staticmethod
+    def _clock(hour_text: str, minute_text: str, meridiem: str | None,
+               source: str) -> tuple[int, int]:
+        hour, minute = int(hour_text), int(minute_text)
+        if meridiem:
+            meridiem = meridiem.lower()
+            if hour > 12:
+                raise FrequencyError(f"bad 12-hour clock time in {source!r}")
+            if meridiem == "pm" and hour < 12:
+                hour += 12
+            if meridiem == "am" and hour == 12:
+                hour = 0
+        if not (0 <= hour < 24 and 0 <= minute < 60):
+            raise FrequencyError(f"bad clock time in {source!r}")
+        return hour, minute
+
+    # ------------------------------------------------------------------
+
+    def next_after(self, when: object) -> Timestamp:
+        """The first polling time strictly after ``when``."""
+        current = parse_timestamp(when)
+        if self.kind == "interval":
+            return current.plus(seconds=self.period_seconds)
+        moment = current.to_datetime()
+        candidate = moment.replace(hour=self.hour, minute=self.minute,
+                                   second=0, microsecond=0)
+        if self.kind == "daily":
+            if candidate <= moment:
+                candidate = candidate.replace(day=candidate.day)
+                candidate = Timestamp.from_datetime(candidate).plus(days=1).to_datetime()
+            return Timestamp.from_datetime(candidate)
+        if self.kind == "weekly":
+            days_ahead = (self.weekday - candidate.weekday()) % 7
+            candidate = Timestamp.from_datetime(candidate).plus(days=days_ahead).to_datetime()
+            if Timestamp.from_datetime(candidate) <= current:
+                candidate = Timestamp.from_datetime(candidate).plus(days=7).to_datetime()
+            return Timestamp.from_datetime(candidate)
+        raise FrequencyError(f"unknown frequency kind {self.kind!r}")  # pragma: no cover
+
+    def polling_times(self, start: object, count: int) -> list[Timestamp]:
+        """The first ``count`` polling times after ``start``."""
+        times: list[Timestamp] = []
+        current = parse_timestamp(start)
+        for _ in range(count):
+            current = self.next_after(current)
+            times.append(current)
+        return times
+
+    def iter_polling_times(self, start: object) -> Iterator[Timestamp]:
+        """An endless iterator of polling times after ``start``."""
+        current = parse_timestamp(start)
+        while True:
+            current = self.next_after(current)
+            yield current
+
+    def __str__(self) -> str:
+        return self.text or self.kind

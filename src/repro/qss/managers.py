@@ -1,0 +1,310 @@
+"""The QSS server's internal modules (Figure 7).
+
+* :class:`SubscriptionManager` -- "handles all the information relevant
+  to subscriptions": the subscription itself, its polling schedule, and
+  the per-subscription bookkeeping;
+* :class:`QueryManager` -- "responsible for sending polling queries to
+  the Tsimmis wrapper or mediator and for collecting the resulting OEM
+  results";
+* :class:`DOEMManager` -- "maintains the DOEM database corresponding to
+  the sequence of polling query results, using the OEMdiff module to
+  compute changes between successive polling query results".  It supports
+  both space/time strategies the paper discusses: recomputing the
+  previous result from the DOEM database (small state) or caching it
+  (faster polls).
+
+The Chorel engine wiring (filter-query evaluation with ``t[i]``
+substitution) lives in :meth:`DOEMManager.filter_engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chorel.engine import ChorelEngine
+from ..diff.oemdiff import DiffStats, oem_diff
+from ..doem.model import DOEMDatabase
+from ..doem.snapshot import current_snapshot
+from ..errors import QSSError, SubscriptionError
+from ..oem.history import ChangeSet
+from ..oem.model import OEMDatabase
+from ..timestamps import Timestamp, parse_timestamp
+from .subscription import Subscription, polling_time_mapping
+from .wrapper import Wrapper
+
+__all__ = ["SubscriptionManager", "QueryManager", "DOEMManager",
+           "SubscriptionState"]
+
+
+@dataclass
+class SubscriptionState:
+    """Per-subscription runtime bookkeeping."""
+
+    subscription: Subscription
+    wrapper_name: str
+    polling_times: list[Timestamp] = field(default_factory=list)
+    next_poll: Timestamp | None = None
+
+    @property
+    def poll_count(self) -> int:
+        """How many polls have completed."""
+        return len(self.polling_times)
+
+
+class SubscriptionManager:
+    """Registry of active subscriptions and their schedules."""
+
+    def __init__(self) -> None:
+        self._states: dict[str, SubscriptionState] = {}
+
+    def add(self, subscription: Subscription, wrapper_name: str,
+            now: object) -> SubscriptionState:
+        """Register a subscription; its first poll is scheduled after ``now``."""
+        if subscription.name in self._states:
+            raise SubscriptionError(
+                f"subscription {subscription.name!r} already exists")
+        state = SubscriptionState(subscription=subscription,
+                                  wrapper_name=wrapper_name)
+        state.next_poll = subscription.frequency.next_after(parse_timestamp(now))
+        self._states[subscription.name] = state
+        return state
+
+    def remove(self, name: str) -> None:
+        """Drop a subscription."""
+        if name not in self._states:
+            raise SubscriptionError(f"no subscription named {name!r}")
+        del self._states[name]
+
+    def get(self, name: str) -> SubscriptionState:
+        """The state of one subscription."""
+        try:
+            return self._states[name]
+        except KeyError:
+            raise SubscriptionError(f"no subscription named {name!r}") from None
+
+    def states(self) -> list[SubscriptionState]:
+        """All subscription states, name order."""
+        return [self._states[name] for name in sorted(self._states)]
+
+    def due(self, now: object) -> list[SubscriptionState]:
+        """Subscriptions whose next poll is at or before ``now``."""
+        cutoff = parse_timestamp(now)
+        return [state for state in self.states()
+                if state.next_poll is not None and state.next_poll <= cutoff]
+
+    def record_poll(self, state: SubscriptionState, when: Timestamp) -> None:
+        """Mark a completed poll and schedule the next one."""
+        state.polling_times.append(when)
+        state.next_poll = state.subscription.frequency.next_after(when)
+
+
+class QueryManager:
+    """Sends polling queries to wrappers; collects packaged OEM results."""
+
+    def __init__(self, wrappers: dict[str, Wrapper] | None = None) -> None:
+        self._wrappers: dict[str, Wrapper] = dict(wrappers or {})
+
+    def register_wrapper(self, name: str, wrapper: Wrapper) -> None:
+        """Make a wrapper available under ``name``."""
+        self._wrappers[name] = wrapper
+
+    def wrapper(self, name: str) -> Wrapper:
+        """Look up a registered wrapper."""
+        try:
+            return self._wrappers[name]
+        except KeyError:
+            raise QSSError(f"no wrapper named {name!r}") from None
+
+    def wrapper_names(self) -> list[str]:
+        """All registered wrapper names."""
+        return sorted(self._wrappers)
+
+    def poll(self, state: SubscriptionState, when: object) -> OEMDatabase:
+        """Advance the source to ``when`` and run the polling query."""
+        wrapper = self.wrapper(state.wrapper_name)
+        wrapper.advance(when)
+        return wrapper.poll(state.subscription.polling_query)
+
+
+def _rename_root(db: OEMDatabase, new_root: str) -> OEMDatabase:
+    """A copy of ``db`` whose root carries ``new_root`` as its identifier."""
+    renamed = OEMDatabase(root=new_root, root_value=db.value(db.root))
+    for node in db.nodes():
+        if node != db.root:
+            renamed.create_node(node, db.value(node))
+    for arc in db.arcs():
+        source = new_root if arc.source == db.root else arc.source
+        target = new_root if arc.target == db.root else arc.target
+        renamed.add_arc(source, arc.label, target)
+    return renamed
+
+
+class DOEMManager:
+    """Maintains one DOEM database per subscription.
+
+    ``R0`` is the empty OEM database, so the first poll's objects all
+    carry ``cre`` annotations (Example 6.1's t1 behaviour).
+
+    ``cache_previous_result`` selects the footnote's strategy: keep the
+    previous polling result (aligned to DOEM identifiers) in memory
+    instead of re-deriving it from the DOEM database at every poll.
+    """
+
+    def __init__(self, cache_previous_result: bool = True,
+                 differ: str = "match") -> None:
+        if differ not in ("match", "ids"):
+            raise QSSError("differ must be 'match' (content matching, the "
+                           "default) or 'ids' (trust stable identifiers)")
+        self.differ = differ
+        self.cache_previous_result = cache_previous_result
+        self._doems: dict[str, DOEMDatabase] = {}
+        self._previous: dict[str, OEMDatabase] = {}
+        self._all_ids: dict[str, set[str]] = {}
+        self._aliases: dict[str, str] = {}
+        self.last_diff_stats: dict[str, DiffStats] = {}
+
+    def set_alias(self, name: str, key: str) -> None:
+        """Let subscription ``name`` share the DOEM database stored at ``key``.
+
+        This is the paper's first space-conservation idea (Section 6.1):
+        "merging the DOEM databases for subscriptions that have similar
+        polling queries".  Subscriptions sharing a key poll into one
+        history; a redundant poll (same data, possibly a different
+        instant) folds an empty change set, which is harmless.
+        """
+        self._aliases[name] = key
+
+    def _key(self, name: str) -> str:
+        return self._aliases.get(name, name)
+
+    def shared_with(self, name: str) -> list[str]:
+        """Other subscription names sharing ``name``'s DOEM database."""
+        key = self._key(name)
+        return sorted(other for other, other_key in self._aliases.items()
+                      if other_key == key and other != name)
+
+    def doem(self, name: str) -> DOEMDatabase:
+        """The DOEM database for subscription ``name`` (created lazily).
+
+        The empty base database has an ``answer`` root matching the
+        wrapper's packaging, so diffs align naturally.
+        """
+        key = self._key(name)
+        if key not in self._doems:
+            self._doems[key] = DOEMDatabase(OEMDatabase(root="answer"))
+            self._all_ids[key] = {"answer"}
+        return self._doems[key]
+
+    def previous_result(self, name: str) -> OEMDatabase:
+        """``R_{i-1}`` in DOEM identifier space.
+
+        Cached when ``cache_previous_result`` is on; otherwise recomputed
+        as the current snapshot of the DOEM database (the space-saving
+        strategy).
+        """
+        key = self._key(name)
+        if self.cache_previous_result and key in self._previous:
+            return self._previous[key]
+        return current_snapshot(self.doem(name))
+
+    def incorporate(self, name: str, when: object,
+                    result: OEMDatabase) -> ChangeSet:
+        """Fold a new polling result into the subscription's DOEM database.
+
+        Runs OEMdiff between the previous result and ``result``, applies
+        the inferred change set with timestamp ``when``, and returns it.
+        Fresh identifiers avoid everything the DOEM database has ever
+        used -- deleted identifiers are never reused (Section 2.2).
+        """
+        from ..doem.build import apply_change_set
+
+        key = self._key(name)
+        doem = self.doem(name)
+        previous = self.previous_result(name)
+        reserved = self._all_ids[key]
+        if self.differ == "ids":
+            # Cooperative source: identifiers are stable between polls.
+            from ..diff.iddiff import id_diff
+            aligned = result if result.root == previous.root \
+                else _rename_root(result, previous.root)
+            change_set = id_diff(previous, aligned)
+        else:
+            change_set = oem_diff(previous, result, reserved_ids=reserved)
+        timestamp = parse_timestamp(when)
+        existing = doem.timestamps()
+        if change_set or not existing or existing[-1] < timestamp:
+            apply_change_set(doem, timestamp, change_set)
+        reserved.update(change_set.created_nodes())
+        self.last_diff_stats[name] = DiffStats(change_set)
+        if self.cache_previous_result:
+            updated = previous.copy()
+            change_set.apply_to(updated)
+            self._previous[key] = updated
+        return change_set
+
+    def compact_before(self, name: str, when: object) -> None:
+        """Truncate the subscription's DOEM history at ``when``.
+
+        Section 6.1's third space idea: the state at ``when`` becomes the
+        new original snapshot and older annotations are forgotten.  Filter
+        queries that only look back as far as ``when`` (the usual
+        ``T > t[-1]`` shape) are unaffected.  Refuses to compact a DOEM
+        shared by several subscriptions -- the caller must pick a cutoff
+        safe for *all* sharers and call this once.
+        """
+        from ..doem.compact import compact
+        from ..timestamps import parse_timestamp
+
+        if self.shared_with(name):
+            raise QSSError(
+                f"DOEM of {name!r} is shared "
+                f"(with {self.shared_with(name)}); compact it explicitly "
+                f"with a cutoff valid for every sharer")
+        key = self._key(name)
+        doem = self.doem(name)
+        compacted = compact(doem, parse_timestamp(when))
+        self._doems[key] = compacted
+        # Identifier discipline is preserved: compaction only drops nodes,
+        # and dropped identifiers stay in the reserved set forever.
+        if self.cache_previous_result and key in self._previous:
+            # The cached previous result is a plain snapshot; unaffected.
+            pass
+
+    def filter_engine(self, state: SubscriptionState) -> ChorelEngine:
+        """A Chorel engine over the subscription's DOEM database.
+
+        The database is registered under the polling query's name and the
+        ``t[i]`` variables reflect the polls completed so far.
+        """
+        subscription = state.subscription
+        doem = self.doem(subscription.name)
+        engine = ChorelEngine(doem, name=subscription.polling_name)
+        engine.set_polling_times(polling_time_mapping(state.polling_times))
+        return engine
+
+    def drop(self, name: str) -> None:
+        """Forget a subscription's state (shared DOEMs survive until the
+        last sharer is dropped)."""
+        key = self._aliases.pop(name, name)
+        self.last_diff_stats.pop(name, None)
+        if key in self._aliases.values():
+            return  # other subscriptions still share this DOEM
+        self._doems.pop(key, None)
+        self._previous.pop(key, None)
+        self._all_ids.pop(key, None)
+
+    def state_size(self, name: str) -> dict[str, int]:
+        """Rough state-size accounting for the space-strategy benchmark."""
+        doem = self.doem(name)
+        sizes = {
+            "doem_nodes": len(doem.graph),
+            "doem_arcs": doem.graph.arc_count(),
+            "annotations": doem.annotation_count(),
+            "cached_nodes": 0,
+            "cached_arcs": 0,
+        }
+        if self.cache_previous_result and name in self._previous:
+            cached = self._previous[name]
+            sizes["cached_nodes"] = len(cached)
+            sizes["cached_arcs"] = cached.arc_count()
+        return sizes

@@ -1,0 +1,124 @@
+"""QSS state persistence: the Subscription Store of Figure 7.
+
+Figure 7 draws two persistent boxes: the *Subscription Store* (what each
+subscription is) and the *DOEM Store* (each subscription's accumulated
+history, kept in Lore via the Section 5.1 encoding).  This module
+persists both through a :class:`~repro.lore.storage.LoreStore`, so a QSS
+server survives restarts: subscriptions resume with their full DOEM
+history and their polling schedule.
+
+Wrappers are *not* persisted -- they hold live source connections; the
+restoring caller re-registers them by name, exactly as the original
+deployment re-established Tsimmis connections.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import QSSError
+from ..lore.storage import LoreStore
+from ..timestamps import Timestamp, parse_timestamp
+from .server import QSSServer
+from .subscription import Subscription
+
+__all__ = ["save_server", "load_server"]
+
+_STATE_FILE = "qss_state.json"
+
+
+def save_server(server: QSSServer, store: LoreStore) -> None:
+    """Persist the server's subscriptions, schedules, and DOEM databases.
+
+    The store must be durable (constructed with a directory); an
+    in-memory store cannot outlive the process, which defeats the point.
+    """
+    if store.directory is None:
+        raise QSSError("saving a QSS server requires a durable LoreStore "
+                       "(constructed with a directory)")
+
+    state: dict = {
+        "clock": server.clock.ticks,
+        "deliver_empty": server.deliver_empty,
+        "share_by_polling_query": server.share_by_polling_query,
+        "cache_previous_result": server.doems.cache_previous_result,
+        "subscriptions": [],
+    }
+    saved_keys: set[str] = set()
+    for sub_state in server.subscriptions.states():
+        subscription = sub_state.subscription
+        doem_key = server.doems._key(subscription.name)
+        record = {
+            "name": subscription.name,
+            "frequency": str(subscription.frequency),
+            "polling_query": str(subscription.polling_query),
+            "filter_query": str(subscription.filter_query),
+            "polling_name": subscription.polling_name,
+            "user": subscription.user,
+            "wrapper": sub_state.wrapper_name,
+            "polling_times": [when.ticks
+                              for when in sub_state.polling_times],
+            "next_poll": (sub_state.next_poll.ticks
+                          if sub_state.next_poll is not None else None),
+            "doem_key": doem_key,
+        }
+        state["subscriptions"].append(record)
+        if doem_key not in saved_keys:
+            saved_keys.add(doem_key)
+            store.put_doem(_doem_store_name(doem_key),
+                           server.doems.doem(subscription.name))
+
+    path = store.directory / _STATE_FILE
+    path.write_text(json.dumps(state, indent=2), encoding="utf-8")
+
+
+def load_server(store: LoreStore) -> QSSServer:
+    """Restore a server saved with :func:`save_server`.
+
+    Wrappers must be re-registered (by the same names) before the next
+    ``run_until``; everything else -- subscriptions, schedules, polling
+    histories, DOEM databases, sharing structure -- comes back exactly.
+    """
+    if store.directory is None:
+        raise QSSError("loading a QSS server requires a durable LoreStore")
+    path = store.directory / _STATE_FILE
+    if not path.exists():
+        raise QSSError(f"no saved QSS state in {store.directory}")
+    state = json.loads(path.read_text(encoding="utf-8"))
+
+    server = QSSServer(
+        start=Timestamp(state["clock"]),
+        cache_previous_result=state["cache_previous_result"],
+        deliver_empty=state["deliver_empty"],
+        share_by_polling_query=state["share_by_polling_query"])
+
+    for record in state["subscriptions"]:
+        subscription = Subscription(
+            name=record["name"],
+            frequency=record["frequency"],
+            polling_query=record["polling_query"],
+            filter_query=record["filter_query"],
+            polling_name=record["polling_name"],
+            user=record["user"])
+        sub_state = server.subscriptions.add(subscription,
+                                             record["wrapper"], server.clock)
+        sub_state.polling_times = [Timestamp(ticks)
+                                   for ticks in record["polling_times"]]
+        sub_state.next_poll = (Timestamp(record["next_poll"])
+                               if record["next_poll"] is not None else None)
+
+        doem_key = record["doem_key"]
+        server.doems.set_alias(subscription.name, doem_key)
+        if doem_key not in server.doems._doems:
+            doem = store.get_doem(_doem_store_name(doem_key))
+            server.doems._doems[doem_key] = doem
+            server.doems._all_ids[doem_key] = set(doem.graph.nodes())
+    return server
+
+
+def _doem_store_name(key: str) -> str:
+    """A filesystem-safe store name for a DOEM key."""
+    import hashlib
+    digest = hashlib.sha1(key.encode("utf-8")).hexdigest()[:12]
+    return f"doem_{digest}"

@@ -1,0 +1,233 @@
+"""The QSS server: the polling/diff/filter loop over a simulated clock.
+
+One server process serves multiple clients (Figure 7).  The simulated
+clock makes every run deterministic and fast: :meth:`QSSServer.run_until`
+executes, in timestamp order, every poll that falls due across all
+subscriptions, and delivers the filter-query results to the subscribing
+clients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import QSSError
+from ..timestamps import Timestamp, parse_timestamp
+from .managers import DOEMManager, QueryManager, SubscriptionManager, SubscriptionState
+from .subscription import Notification, Subscription
+from .wrapper import Wrapper
+
+__all__ = ["QSSServer"]
+
+
+class QSSServer:
+    """The Query Subscription Service server.
+
+    ``start`` sets the simulated clock's origin.  Wrappers are registered
+    by name; clients attach via :class:`~repro.qss.client.QSC` (or any
+    callable taking a :class:`~repro.qss.subscription.Notification`).
+
+    ``deliver_empty`` controls whether polls whose filter query returns
+    nothing still produce a (empty) notification -- the paper's QSS stays
+    silent, the default here too; tests flip it to observe every poll.
+    """
+
+    def __init__(self, start: object = "1Dec96",
+                 cache_previous_result: bool = True,
+                 deliver_empty: bool = False,
+                 share_by_polling_query: bool = False,
+                 on_error: str = "raise",
+                 compact_keep_polls: int | None = None) -> None:
+        if on_error not in ("raise", "skip"):
+            raise QSSError("on_error must be 'raise' or 'skip'")
+        if compact_keep_polls is not None and compact_keep_polls < 1:
+            raise QSSError("compact_keep_polls must be >= 1")
+        if compact_keep_polls is not None and share_by_polling_query:
+            raise QSSError("automatic compaction and DOEM sharing cannot "
+                           "combine; compact shared DOEMs explicitly")
+        self.clock: Timestamp = parse_timestamp(start)
+        self.subscriptions = SubscriptionManager()
+        self.queries = QueryManager()
+        self.doems = DOEMManager(cache_previous_result=cache_previous_result)
+        self.deliver_empty = deliver_empty
+        self.share_by_polling_query = share_by_polling_query
+        self.on_error = on_error
+        self.compact_keep_polls = compact_keep_polls
+        self._subscribers: dict[str, list[Callable[[Notification], None]]] = {}
+        self.notification_log: list[Notification] = []
+        self.error_log: list[tuple[Timestamp, str, Exception]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def register_wrapper(self, name: str, wrapper: Wrapper) -> None:
+        """Expose a wrapper (a source) to subscriptions under ``name``."""
+        self.queries.register_wrapper(name, wrapper)
+
+    def subscribe(self, subscription: Subscription, wrapper_name: str,
+                  deliver: Callable[[Notification], None] | None = None
+                  ) -> SubscriptionState:
+        """Create a subscription against a registered wrapper.
+
+        The first poll is scheduled by the frequency specification,
+        starting from the current simulated clock.
+        """
+        self.queries.wrapper(wrapper_name)  # validate early
+        state = self.subscriptions.add(subscription, wrapper_name, self.clock)
+        if self.share_by_polling_query:
+            # Section 6.1's first space idea: subscriptions with the same
+            # polling query (against the same wrapper) share one DOEM.
+            key = f"{wrapper_name}::{subscription.polling_query}"
+            self.doems.set_alias(subscription.name, key)
+        if deliver is not None:
+            self._subscribers.setdefault(subscription.name, []).append(deliver)
+        return state
+
+    def unsubscribe(self, name: str) -> None:
+        """Cancel a subscription and drop its DOEM state."""
+        self.subscriptions.remove(name)
+        self.doems.drop(name)
+        self._subscribers.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # The polling loop
+    # ------------------------------------------------------------------
+
+    def run_until(self, when: object) -> list[Notification]:
+        """Advance the simulated clock, executing every due poll in order.
+
+        Returns the notifications produced (also appended to
+        ``notification_log`` and pushed to per-subscription callbacks).
+        """
+        deadline = parse_timestamp(when)
+        if deadline < self.clock:
+            raise QSSError(
+                f"cannot run the clock backwards ({deadline} < {self.clock})")
+        produced: list[Notification] = []
+
+        while True:
+            due: list[tuple[Timestamp, SubscriptionState]] = [
+                (state.next_poll, state)
+                for state in self.subscriptions.states()
+                if state.next_poll is not None and state.next_poll <= deadline]
+            if not due:
+                break
+            due.sort(key=lambda entry: (entry[0], entry[1].subscription.name))
+            poll_time, state = due[0]
+            try:
+                notification = self._execute_poll(state, poll_time)
+            except Exception as error:
+                if self.on_error == "raise":
+                    raise
+                # A failed poll must not wedge the server: log it, keep
+                # the schedule moving (the poll still "happened"), and
+                # leave the DOEM database untouched for the next attempt.
+                self.error_log.append(
+                    (poll_time, state.subscription.name, error))
+                if not state.polling_times or \
+                        state.polling_times[-1] != poll_time:
+                    self.subscriptions.record_poll(state, poll_time)
+                continue
+            if notification is not None:
+                produced.append(notification)
+
+        self.clock = deadline
+        return produced
+
+    # ------------------------------------------------------------------
+    # The paper's two other snapshot modes (Section 6): explicit user
+    # requests, and source-side trigger signals.
+    # ------------------------------------------------------------------
+
+    def poll_now(self, name: str) -> Notification | None:
+        """Poll one subscription immediately, at the current clock.
+
+        The paper's second mode: "snapshots are obtained following
+        explicit user requests."  The on-demand poll joins the polling
+        timeline (it becomes ``t[0]``; the scheduled cadence continues
+        from it), so filter-query lookbacks stay consistent.  The clock
+        must have advanced past the last poll.
+        """
+        state = self.subscriptions.get(name)
+        if state.polling_times and self.clock <= state.polling_times[-1]:
+            raise QSSError(
+                f"cannot poll {name!r} at {self.clock}: a poll at "
+                f"{state.polling_times[-1]} already happened")
+        return self._execute_poll(state, self.clock)
+
+    def on_source_signal(self, wrapper_name: str) -> list[Notification]:
+        """React to a source-side trigger firing (the paper's third mode).
+
+        "Snapshots are obtained as a result of a trigger on the source
+        database firing, if the source provides such a triggering
+        mechanism."  Every subscription polling through ``wrapper_name``
+        is refreshed immediately at the current clock; subscriptions
+        whose latest poll is not in the past are skipped (they are
+        already up to date).
+        """
+        self.queries.wrapper(wrapper_name)  # validate
+        produced: list[Notification] = []
+        for state in self.subscriptions.states():
+            if state.wrapper_name != wrapper_name:
+                continue
+            if state.polling_times and self.clock <= state.polling_times[-1]:
+                continue
+            notification = self._execute_poll(state, self.clock)
+            if notification is not None:
+                produced.append(notification)
+        return produced
+
+    def _execute_poll(self, state: SubscriptionState,
+                      poll_time: Timestamp) -> Notification | None:
+        subscription = state.subscription
+        result = self.queries.poll(state, poll_time)
+        self.doems.incorporate(subscription.name, poll_time, result)
+        self.subscriptions.record_poll(state, poll_time)
+
+        engine = self.doems.filter_engine(state)
+        filtered = engine.run(subscription.filter_query)
+        answer = self._package(subscription.name, filtered)
+
+        if self.compact_keep_polls is not None and \
+                state.poll_count > self.compact_keep_polls:
+            # Section 6.1 retention policy: keep the last N polling
+            # intervals of history; everything older collapses into the
+            # new original snapshot.  Cutoff = the (N+1)-th most recent
+            # poll, so t[-N] filter lookbacks still work.
+            cutoff = state.polling_times[-(self.compact_keep_polls + 1)]
+            self.doems.compact_before(subscription.name, cutoff)
+        notification = Notification(
+            subscription=subscription.name,
+            polling_time=poll_time,
+            poll_index=state.poll_count,
+            result=filtered,
+            answer=answer,
+        )
+        if filtered or self.deliver_empty:
+            self.notification_log.append(notification)
+            for deliver in self._subscribers.get(subscription.name, ()):
+                deliver(notification)
+            return notification
+        return None
+
+    def _package(self, name: str, filtered) -> "OEMDatabase":
+        """Package a filter result as a notification OEM database.
+
+        Results are copied out of the subscription DOEM's *current
+        snapshot*; selected objects that are no longer live (e.g. targets
+        of removed arcs) are included as value-only nodes so the
+        notification is still self-contained.
+        """
+        from ..doem.snapshot import current_snapshot
+        from ..lorel.result import ObjectRef
+
+        doem = self.doems.doem(name)
+        snapshot = current_snapshot(doem)
+        for row in filtered:
+            for _, value in row.items:
+                if isinstance(value, ObjectRef) and \
+                        not snapshot.has_node(value.node):
+                    node_value = doem.graph.value(value.node)
+                    snapshot.create_node(value.node, node_value)
+        return filtered.as_oem(snapshot, root="notification")

@@ -1,0 +1,116 @@
+"""Tsimmis-style wrappers: the uniform OEM query interface over sources.
+
+"We access the information sources using Tsimmis wrappers or mediators
+[PGGMU95, PGMU96], which present a uniform OEM view of one or more data
+sources" (Section 6).  A :class:`Wrapper` binds a
+:class:`~repro.sources.base.Source` and answers polling queries: it asks
+the source for its current OEM export, runs the Lorel polling query over
+it, and packages the answer -- with the recursive subobject closure --
+as a standalone OEM database.
+
+A :class:`Mediator` fuses several wrappers under one root, the
+object-fusion arrangement of [PAGM96] that the paper's library example
+alludes to.
+"""
+
+from __future__ import annotations
+
+from ..errors import QSSError
+from ..lorel.ast import Query
+from ..lorel.engine import LorelEngine
+from ..oem.model import OEMDatabase
+from ..oem.values import COMPLEX
+from ..sources.base import Source
+from ..timestamps import Timestamp
+
+__all__ = ["Wrapper", "Mediator"]
+
+
+class Wrapper:
+    """Presents one source as a queryable OEM view.
+
+    ``name`` is the database name the polling queries use as their path
+    root (defaults to the source export's root id, e.g. ``guide``).
+    """
+
+    def __init__(self, source: Source, name: str | None = None) -> None:
+        self.source = source
+        self.name = name
+        self.poll_count = 0
+
+    def advance(self, when: object) -> None:
+        """Let the simulated world move on to time ``when``."""
+        self.source.advance(when)
+
+    def poll(self, polling_query: str | Query) -> OEMDatabase:
+        """Execute a polling query; return the packaged OEM result.
+
+        Per Section 6, "the result of a polling query includes
+        (recursively) all subobjects of the objects in the query answer,
+        and ... the result is 'packaged' as an OEM database."  The
+        packaged answer's root is named ``answer``; the selected objects
+        hang off it under their select labels.
+        """
+        snapshot = self.source.export()
+        engine = LorelEngine(snapshot, name=self.name or snapshot.root)
+        result = engine.run(polling_query)
+        self.poll_count += 1
+        return result.as_oem(snapshot, root="answer")
+
+
+class Mediator:
+    """Fuses several sources into a single queryable OEM view.
+
+    "Tsimmis wrappers or mediators ... present a uniform OEM view of one
+    or more data sources" (Section 6).  A mediator is itself
+    wrapper-compatible (``advance`` + ``poll``), so a QSS subscription can
+    poll several autonomous sources through one polling query: each
+    source's export is grafted under the fused root as a
+    ``<source-name>``-labeled complex object, and the Lorel polling query
+    runs over the fused view.
+
+    ``Mediator({"guide": guide_source, "library": library_source})``
+    lets a polling query say ``select med.guide.restaurant`` or join
+    across sources.
+    """
+
+    def __init__(self, sources: dict[str, Source],
+                 name: str = "med") -> None:
+        if not sources:
+            raise QSSError("a mediator needs at least one source")
+        self.sources = dict(sources)
+        self.name = name
+        self.poll_count = 0
+
+    def advance(self, when: object) -> None:
+        """Advance every underlying source."""
+        for source in self.sources.values():
+            source.advance(when)
+
+    def export(self) -> OEMDatabase:
+        """The fused OEM view: one subobject per source, by name."""
+        fused = OEMDatabase(root=self.name)
+        for source_name, source in sorted(self.sources.items()):
+            part = source.export()
+            mapping: dict[str, str] = {}
+            hub = fused.create_node(fused.new_node_id(source_name), COMPLEX)
+            fused.add_arc(fused.root, source_name, hub)
+            mapping[part.root] = hub
+            for node in part.nodes():
+                if node == part.root:
+                    continue
+                new_id = node if node not in fused \
+                    else fused.new_node_id(source_name)
+                mapping[node] = fused.create_node(new_id, part.value(node))
+            for arc in part.arcs():
+                fused.add_arc(mapping[arc.source], arc.label,
+                              mapping[arc.target])
+        return fused
+
+    def poll(self, polling_query: str | Query) -> OEMDatabase:
+        """Run a Lorel polling query over the fused view; package it."""
+        snapshot = self.export()
+        engine = LorelEngine(snapshot, name=self.name)
+        result = engine.run(polling_query)
+        self.poll_count += 1
+        return result.as_oem(snapshot, root="answer")

@@ -1,0 +1,26 @@
+"""Simulated autonomous information sources.
+
+The paper's motivating sources -- the Palo Alto Weekly restaurant guide
+and a legacy library circulation system -- are autonomous: no triggers,
+no history, observable only through snapshots (Section 1.1, Section 6).
+This package provides faithful synthetic stand-ins:
+
+* :class:`~repro.sources.base.Source` -- the protocol: advance simulated
+  time, export the current state as OEM;
+* :class:`~repro.sources.restaurant_guide.RestaurantGuideSource` -- an
+  evolving restaurant guide with an HTML renderer (feeds htmldiff and the
+  QSS examples);
+* :class:`~repro.sources.library.LibrarySource` -- circulating books for
+  the "notify me when a popular book comes back" scenario;
+* :mod:`~repro.sources.generators` -- random OEM graphs and random valid
+  change streams for property tests and benchmarks.
+"""
+
+from .base import Source, StaticSource
+from .restaurant_guide import RestaurantGuideSource
+from .library import LibrarySource
+from .generators import random_database, random_change_set, random_history
+
+__all__ = ["Source", "StaticSource", "RestaurantGuideSource",
+           "LibrarySource", "random_database", "random_change_set",
+           "random_history"]

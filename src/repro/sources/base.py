@@ -1,0 +1,81 @@
+"""The autonomous-source protocol.
+
+QSS can only *observe* its sources: "these information sources typically
+do not keep track of historical information in a format that is
+accessible to the outside user.  Thus, a subscription service based on
+changes must monitor and keep track of the changes on its own, and often
+must do so based only on sequences of snapshots" (Section 6).
+
+A :class:`Source` therefore exposes exactly two capabilities: advance its
+internal simulated clock (the world changes), and export the current
+state as an OEM database.  Critically, :meth:`Source.export` may
+*scramble node identifiers* on every call (the default), modeling sources
+without stable object identity -- this is what forces OEMdiff to do real
+matching work, as in the paper's deployment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Protocol, runtime_checkable
+
+from ..oem.model import OEMDatabase
+from ..timestamps import Timestamp, parse_timestamp
+
+__all__ = ["Source", "StaticSource", "scramble_ids"]
+
+
+def scramble_ids(db: OEMDatabase, salt: int = 0) -> OEMDatabase:
+    """A copy of ``db`` with fresh, deterministic node identifiers.
+
+    Node identity is erased (the root keeps its id, since it names the
+    database); structure and values are preserved.  ``salt`` varies the
+    renaming between polls so QSS can never rely on identifier equality.
+    """
+    fresh = OEMDatabase(root=db.root, root_value=db.value(db.root))
+    mapping = {db.root: fresh.root}
+    counter = itertools.count(1)
+    for node in db.nodes():
+        if node == db.root:
+            continue
+        mapping[node] = fresh.create_node(f"s{salt}_{next(counter)}",
+                                          db.value(node))
+    for arc in db.arcs():
+        fresh.add_arc(mapping[arc.source], arc.label, mapping[arc.target])
+    return fresh
+
+
+@runtime_checkable
+class Source(Protocol):
+    """What QSS wrappers require of an information source."""
+
+    def advance(self, when: object) -> None:
+        """Evolve the source's state up to simulated time ``when``."""
+
+    def export(self) -> OEMDatabase:
+        """The current state as an OEM database (identifiers unstable)."""
+
+
+class StaticSource:
+    """A source that never changes -- QSS's base case, also handy in tests.
+
+    ``stable_ids=False`` (default) scrambles identifiers on every export,
+    like a real autonomous source.
+    """
+
+    def __init__(self, db: OEMDatabase, stable_ids: bool = False) -> None:
+        self._db = db
+        self._stable_ids = stable_ids
+        self._export_count = 0
+        self.now: Timestamp | None = None
+
+    def advance(self, when: object) -> None:
+        """Record the simulated time (the data itself never changes)."""
+        self.now = parse_timestamp(when)
+
+    def export(self) -> OEMDatabase:
+        """A copy of the wrapped database, ids scrambled unless stable."""
+        self._export_count += 1
+        if self._stable_ids:
+            return self._db.copy()
+        return scramble_ids(self._db, salt=self._export_count)

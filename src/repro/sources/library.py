@@ -1,0 +1,129 @@
+"""A legacy library circulation system, simulated.
+
+The paper's second motivating example (Section 1.1): "Suppose we wish to
+be notified whenever any 'popular' book becomes available where, say, we
+define a book as popular if it has been checked out two or more times in
+the past month."  The legacy system offers no triggers and no history --
+only the current catalog state -- so QSS must infer circulation events
+from snapshots and answer the popularity question from its *own* DOEM
+history.
+
+:class:`LibrarySource` maintains books with ``status`` (``in`` / ``out``),
+evolves by seeded checkout/return events, and exports the catalog as OEM.
+The QSS filter query for the scenario lives in
+``examples/library_notifications.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..oem.model import OEMDatabase
+from ..oem.values import COMPLEX
+from ..timestamps import Timestamp, parse_timestamp
+from .base import scramble_ids
+
+__all__ = ["Book", "LibrarySource"]
+
+_TITLES = [
+    "A Guide to OEM", "Semistructured Data", "Temporal Databases",
+    "The Lorel Language", "Active Databases", "Query Optimization",
+    "Mediators and Wrappers", "Change Detection", "Graph Theory",
+    "Information Integration", "Database Systems", "Tree Matching",
+]
+_AUTHORS = ["Codd", "Ullman", "Widom", "Abiteboul", "Chawathe",
+            "Garcia-Molina", "Papakonstantinou", "Snodgrass"]
+
+
+@dataclass
+class Book:
+    """One catalog entry in the source's internal representation."""
+
+    key: int
+    title: str
+    author: str
+    checked_out: bool = False
+    checkout_count: int = 0
+    history: list[tuple[Timestamp, str]] = field(default_factory=list)
+
+
+class LibrarySource:
+    """A deterministic, evolving library circulation source.
+
+    The catalog is fixed (legacy systems rarely gain books mid-scenario by
+    default; set ``acquisitions=True`` to allow them); circulation events
+    -- checkouts and returns -- fire at ``events_per_day``.
+    """
+
+    def __init__(self, seed: int = 42, books: int = 12,
+                 events_per_day: float = 3.0, stable_ids: bool = False,
+                 acquisitions: bool = False) -> None:
+        self._rng = random.Random(seed)
+        self.events_per_day = events_per_day
+        self.stable_ids = stable_ids
+        self.acquisitions = acquisitions
+        self.now: Timestamp = parse_timestamp("1Dec96")
+        self._export_count = 0
+        self.books: dict[int, Book] = {}
+        for index in range(books):
+            self.books[index + 1] = Book(
+                key=index + 1,
+                title=_TITLES[index % len(_TITLES)]
+                + ("" if index < len(_TITLES) else f" vol. {index // len(_TITLES) + 1}"),
+                author=self._rng.choice(_AUTHORS),
+            )
+
+    def _apply_event(self) -> None:
+        rng = self._rng
+        if self.acquisitions and rng.random() < 0.05:
+            key = max(self.books) + 1
+            self.books[key] = Book(key=key,
+                                   title=f"New Arrival {key}",
+                                   author=rng.choice(_AUTHORS))
+            return
+        keys = sorted(self.books)
+        key = rng.choice(keys)
+        book = self.books[key]
+        if book.checked_out:
+            if rng.random() < 0.6:
+                book.checked_out = False
+                book.history.append((self.now, "return"))
+        else:
+            if rng.random() < 0.7:
+                book.checked_out = True
+                book.checkout_count += 1
+                book.history.append((self.now, "checkout"))
+
+    def advance(self, when: object) -> None:
+        """Evolve circulation up to simulated time ``when``."""
+        target = parse_timestamp(when)
+        if target <= self.now:
+            self.now = max(self.now, target)
+            return
+        elapsed_days = (target - self.now) / 86400
+        events = int(round(elapsed_days * self.events_per_day))
+        self.now = target
+        for _ in range(events):
+            self._apply_event()
+
+    def export(self) -> OEMDatabase:
+        """The catalog as OEM: the *current* state only, like the legacy
+        system -- no checkout counts, no history (QSS must infer both)."""
+        db = OEMDatabase(root="library")
+
+        def atom(value: object) -> str:
+            return db.create_node(db.new_node_id(), value)  # type: ignore[arg-type]
+
+        for key in sorted(self.books):
+            book = self.books[key]
+            node = db.create_node(f"b{key}", COMPLEX)
+            db.add_arc(db.root, "book", node)
+            db.add_arc(node, "title", atom(book.title))
+            db.add_arc(node, "author", atom(book.author))
+            db.add_arc(node, "status",
+                       atom("out" if book.checked_out else "in"))
+        self._export_count += 1
+        if self.stable_ids:
+            return db
+        return scramble_ids(db, salt=self._export_count)

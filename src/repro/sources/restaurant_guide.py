@@ -1,0 +1,266 @@
+"""The Palo Alto Weekly restaurant guide, simulated.
+
+The paper's running example and its first motivating application
+(Section 1.1) observe an evolving restaurant guide.  The real guide is a
+long-gone web page, so this module provides a deterministic synthetic
+equivalent with the same observable behaviour:
+
+* the data is irregular on purpose, like Figure 2: prices are sometimes
+  integers, sometimes strings ("moderate"); addresses are sometimes flat
+  strings, sometimes street/city objects; some entries lack fields;
+  parking objects are shared between restaurants and ``nearby-eats`` arcs
+  cycle back;
+* :meth:`RestaurantGuideSource.advance` evolves the guide with seeded
+  pseudo-random events -- openings, closings, price changes, review
+  edits, comment additions -- at a configurable daily rate;
+* :meth:`RestaurantGuideSource.export` emits the current OEM database
+  (identifiers scrambled per poll, as autonomous sources do);
+* :meth:`RestaurantGuideSource.render_html` renders the guide page, which
+  is what the htmldiff example (Figure 1) consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..oem.model import OEMDatabase
+from ..oem.values import COMPLEX
+from ..timestamps import Timestamp, parse_timestamp
+from .base import scramble_ids
+
+__all__ = ["Restaurant", "RestaurantGuideSource"]
+
+_CUISINES = ["Thai", "Indian", "Italian", "Mexican", "Chinese", "French",
+             "Japanese", "Greek", "Ethiopian", "Vietnamese", "American"]
+_STREETS = ["Lytton", "University", "Hamilton", "Emerson", "Ramona",
+            "Forest", "Alma", "Bryant", "Waverley", "Homer"]
+_NAME_FIRST = ["Golden", "Blue", "Royal", "Little", "Grand", "Spicy",
+               "Green", "Silver", "Happy", "Old"]
+_NAME_SECOND = ["Lotus", "Dragon", "Garden", "Palace", "Kitchen", "Table",
+                "Corner", "Harvest", "Terrace", "Spoon"]
+_COMMENTS = ["usually full", "quiet on weekdays", "great patio",
+             "cash only", "popular with students", "live music fridays",
+             "need info", "renovated recently"]
+_PRICE_WORDS = ["cheap", "moderate", "expensive"]
+
+
+@dataclass
+class Restaurant:
+    """One guide entry in the source's internal (pre-OEM) representation."""
+
+    key: int
+    name: str
+    cuisine: str | None
+    price: object            # int dollars or a descriptive string
+    street: str
+    street_number: int
+    flat_address: bool       # render address as one string vs. sub-object
+    comments: list[str] = field(default_factory=list)
+    parking_lot: int | None = None
+    rating: int | None = None
+
+
+class RestaurantGuideSource:
+    """A deterministic, evolving restaurant guide source.
+
+    ``seed`` fixes the entire trajectory; ``events_per_day`` sets the
+    expected number of change events applied per simulated day of
+    :meth:`advance`; ``stable_ids`` (default False) controls identifier
+    scrambling on export.
+    """
+
+    def __init__(self, seed: int = 1997, initial_restaurants: int = 8,
+                 events_per_day: float = 2.0, stable_ids: bool = False) -> None:
+        self._rng = random.Random(seed)
+        self.events_per_day = events_per_day
+        self.stable_ids = stable_ids
+        self.now: Timestamp = parse_timestamp("1Dec96")
+        self._next_key = 1
+        self._export_count = 0
+        self.restaurants: dict[int, Restaurant] = {}
+        self.parking_lots: dict[int, str] = {}
+        self.event_log: list[tuple[Timestamp, str]] = []
+        for _ in range(initial_restaurants):
+            self._open_restaurant(log=False)
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+
+    def _new_name(self) -> str:
+        while True:
+            name = (f"{self._rng.choice(_NAME_FIRST)} "
+                    f"{self._rng.choice(_NAME_SECOND)}")
+            if all(r.name != name for r in self.restaurants.values()):
+                return name
+            # Disambiguate crowded name space deterministically.
+            name = f"{name} {self._rng.randint(2, 99)}"
+            if all(r.name != name for r in self.restaurants.values()):
+                return name
+
+    def _open_restaurant(self, log: bool = True) -> Restaurant:
+        key = self._next_key
+        self._next_key += 1
+        rng = self._rng
+        if rng.random() < 0.4 and self.parking_lots:
+            lot = rng.choice(sorted(self.parking_lots))
+        elif rng.random() < 0.5:
+            lot = len(self.parking_lots) + 1
+            self.parking_lots[lot] = (f"{rng.choice(_STREETS)} lot "
+                                      f"{rng.randint(1, 9)}")
+        else:
+            lot = None
+        restaurant = Restaurant(
+            key=key,
+            name=self._new_name(),
+            cuisine=rng.choice(_CUISINES) if rng.random() < 0.85 else None,
+            price=(rng.randrange(5, 60)
+                   if rng.random() < 0.6 else rng.choice(_PRICE_WORDS)),
+            street=rng.choice(_STREETS),
+            street_number=rng.randrange(100, 999),
+            flat_address=rng.random() < 0.5,
+            comments=[rng.choice(_COMMENTS)] if rng.random() < 0.5 else [],
+            parking_lot=lot,
+            rating=rng.randint(1, 5) if rng.random() < 0.7 else None,
+        )
+        self.restaurants[key] = restaurant
+        if log:
+            self.event_log.append((self.now, f"open {restaurant.name}"))
+        return restaurant
+
+    def _apply_event(self) -> None:
+        rng = self._rng
+        roll = rng.random()
+        live = sorted(self.restaurants)
+        if roll < 0.22 or not live:
+            self._open_restaurant()
+            return
+        key = rng.choice(live)
+        restaurant = self.restaurants[key]
+        if roll < 0.32 and len(live) > 3:
+            del self.restaurants[key]
+            self.event_log.append((self.now, f"close {restaurant.name}"))
+        elif roll < 0.55:
+            old = restaurant.price
+            if isinstance(old, int):
+                restaurant.price = max(5, old + rng.choice([-10, -5, 5, 10, 15]))
+            else:
+                restaurant.price = rng.choice(
+                    [word for word in _PRICE_WORDS if word != old]
+                    + [rng.randrange(5, 60)])
+            self.event_log.append(
+                (self.now, f"price {restaurant.name} {old}->{restaurant.price}"))
+        elif roll < 0.72:
+            comment = rng.choice(_COMMENTS)
+            if comment not in restaurant.comments:
+                restaurant.comments.append(comment)
+                self.event_log.append(
+                    (self.now, f"comment {restaurant.name} +{comment!r}"))
+        elif roll < 0.86:
+            old = restaurant.rating
+            restaurant.rating = rng.randint(1, 5)
+            self.event_log.append(
+                (self.now, f"rating {restaurant.name} {old}->{restaurant.rating}"))
+        else:
+            old = restaurant.cuisine
+            restaurant.cuisine = rng.choice(_CUISINES)
+            self.event_log.append(
+                (self.now, f"cuisine {restaurant.name} {old}->{restaurant.cuisine}"))
+
+    def advance(self, when: object) -> None:
+        """Evolve the guide up to simulated time ``when``.
+
+        The number of events is ``events_per_day`` scaled by the elapsed
+        simulated days (deterministic given the seed and call sequence).
+        """
+        target = parse_timestamp(when)
+        if target <= self.now:
+            self.now = max(self.now, target)
+            return
+        elapsed_days = (target - self.now) / 86400
+        events = int(round(elapsed_days * self.events_per_day))
+        self.now = target
+        for _ in range(events):
+            self._apply_event()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def export(self) -> OEMDatabase:
+        """The guide as an OEM database shaped like Figure 2."""
+        db = OEMDatabase(root="guide")
+        lot_nodes: dict[int, str] = {}
+        restaurant_nodes: dict[int, str] = {}
+
+        def atom(value: object) -> str:
+            return db.create_node(db.new_node_id(), value)  # type: ignore[arg-type]
+
+        for key in sorted(self.restaurants):
+            restaurant = self.restaurants[key]
+            node = db.create_node(f"r{key}", COMPLEX)
+            restaurant_nodes[key] = node
+            db.add_arc(db.root, "restaurant", node)
+            db.add_arc(node, "name", atom(restaurant.name))
+            if restaurant.cuisine is not None:
+                db.add_arc(node, "cuisine", atom(restaurant.cuisine))
+            db.add_arc(node, "price", atom(restaurant.price))
+            if restaurant.flat_address:
+                db.add_arc(node, "address",
+                           atom(f"{restaurant.street_number} {restaurant.street}"))
+            else:
+                address = db.create_node(db.new_node_id(), COMPLEX)
+                db.add_arc(node, "address", address)
+                db.add_arc(address, "street", atom(restaurant.street))
+                db.add_arc(address, "number", atom(restaurant.street_number))
+                db.add_arc(address, "city", atom("Palo Alto"))
+            for comment in restaurant.comments:
+                db.add_arc(node, "comment", atom(comment))
+            if restaurant.rating is not None:
+                db.add_arc(node, "rating", atom(restaurant.rating))
+
+        # Shared parking objects with nearby-eats back-arcs (cycles).
+        for key in sorted(self.restaurants):
+            restaurant = self.restaurants[key]
+            if restaurant.parking_lot is None:
+                continue
+            lot = restaurant.parking_lot
+            if lot not in lot_nodes:
+                lot_node = db.create_node(f"lot{lot}", COMPLEX)
+                lot_nodes[lot] = lot_node
+                db.add_arc(lot_node, "address",
+                           atom(self.parking_lots.get(lot, f"lot {lot}")))
+            db.add_arc(restaurant_nodes[key], "parking", lot_nodes[lot])
+            db.add_arc(lot_nodes[lot], "nearby-eats", restaurant_nodes[key])
+
+        self._export_count += 1
+        if self.stable_ids:
+            return db
+        return scramble_ids(db, salt=self._export_count)
+
+    def render_html(self) -> str:
+        """The guide as an HTML page (the htmldiff input of Figure 1)."""
+        rows: list[str] = []
+        for key in sorted(self.restaurants,
+                          key=lambda k: self.restaurants[k].name):
+            restaurant = self.restaurants[key]
+            price = (f"${restaurant.price}" if isinstance(restaurant.price, int)
+                     else restaurant.price)
+            details = [price]
+            if restaurant.cuisine:
+                details.append(restaurant.cuisine)
+            if restaurant.rating is not None:
+                details.append("*" * restaurant.rating)
+            body = f"<b>{restaurant.name}</b> ({', '.join(details)})"
+            address = (f"{restaurant.street_number} {restaurant.street}"
+                       if restaurant.flat_address
+                       else f"{restaurant.street_number} {restaurant.street}, "
+                            f"Palo Alto")
+            rows.append(f"<li>{body} <i>{address}</i>"
+                        + "".join(f" <em>{comment}</em>"
+                                  for comment in restaurant.comments)
+                        + "</li>")
+        return ("<html><head><title>Palo Alto Weekly Restaurant Guide"
+                "</title></head><body><h1>Restaurant Guide</h1><ul>"
+                + "".join(rows) + "</ul></body></html>")

@@ -1,0 +1,30 @@
+"""An event-condition-action trigger language for OEM (Section 7).
+
+The paper's future-work list closes with "designing an
+event-condition-action trigger language for OEM based on ideas from DOEM
+and Chorel".  This package is that design, built directly on the two:
+
+* **Events** are the basic change operations -- a rule watches node
+  creations, value updates, arc additions, or arc removals, optionally
+  filtered by arc label and new/old value patterns
+  (:class:`~repro.triggers.rules.Event`);
+* **Conditions** are Chorel queries over the DOEM database *with the
+  triggering object bound in*: the event's subject is available to the
+  condition as the variable ``NEW`` (and ``OLD``/``PARENT`` where they
+  make sense), so a condition can navigate from it and consult the whole
+  change history (:class:`~repro.triggers.rules.Rule`);
+* **Actions** are Python callables receiving an
+  :class:`~repro.triggers.rules.Activation` (rule, timestamp, operation,
+  bindings, condition rows).
+
+The :class:`~repro.triggers.manager.TriggerManager` folds timestamped
+change sets into a DOEM database (so history keeps accumulating, exactly
+like QSS's DOEM Manager) and fires matching rules after each fold --
+deferred, set-at-a-time semantics like SQL3 statement-level triggers,
+which suits QSS's batch-per-poll change sets.
+"""
+
+from .rules import Activation, Event, Rule
+from .manager import TriggerManager
+
+__all__ = ["Event", "Rule", "Activation", "TriggerManager"]

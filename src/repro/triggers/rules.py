@@ -1,0 +1,146 @@
+"""Rules: events, conditions, actions.
+
+An :class:`Event` selects basic change operations; a :class:`Rule` pairs
+an event with an optional Chorel condition and an action.  Conditions run
+over the DOEM database with the event's subjects pre-bound, so "the price
+of a restaurant on Lytton rose above 30" is one Chorel query away from a
+raw ``update`` event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import QueryError
+from ..oem.changes import AddArc, ChangeOp, CreNode, RemArc, UpdNode
+from ..oem.values import like
+from ..lorel.ast import Query
+from ..lorel.parser import parse_query
+from ..lorel.result import QueryResult
+from ..timestamps import Timestamp
+
+__all__ = ["Event", "Rule", "Activation"]
+
+_EVENT_KINDS = ("create", "update", "add", "remove")
+_OP_KIND = {CreNode: "create", UpdNode: "update",
+            AddArc: "add", RemArc: "remove"}
+
+
+@dataclass(frozen=True)
+class Event:
+    """A pattern over basic change operations.
+
+    ``kind`` is one of ``create | update | add | remove``.  Optional
+    filters narrow the match:
+
+    * ``label`` -- for arc events, a ``like``-style pattern the arc label
+      must match (``"price"``, ``"comment%"``);
+    * ``value`` -- for ``create``/``update``, a pattern the (new) value
+      must match; numbers are compared through their textual form, in
+      Lorel's forgiving spirit;
+    * ``old_value`` -- for ``update``, a pattern on the value *before*
+      the operation (the trigger manager reads it off the DOEM ``upd``
+      annotation).
+    """
+
+    kind: str
+    label: Optional[str] = None
+    value: Optional[str] = None
+    old_value: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EVENT_KINDS:
+            raise QueryError(
+                f"unknown event kind {self.kind!r}; expected one of "
+                f"{_EVENT_KINDS}")
+        if self.kind in ("create", "update") and self.label is not None:
+            raise QueryError(f"{self.kind} events have no arc label")
+        if self.kind in ("add", "remove") and \
+                (self.value is not None or self.old_value is not None):
+            raise QueryError(f"{self.kind} events have no value filters")
+        if self.kind == "create" and self.old_value is not None:
+            raise QueryError("create events have no old value")
+
+    def matches(self, op: ChangeOp, old_value: object = None) -> bool:
+        """Does this event select the given operation?"""
+        if _OP_KIND[type(op)] != self.kind:
+            return False
+        if isinstance(op, (AddArc, RemArc)) and self.label is not None:
+            if not like(op.label, self.label):
+                return False
+        if isinstance(op, (CreNode, UpdNode)) and self.value is not None:
+            if not like(op.value, self.value):
+                return False
+        if isinstance(op, UpdNode) and self.old_value is not None:
+            if not like(old_value, self.old_value):
+                return False
+        return True
+
+    def __str__(self) -> str:
+        parts = [self.kind]
+        if self.label is not None:
+            parts.append(f"label~{self.label!r}")
+        if self.value is not None:
+            parts.append(f"value~{self.value!r}")
+        if self.old_value is not None:
+            parts.append(f"old~{self.old_value!r}")
+        return f"on {' '.join(parts)}"
+
+
+@dataclass(frozen=True)
+class Activation:
+    """One rule firing: everything the action gets to see."""
+
+    rule: "Rule"
+    at: Timestamp
+    operation: ChangeOp
+    bindings: dict
+    condition_rows: Optional[QueryResult]
+
+    @property
+    def subject(self) -> str:
+        """The primary node: the created/updated node, or the arc target."""
+        return self.bindings["NEW"]
+
+    def __str__(self) -> str:
+        return (f"[{self.at}] rule {self.rule.name!r} fired on "
+                f"{self.operation}")
+
+
+@dataclass
+class Rule:
+    """An ECA rule: ``on EVENT [if CONDITION] do ACTION``.
+
+    ``condition`` is Chorel text (or a parsed query) evaluated over the
+    trigger manager's DOEM database with these extra names bound:
+
+    * ``NEW``  -- the created/updated node, or the added/removed arc's
+      target;
+    * ``PARENT`` -- the arc's source (arc events only);
+    * ``OLD`` is *not* a node: the old value of an update is retrieved
+      with Chorel's own ``<upd ... from OV>`` machinery, which the
+      condition can use directly.
+
+    The rule fires when the condition's result is non-empty (or when
+    there is no condition); the rows are handed to the action for use.
+    ``enabled`` supports SQL-style enable/disable without removal.
+    """
+
+    name: str
+    event: Event
+    action: Callable[[Activation], None]
+    condition: Optional[Query] = None
+    enabled: bool = True
+    fired_count: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.condition, str):
+            self.condition = parse_query(self.condition,
+                                         allow_annotations=True)
+
+    def __str__(self) -> str:
+        text = f"rule {self.name}: {self.event}"
+        if self.condition is not None:
+            text += f" if ({self.condition})"
+        return text

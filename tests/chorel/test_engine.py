@@ -1,0 +1,208 @@
+"""Tests for the native Chorel engine: the paper's Examples 4.2-4.5.
+
+Every query runs against the Figure 4 DOEM database (guide_doem).
+"""
+
+import pytest
+
+from repro import ChorelEngine, EvaluationError, parse_timestamp
+
+T1 = parse_timestamp("1Jan97")
+
+
+@pytest.fixture
+def engine(guide_doem):
+    return ChorelEngine(guide_doem, name="guide")
+
+
+class TestExample42:
+    def test_newly_added_restaurants(self, engine):
+        result = engine.run("select guide.<add>restaurant")
+        assert [ref.node for ref in
+                (row.scalar() for row in result)] == ["n2"]  # Hakata
+
+
+class TestExample43:
+    def test_added_before_jan4(self, engine):
+        result = engine.run("select guide.<add at T>restaurant "
+                            "where T < 4Jan97")
+        assert [row.scalar().node for row in result] == ["n2"]
+
+    def test_added_after_jan4_empty(self, engine):
+        result = engine.run("select guide.<add at T>restaurant "
+                            "where T > 4Jan97")
+        assert len(result) == 0
+
+    def test_time_variable_also_selectable(self, engine):
+        result = engine.run("select R, T from guide.<add at T>restaurant R")
+        row = result.first()
+        assert row["restaurant"].node == "n2"
+        assert row["add-time"] == T1
+
+
+class TestExample44:
+    QUERY = ("select N, T, NV "
+             "from guide.restaurant.price<upd at T to NV>, "
+             "guide.restaurant.name N "
+             "where T >= 1Jan97 and NV > 15")
+
+    def test_answer_object(self, engine, guide_doem):
+        result = engine.run(self.QUERY)
+        assert len(result) == 1
+        row = result.first()
+        assert guide_doem.graph.value(row["name"].node) == "Bangkok Cuisine"
+        assert row["update-time"] == T1
+        assert row["new-value"] == 20
+
+    def test_default_labels_match_paper(self, engine):
+        row = engine.run(self.QUERY).first()
+        assert row.labels() == ["name", "update-time", "new-value"]
+
+    def test_old_value_binding(self, engine):
+        result = engine.run(
+            "select OV from guide.restaurant.price<upd from OV>")
+        assert result.first()["old-value"] == 10
+
+    def test_upd_time_filter_excludes(self, engine):
+        result = engine.run(
+            "select NV from guide.restaurant.price<upd at T to NV> "
+            "where T > 2Jan97")
+        assert len(result) == 0
+
+
+class TestExample45:
+    def test_moderate_added_since_jan1(self, engine):
+        # No price arc was ever *added* in the Figure 4 history.
+        result = engine.run(
+            'select N from guide.restaurant R, R.name N '
+            'where R.<add at T>price = "moderate" and T >= 1Jan97')
+        assert len(result) == 0
+
+    def test_comment_added_since_jan1(self, engine, guide_doem):
+        result = engine.run(
+            'select N from guide.restaurant R, R.name N '
+            'where R.<add at T>comment = "need info" and T >= 1Jan97')
+        values = [guide_doem.graph.value(row.scalar().node) for row in result]
+        assert values == ["Hakata"]
+
+
+class TestRemAndCre:
+    def test_rem_finds_removed_parking(self, engine):
+        result = engine.run(
+            "select R from guide.restaurant R where R.<rem at T>parking")
+        assert [row.scalar().node for row in result] == ["r2"]  # Janta
+
+    def test_rem_binds_target_and_time(self, engine):
+        result = engine.run(
+            "select P, T from guide.restaurant.<rem at T>parking P")
+        row = result.first()
+        assert row["parking"].node == "n7"
+        assert row["remove-time"] == parse_timestamp("8Jan97")
+
+    def test_cre_on_node(self, engine):
+        result = engine.run("select guide.restaurant.comment<cre at T>")
+        assert [row.scalar().node for row in result] == ["n5"]
+
+    def test_cre_filter_by_time(self, engine):
+        early = engine.run("select guide.restaurant.comment<cre at T> "
+                           "where T < 3Jan97")
+        assert len(early) == 0
+        late = engine.run("select guide.restaurant.comment<cre at T> "
+                          "where T > 3Jan97")
+        assert len(late) == 1
+
+    def test_unannotated_nodes_do_not_match_cre(self, engine):
+        result = engine.run("select guide.restaurant.name<cre at T> "
+                            "where T < 4Jan97")
+        # only Hakata's name node was created (n3, at t1)
+        assert [row.scalar().node for row in result] == ["n3"]
+
+    def test_literal_time_pin(self, engine):
+        result = engine.run("select guide.<add at 1Jan97>restaurant")
+        assert len(result) == 1
+        assert len(engine.run("select guide.<add at 2Jan97>restaurant")) == 0
+
+
+class TestCurrentSnapshotDefault:
+    """Section 4.2.1: a plain Lorel query over DOEM sees the current state."""
+
+    def test_plain_query_sees_current_values(self, engine):
+        result = engine.run(
+            "select guide.restaurant where guide.restaurant.price = 20")
+        assert [row.scalar().node for row in result] == ["r1"]
+
+    def test_plain_query_does_not_see_removed_arcs(self, engine):
+        result = engine.run(
+            "select P from guide.restaurant.parking P")
+        # only Bangkok still has parking; Janta's arc is rem-annotated.
+        assert len(result) == 1
+
+    def test_agrees_with_lorel_over_current_snapshot(self, guide_doem,
+                                                     figure3_db):
+        from repro import LorelEngine
+        chorel = ChorelEngine(guide_doem, name="guide")
+        lorel = LorelEngine(figure3_db, name="guide")
+        for query in [
+            "select guide.restaurant",
+            "select N from guide.restaurant.name N",
+            "select guide.restaurant where guide.restaurant.price < 20.5",
+            "select X from guide.# X where X like '%Lytton%'",
+        ]:
+            native = sorted(str(row) for row in chorel.run(query))
+            plain = sorted(str(row) for row in lorel.run(query))
+            assert native == plain, query
+
+
+class TestVirtualAnnotations:
+    """Section 4.2.2: <at T> on nodes and arcs (native engine only)."""
+
+    def test_value_as_of_time(self, engine):
+        result = engine.run(
+            "select P from guide.restaurant.price<at 31Dec96> P")
+        assert result.first().scalar().node == "n1"
+        assert engine.doem.value_at("n1", "31Dec96") == 10
+
+    def test_comparison_uses_value_at_time(self, engine):
+        before = engine.run(
+            "select R from guide.restaurant R, R.price<at 31Dec96> P "
+            "where P = 10")
+        assert [row.scalar().node for row in before] == ["r1"]
+        after = engine.run(
+            "select R from guide.restaurant R, R.price<at 2Jan97> P "
+            "where P = 10")
+        assert len(after) == 0
+
+    def test_arc_existence_at_time(self, engine):
+        before = engine.run(
+            "select R from guide.restaurant R, R.<at 2Jan97>parking P")
+        assert sorted(row.scalar().node for row in before) == ["r1", "r2"]
+        after = engine.run(
+            "select R from guide.restaurant R, R.<at 9Jan97>parking P")
+        assert sorted(row.scalar().node for row in after) == ["r1"]
+
+    def test_restaurants_at_time(self, engine):
+        before = engine.run("select guide.<at 31Dec96>restaurant")
+        assert len(before) == 2  # no Hakata yet
+        after = engine.run("select guide.<at 2Jan97>restaurant")
+        assert len(after) == 3
+
+    def test_unbound_at_variable_rejected(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.run("select R from guide.<at T>restaurant R")
+
+
+class TestTimeVariables:
+    def test_polling_times_context(self, guide_doem):
+        engine = ChorelEngine(guide_doem, name="guide")
+        engine.set_polling_times({0: "5Jan97", -1: "2Jan97"})
+        result = engine.run(
+            "select guide.restaurant.comment<cre at T> where T > t[-1]")
+        assert len(result) == 1
+        result2 = engine.run(
+            "select guide.restaurant.comment<cre at T> where T > t[0]")
+        assert len(result2) == 0
+
+    def test_missing_context_rejected(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.run("select guide.restaurant.comment<cre at T> "
+                       "where T > t[-1]")

@@ -1,0 +1,157 @@
+"""Tests for the index-accelerated Chorel engine (Section 7 future work).
+
+The contract: :class:`IndexedChorelEngine` returns exactly what the
+normal engine returns, using the annotation index when the query shape
+allows and falling back otherwise.
+"""
+
+import pytest
+
+from repro import (
+    ChorelEngine,
+    IndexedChorelEngine,
+    build_doem,
+    random_database,
+    random_history,
+)
+from tests.conftest import make_guide_db, make_guide_history
+
+
+@pytest.fixture
+def engines(guide_doem):
+    return (ChorelEngine(guide_doem, name="guide"),
+            IndexedChorelEngine(guide_doem, name="guide"))
+
+
+INDEXABLE = [
+    "select guide.<add at T>restaurant where T < 4Jan97",
+    "select guide.<add>restaurant",
+    "select R, T from guide.<add at T>restaurant R",
+    "select guide.restaurant.comment<cre at T> where T > 3Jan97",
+    "select guide.restaurant.comment<cre at T> "
+    "where T > 3Jan97 and T <= 5Jan97",
+    "select T, OV, NV from guide.restaurant.price<upd at T from OV to NV> "
+    "where T >= 1Jan97",
+    "select P, T from guide.restaurant.<rem at T>parking P",
+    "select guide.<add at T>restaurant where T = 1Jan97",
+    "select guide.<add at T>restaurant where 1Jan97 <= T",
+]
+
+FALLBACK = [
+    'select N from guide.restaurant R, R.name N '
+    'where R.<add at T>comment = "need info"',
+    "select guide.restaurant where guide.restaurant.price < 20.5",
+    "select guide.<add at 5Jan97>restaurant",        # literal pin
+    "select guide.#.comment<cre at T>",              # wildcard prefix
+    "select guide.restaurant.price<at 2Jan97> P "
+    .replace("select guide", "select P from guide"),  # virtual annotation
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("query", INDEXABLE)
+    def test_indexed_matches_normal(self, engines, query):
+        normal, indexed = engines
+        expected = sorted(map(str, normal.run(query)))
+        actual = sorted(map(str, indexed.run(query)))
+        assert actual == expected
+        assert indexed.last_plan is not None, "should have used the index"
+
+    @pytest.mark.parametrize("query", FALLBACK)
+    def test_fallback_matches_normal(self, engines, query):
+        normal, indexed = engines
+        expected = sorted(map(str, normal.run(query)))
+        actual = sorted(map(str, indexed.run(query)))
+        assert actual == expected
+        assert indexed.last_plan is None, "should have fallen back"
+
+    def test_contradictory_interval_is_empty(self, engines):
+        _, indexed = engines
+        result = indexed.run("select guide.<add at T>restaurant "
+                             "where T = 1Jan97 and T = 5Jan97")
+        assert len(result) == 0
+        assert indexed.last_plan is not None
+
+    def test_randomized_equivalence(self):
+        queries = [
+            "select root.<add at T>item where T >= 2Jan97",
+            "select root.item.name<cre at T>",
+            "select X, T from root.item.<rem at T>link X",
+            "select T, OV, NV from root.item.price"
+            "<upd at T from OV to NV> where T > 1Jan97",
+        ]
+        for seed in range(5):
+            db = random_database(seed=seed + 500, nodes=25)
+            history = random_history(db, seed=seed + 500, steps=4)
+            doem = build_doem(db, history)
+            normal = ChorelEngine(doem, name="root")
+            indexed = IndexedChorelEngine(doem, name="root")
+            for query in queries:
+                assert sorted(map(str, normal.run(query))) == \
+                    sorted(map(str, indexed.run(query))), (seed, query)
+
+
+class TestPlanDetails:
+    def test_interval_folding(self, engines):
+        _, indexed = engines
+        indexed.run("select guide.restaurant.comment<cre at T> "
+                    "where T > 3Jan97 and T <= 5Jan97")
+        plan = indexed.last_plan
+        assert not plan.include_low and plan.include_high
+        assert "3Jan97" in plan.describe() and "5Jan97" in plan.describe()
+
+    def test_timevar_bounds_resolve_via_polling_times(self, guide_doem):
+        indexed = IndexedChorelEngine(guide_doem, name="guide")
+        indexed.set_polling_times({0: "6Jan97", -1: "2Jan97"})
+        result = indexed.run("select guide.restaurant.comment<cre at T> "
+                             "where T > t[-1] and T <= t[0]")
+        assert indexed.last_plan is not None
+        assert len(result) == 1  # "need info", created 5Jan97
+
+    def test_unresolvable_timevar_falls_back(self, engines, guide_doem):
+        indexed = IndexedChorelEngine(guide_doem, name="guide")
+        # no polling times set -> the bound is not a literal -> fallback,
+        # which then raises like the normal engine does.
+        from repro import EvaluationError
+        with pytest.raises(EvaluationError):
+            indexed.run("select guide.restaurant.comment<cre at T> "
+                        "where T > t[-1]")
+
+    def test_refresh_index_after_fold(self, guide_doem):
+        from repro.doem.build import apply_change_set
+        from repro.oem.changes import UpdNode
+        indexed = IndexedChorelEngine(guide_doem, name="guide")
+        before = indexed.run(
+            "select T, NV from guide.restaurant.price<upd at T to NV> "
+            "where T > 1Jan97")
+        assert len(before) == 0
+        apply_change_set(guide_doem, "9Jan97", [UpdNode("n1", 25)])
+        # stale index: still empty; refresh picks up the new annotation
+        indexed.refresh_index()
+        after = indexed.run(
+            "select T, NV from guide.restaurant.price<upd at T to NV> "
+            "where T > 1Jan97")
+        assert len(after) == 1
+
+    def test_bindings_disable_fast_path(self, engines, guide_doem):
+        _, indexed = engines
+        result = indexed.run("select N from NEW.name N",
+                             bindings={"NEW": "r1"})
+        assert len(result) == 1
+        assert indexed.last_plan is None
+
+    def test_dead_final_arc_excluded_for_cre(self, guide_doem):
+        """A created node whose incoming arc was later removed must not
+        be found by `label<cre at T>` -- matching the native engine."""
+        from repro.doem.build import apply_change_set
+        from repro.oem.changes import RemArc, AddArc
+        # keep n5 alive through another arc, then remove its comment arc
+        apply_change_set(guide_doem, "9Jan97",
+                         [AddArc("guide", "note", "n5")])
+        apply_change_set(guide_doem, "10Jan97",
+                         [RemArc("n2", "comment", "n5")])
+        normal = ChorelEngine(guide_doem, name="guide")
+        indexed = IndexedChorelEngine(guide_doem, name="guide")
+        query = "select guide.restaurant.comment<cre at T>"
+        assert sorted(map(str, normal.run(query))) == \
+            sorted(map(str, indexed.run(query))) == []

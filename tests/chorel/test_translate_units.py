@@ -1,0 +1,90 @@
+"""Unit tests for translation internals (the _Translator chain builder)."""
+
+import pytest
+
+from repro import TranslatingChorelEngine, parse_query
+from repro.chorel.translate import _Translator, _rename_var
+from repro.lorel.ast import PathExpr, PathStep, AnnotationExpr
+from repro.lorel.eval import Evaluator
+from repro.lorel.views import OEMView
+
+
+class TestTranslateChain:
+    def _chain(self, path_text):
+        query = parse_query(f"select x from {path_text} V")
+        path = query.from_items[0].path
+        translator = _Translator()
+        binders, conditions, final = translator.translate_chain(path)
+        return translator, binders, conditions, final
+
+    def test_plain_path(self):
+        translator, binders, conditions, final = self._chain("g.a.b")
+        assert [str(p) for _, p in binders] == ["g.a", f"{binders[0][0]}.b"]
+        assert conditions == []
+        assert final == binders[-1][0]
+        assert final in translator.object_vars
+
+    def test_add_annotation_expands_history(self):
+        translator, binders, _, final = self._chain("g.<add at T>item")
+        paths = [str(p) for _, p in binders]
+        assert paths[0] == "g.&item-history"
+        assert any(".&add" in p for p in paths)
+        assert any(".&target" in p for p in paths)
+        assert "T" in translator.scalar_vars
+        assert final in translator.object_vars
+
+    def test_upd_annotation_expands_record(self):
+        translator, binders, _, final = self._chain(
+            "g.price<upd at T from OV to NV>")
+        joined = " ".join(str(p) for _, p in binders)
+        for piece in ("&upd", "&time", "&ov", "&nv"):
+            assert piece in joined
+        assert {"T", "OV", "NV"} <= translator.scalar_vars
+
+    def test_literal_pin_produces_condition(self):
+        translator, binders, conditions, _ = self._chain(
+            "g.<add at 5Jan97>item")
+        assert len(conditions) == 1
+        assert "=" in str(conditions[0])
+
+    def test_rename_var_rewrites_uses(self):
+        binders = [("A", PathExpr("g", (PathStep("x"),))),
+                   ("B", PathExpr("A", (PathStep("y"),)))]
+        renamed = _rename_var(binders, "A", "R")
+        assert renamed[0][0] == "R"
+        assert renamed[1][1].start == "R"
+
+
+class TestTranslationEndToEnd:
+    def test_register_name_in_translating_engine(self, guide_doem):
+        engine = TranslatingChorelEngine(guide_doem, name="guide")
+        engine.register_name("bangkok", "r1")
+        result = engine.run("select N from bangkok.name N")
+        assert len(result) == 1
+
+    def test_last_translation_updated_per_query(self, guide_doem):
+        engine = TranslatingChorelEngine(guide_doem, name="guide")
+        engine.run("select guide.<add>restaurant")
+        first = engine.last_translation.text()
+        engine.run("select guide.restaurant.comment<cre at T>")
+        second = engine.last_translation.text()
+        assert first != second
+        assert "&cre" in second
+
+    def test_translation_of_bare_path_existence(self, guide_doem):
+        engine = TranslatingChorelEngine(guide_doem, name="guide")
+        result = engine.run(
+            "select guide.restaurant where guide.restaurant.parking")
+        assert len(result) == 1  # only Bangkok still has live parking
+
+    def test_like_condition_gets_val_access(self, guide_doem):
+        engine = TranslatingChorelEngine(guide_doem, name="guide")
+        translation = engine.translate(
+            'select N from guide.restaurant.name N where N like "%a%"')
+        assert ".&val like" in translation.text().replace("  ", " ")
+
+    def test_scalar_unwrap_in_results(self, guide_doem):
+        engine = TranslatingChorelEngine(guide_doem, name="guide")
+        result = engine.run("select OV from guide.restaurant.price"
+                            "<upd from OV>")
+        assert result.first()["old-value"] == 10  # scalar, not an ObjectRef

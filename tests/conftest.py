@@ -1,0 +1,107 @@
+"""Shared fixtures: the paper's running example.
+
+``guide_db`` is the Figure 2 OEM database (heterogeneous prices, flat and
+structured addresses, a shared parking object, and the
+parking/nearby-eats cycle).  ``guide_history`` is the Example 2.3 history
+(three change sets at 1Jan97, 5Jan97, 8Jan97), and ``guide_doem`` is the
+resulting Figure 4 DOEM database.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    AddArc,
+    CreNode,
+    OEMDatabase,
+    OEMHistory,
+    RemArc,
+    UpdNode,
+    build_doem,
+)
+
+
+def make_guide_db() -> OEMDatabase:
+    """The Figure 2 database (plain function form for non-fixture use)."""
+    db = OEMDatabase(root="guide")
+    db.create_node("r1", COMPLEX)          # Bangkok Cuisine
+    db.create_node("r2", COMPLEX)          # Janta (the paper's n6)
+    db.create_node("n1", 10)               # Bangkok's price (the paper's n1)
+    db.create_node("nm1", "Bangkok Cuisine")
+    db.create_node("nm2", "Janta")
+    db.create_node("cu", "Indian")
+    db.create_node("n7", COMPLEX)          # the shared parking object (n7)
+    db.create_node("pv", "Lytton lot 2")
+    db.create_node("cm", "usually full")
+    db.create_node("pr2", "moderate")      # Janta's string price
+    db.create_node("ad1", "120 Lytton")    # Bangkok's flat address
+    db.create_node("ad2", COMPLEX)         # Janta's structured address
+    db.create_node("st", "Lytton")
+    db.create_node("ci", "Palo Alto")
+    for arc in [
+        ("guide", "restaurant", "r1"),
+        ("guide", "restaurant", "r2"),
+        ("r1", "name", "nm1"),
+        ("r1", "price", "n1"),
+        ("r1", "address", "ad1"),
+        ("r1", "parking", "n7"),
+        ("r2", "name", "nm2"),
+        ("r2", "cuisine", "cu"),
+        ("r2", "price", "pr2"),
+        ("r2", "parking", "n7"),
+        ("r2", "address", "ad2"),
+        ("ad2", "street", "st"),
+        ("ad2", "city", "ci"),
+        ("n7", "address", "pv"),
+        ("n7", "comment", "cm"),
+        ("n7", "nearby-eats", "r1"),       # the Figure 2 cycle
+    ]:
+        db.add_arc(*arc)
+    db.check()
+    return db
+
+
+def make_guide_history() -> OEMHistory:
+    """The Example 2.3 history H = ((t1,U1),(t2,U2),(t3,U3))."""
+    history = OEMHistory()
+    history.append("1Jan97", [
+        UpdNode("n1", 20),
+        CreNode("n2", COMPLEX),
+        CreNode("n3", "Hakata"),
+        AddArc("guide", "restaurant", "n2"),
+        AddArc("n2", "name", "n3"),
+    ])
+    history.append("5Jan97", [
+        CreNode("n5", "need info"),
+        AddArc("n2", "comment", "n5"),
+    ])
+    history.append("8Jan97", [
+        RemArc("r2", "parking", "n7"),
+    ])
+    return history
+
+
+@pytest.fixture
+def guide_db() -> OEMDatabase:
+    """The Figure 2 OEM database."""
+    return make_guide_db()
+
+
+@pytest.fixture
+def guide_history() -> OEMHistory:
+    """The Example 2.3 history."""
+    return make_guide_history()
+
+
+@pytest.fixture
+def guide_doem(guide_db, guide_history):
+    """The Figure 4 DOEM database D(O, H)."""
+    return build_doem(guide_db, guide_history)
+
+
+@pytest.fixture
+def figure3_db(guide_db, guide_history) -> OEMDatabase:
+    """The Figure 3 database: the Guide after the whole history."""
+    return guide_history.apply_to(guide_db.copy())

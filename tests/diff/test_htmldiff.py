@@ -1,0 +1,127 @@
+"""Tests for htmldiff (Figure 1): HTML -> OEM -> diff -> marked-up HTML."""
+
+import pytest
+
+from repro import COMPLEX, html_diff, html_to_oem
+from repro.diff.htmldiff import DELETE_MARK, INSERT_MARK, UPDATE_MARK
+from repro.sources.restaurant_guide import RestaurantGuideSource
+
+OLD = ("<html><body><h1>Guide</h1><ul>"
+       "<li>Janta - cheap</li>"
+       "<li>Bangkok - $10</li>"
+       "</ul></body></html>")
+NEW = ("<html><body><h1>Guide</h1><ul>"
+       "<li>Janta - cheap</li>"
+       "<li>Bangkok - $20</li>"
+       "<li>Hakata - new!</li>"
+       "</ul></body></html>")
+
+
+class TestHtmlToOem:
+    def test_elements_become_complex(self):
+        db = html_to_oem("<html><body><p>hi</p></body></html>")
+        html_node = next(iter(db.children(db.root, "html")))
+        assert db.is_complex(html_node)
+        db.check()
+
+    def test_text_becomes_atomic(self):
+        db = html_to_oem("<p>hello world</p>")
+        p = next(iter(db.children(db.root, "p")))
+        text = next(iter(db.children(p, "text")))
+        assert db.value(text) == "hello world"
+
+    def test_attributes(self):
+        db = html_to_oem('<a href="http://x.org">link</a>')
+        a = next(iter(db.children(db.root, "a")))
+        href = next(iter(db.children(a, "@href")))
+        assert db.value(href) == "http://x.org"
+
+    def test_void_tags(self):
+        db = html_to_oem("<p>one<br>two</p>")
+        p = next(iter(db.children(db.root, "p")))
+        texts = sorted(db.value(t) for t in db.children(p, "text"))
+        assert texts == ["one", "two"]
+        assert len(list(db.children(p, "br"))) == 1
+
+    def test_whitespace_runs_dropped(self):
+        db = html_to_oem("<p>  \n\t </p>")
+        p = next(iter(db.children(db.root, "p")))
+        assert not db.has_children(p)
+
+    def test_entities_decoded(self):
+        db = html_to_oem("<p>a &amp; b</p>")
+        p = next(iter(db.children(db.root, "p")))
+        text = next(iter(db.children(p, "text")))
+        assert db.value(text) == "a & b"
+
+
+class TestHtmlDiff:
+    def test_update_marked(self):
+        result = html_diff(OLD, NEW)
+        assert UPDATE_MARK in result.markup
+        assert 'title="was: Bangkok - $10"' in result.markup
+        assert "Bangkok - $20" in result.markup
+
+    def test_insert_marked(self):
+        result = html_diff(OLD, NEW)
+        assert INSERT_MARK in result.markup
+        assert "Hakata - new!" in result.markup
+
+    def test_delete_listed(self):
+        result = html_diff(NEW, OLD)
+        assert DELETE_MARK in result.markup
+        assert "Deleted content" in result.markup
+        assert "Hakata" in result.markup
+
+    def test_legend_counts(self):
+        result = html_diff(OLD, NEW)
+        assert "1 update(s)" in result.markup
+        stats = result.stats
+        assert stats.updates == 1
+        assert stats.creates == 2  # <li> element + its text node
+
+    def test_no_change_no_markers(self):
+        result = html_diff(OLD, OLD)
+        assert INSERT_MARK not in result.markup
+        assert UPDATE_MARK not in result.markup
+        assert result.stats.total == 0
+
+    def test_change_set_replays(self):
+        from repro import apply_diff, html_to_oem
+        result = html_diff(OLD, NEW)
+        old_db = html_to_oem(OLD, root="page")
+        new_db = html_to_oem(NEW, root="page")
+        assert apply_diff(old_db, result.change_set).isomorphic_to(new_db)
+
+    def test_attribute_change_detected(self):
+        old = '<a href="http://a.org">x</a>'
+        new = '<a href="http://b.org">x</a>'
+        result = html_diff(old, new)
+        assert result.stats.updates == 1
+        assert 'href="http://b.org"' in result.markup
+
+    def test_escaping_in_markup(self):
+        result = html_diff("<p>a &lt; b</p>", "<p>a &gt; b</p>")
+        assert "a &gt; b" in result.markup
+
+
+class TestOnRenderedGuide:
+    """The Figure 1 scenario: two versions of the rendered guide page."""
+
+    def test_guide_evolution_diff(self):
+        source = RestaurantGuideSource(seed=42, initial_restaurants=6,
+                                       events_per_day=3.0)
+        page_v1 = source.render_html()
+        source.advance("8Dec96")
+        page_v2 = source.render_html()
+        assert page_v1 != page_v2  # the world moved
+        result = html_diff(page_v1, page_v2)
+        assert result.stats.total > 0
+        assert "htmldiff-legend" in result.markup
+
+    def test_guide_page_round_trips_through_oem(self):
+        source = RestaurantGuideSource(seed=7, initial_restaurants=4)
+        db = html_to_oem(source.render_html())
+        db.check()
+        assert any(db.value(node) == "Restaurant Guide"
+                   for node in db.nodes())

@@ -1,0 +1,89 @@
+"""Tests for the identifier-based differ (cooperative sources)."""
+
+import pytest
+
+from repro import COMPLEX, OEMDatabase, random_change_set, random_database
+from repro.diff.iddiff import id_diff
+from repro.diff.oemdiff import apply_diff
+from repro.errors import DiffError
+from tests.conftest import make_guide_db, make_guide_history
+
+
+class TestExactReplay:
+    def test_identity(self, guide_db):
+        assert len(id_diff(guide_db, guide_db.copy())) == 0
+
+    def test_full_running_example(self, guide_db, figure3_db):
+        changes = id_diff(guide_db, figure3_db)
+        result = apply_diff(guide_db, changes)
+        assert result.same_as(figure3_db)  # exact, not just isomorphic
+
+    def test_reproduces_history_operations(self, guide_db, figure3_db,
+                                           guide_history):
+        changes = id_diff(guide_db, figure3_db)
+        expected = {op for _, change_set in guide_history
+                    for op in change_set.operations()}
+        assert set(changes.operations()) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_evolution_exact(self, seed):
+        old = random_database(seed=seed, nodes=25)
+        new = old.copy()
+        random_change_set(new, seed=seed + 7, size=8).apply_to(new)
+        changes = id_diff(old, new)
+        assert apply_diff(old, changes).same_as(new), seed
+
+    def test_subtree_deletion_via_gc(self):
+        old = OEMDatabase(root="r")
+        old.create_node("a", COMPLEX)
+        old.create_node("x", 1)
+        old.add_arc("r", "sub", "a")
+        old.add_arc("a", "v", "x")
+        new = OEMDatabase(root="r")
+        changes = id_diff(old, new)
+        # only the one cut arc; the subtree dies by unreachability
+        assert len(changes) == 1
+        assert apply_diff(old, changes).same_as(new)
+
+
+class TestContract:
+    def test_mismatched_roots_rejected(self, guide_db):
+        other = OEMDatabase(root="different")
+        with pytest.raises(DiffError):
+            id_diff(guide_db, other)
+
+    def test_scrambled_ids_look_like_churn(self, guide_db):
+        """Violating the stable-id contract produces a huge (but valid)
+        diff -- exactly why oem_diff exists for autonomous sources."""
+        from repro.sources.base import scramble_ids
+        scrambled = scramble_ids(guide_db, salt=1)
+        # roots match ('guide'), every other id differs
+        changes = id_diff(guide_db, scrambled)
+        assert len(changes) > len(guide_db)  # total rebuild
+        assert apply_diff(guide_db, changes).same_as(scrambled)
+
+
+class TestQSSIntegration:
+    def test_ids_differ_with_stable_source(self):
+        from repro import (QSSServer, StaticSource, Subscription, Wrapper,
+                           parse_timestamp)
+        from repro.qss.managers import DOEMManager
+
+        server = QSSServer(start="30Dec96", deliver_empty=True)
+        server.doems = DOEMManager(differ="ids")
+        source = StaticSource(make_guide_db(), stable_ids=True)
+        server.register_wrapper("guide", Wrapper(source, name="guide"))
+        server.subscribe(Subscription(
+            name="S", frequency="every day at 9:00am",
+            polling_query="select guide.restaurant",
+            filter_query="select S.restaurant<cre at T> where T > t[-1]"),
+            "guide")
+        notifications = server.run_until("2Jan97")
+        sizes = [len(n.result) for n in notifications]
+        assert sizes[0] == 2 and all(s == 0 for s in sizes[1:])
+
+    def test_bad_differ_name(self):
+        from repro.qss.managers import DOEMManager
+        from repro.errors import QSSError
+        with pytest.raises(QSSError):
+            DOEMManager(differ="telepathy")

@@ -1,0 +1,121 @@
+"""Tests for snapshot matching."""
+
+import pytest
+
+from repro import COMPLEX, OEMDatabase, match_snapshots
+from repro.diff.matching import Matching, node_signatures, text_bags
+from repro.sources.base import scramble_ids
+
+
+def simple_db(prefix=""):
+    db = OEMDatabase(root="g")
+    for key, name, price in [("a", "Janta", 10), ("b", "Bangkok", 20)]:
+        node = db.create_node(f"{prefix}{key}", COMPLEX)
+        db.add_arc("g", "restaurant", node)
+        name_node = db.create_node(f"{prefix}{key}n", name)
+        db.add_arc(node, "name", name_node)
+        price_node = db.create_node(f"{prefix}{key}p", price)
+        db.add_arc(node, "price", price_node)
+    return db
+
+
+class TestSignatures:
+    def test_equal_structures_equal_signatures(self):
+        a, b = simple_db("x"), simple_db("y")
+        sig_a, sig_b = node_signatures(a), node_signatures(b)
+        assert sorted(sig_a.values()) == sorted(sig_b.values())
+
+    def test_value_change_changes_signature(self):
+        a, b = simple_db(), simple_db()
+        b.update_value("ap", 99)
+        assert node_signatures(a)["ap"] != node_signatures(b)["ap"]
+
+    def test_cyclic_graphs_terminate(self, guide_db):
+        signatures = node_signatures(guide_db)
+        assert len(signatures) == len(guide_db)
+
+    def test_text_bags_bounded_and_cyclic_safe(self, guide_db):
+        bags = text_bags(guide_db)
+        assert all(len(bag) <= 64 for bag in bags.values())
+        assert "Janta" in bags[guide_db.root]
+
+
+class TestMatchingMechanics:
+    def test_link_rejects_double_match(self):
+        matching = Matching()
+        matching.link("a", "x")
+        with pytest.raises(ValueError):
+            matching.link("a", "y")
+        with pytest.raises(ValueError):
+            matching.link("b", "x")
+
+    def test_roots_always_match(self):
+        matching = match_snapshots(simple_db("x"), simple_db("y"))
+        assert matching.old_to_new["g"] == "g"
+
+
+class TestMatchQuality:
+    def test_identical_dbs_fully_matched(self):
+        a = simple_db()
+        matching = match_snapshots(a, a.copy())
+        assert len(matching) == len(a)
+
+    def test_scrambled_ids_fully_matched(self, guide_db):
+        scrambled = scramble_ids(guide_db, salt=9)
+        matching = match_snapshots(guide_db, scrambled)
+        assert len(matching) == len(guide_db)
+        # every match preserves values
+        for old, new in matching.old_to_new.items():
+            assert guide_db.value(old) == scrambled.value(new)
+
+    def test_updated_atom_matches_not_recreated(self):
+        old = simple_db("o")
+        new = simple_db("n")
+        new.update_value("nap", 15)  # Janta's price changed
+        matching = match_snapshots(old, new)
+        assert matching.old_to_new["oap"] == "nap"
+
+    def test_updated_text_matches_by_token_overlap(self):
+        old = OEMDatabase(root="g")
+        old.create_node("t1", "the quick brown fox jumps")
+        old.add_arc("g", "text", "t1")
+        new = OEMDatabase(root="g")
+        new.create_node("u1", "the quick brown fox sleeps")
+        new.create_node("u2", "completely different words here")
+        new.add_arc("g", "text", "u1")
+        new.add_arc("g", "text", "u2")
+        matching = match_snapshots(old, new)
+        assert matching.old_to_new["t1"] == "u1"
+
+    def test_new_entry_left_unmatched(self):
+        old = simple_db("o")
+        new = simple_db("n")
+        extra = new.create_node("hk", COMPLEX)
+        new.add_arc("g", "restaurant", extra)
+        name = new.create_node("hkn", "Hakata")
+        new.add_arc(extra, "name", name)
+        matching = match_snapshots(old, new)
+        assert not matching.matched_new("hk")
+        assert not matching.matched_new("hkn")
+        assert len(matching) == len(old)
+
+    def test_removed_entry_left_unmatched(self):
+        old = simple_db("o")
+        new = OEMDatabase(root="g")
+        node = new.create_node("only", COMPLEX)
+        new.add_arc("g", "restaurant", node)
+        name = new.create_node("onlyn", "Janta")
+        new.add_arc(node, "name", name)
+        price = new.create_node("onlyp", 10)
+        new.add_arc(node, "price", price)
+        matching = match_snapshots(old, new)
+        assert matching.old_to_new["oa"] == "only"
+        assert not matching.matched_old("ob")
+
+    def test_shared_and_cyclic_structures(self, guide_db):
+        clone = scramble_ids(guide_db, salt=3)
+        matching = match_snapshots(guide_db, clone)
+        # n7 (shared, cyclic) must map to the clone's parking object.
+        new_n7 = matching.old_to_new["n7"]
+        assert clone.value(next(iter(clone.children(new_n7, "address")))) \
+            == "Lytton lot 2"

@@ -1,0 +1,100 @@
+"""Direct tests for the incremental DOEM applier and build internals."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    AddArc,
+    ChangeSet,
+    CreNode,
+    DOEMDatabase,
+    OEMDatabase,
+    RemArc,
+    UpdNode,
+    parse_timestamp,
+)
+from repro.doem.build import DOEMApplier, apply_change_set
+from repro.errors import InvalidChangeError
+
+T1 = parse_timestamp("1Jan97")
+T2 = parse_timestamp("2Jan97")
+T3 = parse_timestamp("3Jan97")
+
+
+@pytest.fixture
+def doem():
+    graph = OEMDatabase(root="r")
+    graph.create_node("a", COMPLEX)
+    graph.create_node("x", 1)
+    graph.add_arc("r", "child", "a")
+    graph.add_arc("a", "val", "x")
+    return DOEMDatabase(graph)
+
+
+class TestIncrementalApplication:
+    def test_applier_persists_across_sets(self, doem):
+        applier = DOEMApplier(doem)
+        applier.apply(T1, ChangeSet([UpdNode("x", 2)]))
+        applier.apply(T2, ChangeSet([UpdNode("x", 3)]))
+        assert doem.graph.value("x") == 3
+        assert len(doem.node_annotations("x")) == 2
+
+    def test_dead_marking_propagates(self, doem):
+        applier = DOEMApplier(doem)
+        applier.apply(T1, ChangeSet([RemArc("r", "child", "a")]))
+        # both 'a' and 'x' are conceptually dead
+        with pytest.raises(InvalidChangeError):
+            applier.apply(T2, ChangeSet([UpdNode("x", 9)]))
+        with pytest.raises(InvalidChangeError):
+            applier.apply(T2, ChangeSet([UpdNode("a", 9)]))
+
+    def test_convenience_wrapper_recomputes_liveness(self, doem):
+        apply_change_set(doem, T1, [RemArc("r", "child", "a")])
+        # a fresh wrapper call must see 'a' as dead
+        with pytest.raises(InvalidChangeError):
+            apply_change_set(doem, T2, [AddArc("a", "back", "a")])
+
+    def test_cycle_keeps_nodes_live_only_if_root_reachable(self, doem):
+        apply_change_set(doem, T1, [
+            CreNode("b", COMPLEX), AddArc("a", "peer", "b"),
+            AddArc("b", "peer", "a")])
+        apply_change_set(doem, T2, [RemArc("r", "child", "a")])
+        # a<->b cycle exists but is severed from the root: both dead.
+        with pytest.raises(InvalidChangeError):
+            apply_change_set(doem, T3, [UpdNode("x", 5)])
+
+    def test_same_timestamp_two_sets_allowed_in_applier(self, doem):
+        """The applier does not enforce increasing timestamps itself --
+        OEMHistory does; QSS supplies strictly increasing poll times."""
+        applier = DOEMApplier(doem)
+        applier.apply(T1, ChangeSet([UpdNode("x", 2)]))
+        applier.apply(T1, ChangeSet([AddArc("r", "extra", "x")]))
+        assert doem.graph.has_arc("r", "extra", "x")
+
+    def test_empty_change_set_is_noop(self, doem):
+        before = doem.copy()
+        apply_change_set(doem, T1, [])
+        assert doem.same_as(before)
+
+    def test_add_arc_to_atomic_parent_rejected(self, doem):
+        with pytest.raises(InvalidChangeError):
+            apply_change_set(doem, T1, [AddArc("x", "kid", "a")])
+
+    def test_create_with_complex_then_populate_later(self, doem):
+        apply_change_set(doem, T1, [CreNode("c", COMPLEX),
+                                    AddArc("r", "new", "c")])
+        apply_change_set(doem, T2, [CreNode("d", 5),
+                                    AddArc("c", "leaf", "d")])
+        assert doem.graph.value("d") == 5
+        assert [a.at for a in doem.node_annotations("c")] == [T1]
+        assert [a.at for a in doem.node_annotations("d")] == [T2]
+
+
+class TestCopySemantics:
+    def test_doem_copy_detaches_appliers(self, doem):
+        applier = DOEMApplier(doem)
+        applier.apply(T1, ChangeSet([UpdNode("x", 2)]))
+        clone = doem.copy()
+        applier.apply(T2, ChangeSet([UpdNode("x", 3)]))
+        assert clone.graph.value("x") == 2
+        assert doem.graph.value("x") == 3

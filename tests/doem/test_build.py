@@ -1,0 +1,157 @@
+"""Tests for D(O, H) construction (Section 3.1) -- Figure 4 included."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    AddArc,
+    ChangeSet,
+    CreNode,
+    OEMDatabase,
+    OEMHistory,
+    RemArc,
+    UpdNode,
+    build_doem,
+    parse_timestamp,
+)
+from repro.doem.annotations import Add, Cre, Rem, Upd
+from repro.doem.build import apply_change_set
+from repro.errors import InvalidChangeError
+
+T1 = parse_timestamp("1Jan97")
+T2 = parse_timestamp("5Jan97")
+T3 = parse_timestamp("8Jan97")
+
+
+class TestFigure4:
+    """The DOEM database of Example 3.1 / Figure 4."""
+
+    def test_update_annotation_with_old_value(self, guide_doem):
+        assert guide_doem.node_annotations("n1") == (Upd(T1, 10),)
+        assert guide_doem.graph.value("n1") == 20
+
+    def test_create_annotations(self, guide_doem):
+        assert guide_doem.node_annotations("n2") == (Cre(T1),)
+        assert guide_doem.node_annotations("n3") == (Cre(T1),)
+        assert guide_doem.node_annotations("n5") == (Cre(T2),)
+
+    def test_add_annotations(self, guide_doem):
+        assert guide_doem.arc_annotations("guide", "restaurant", "n2") == \
+            (Add(T1),)
+        assert guide_doem.arc_annotations("n2", "name", "n3") == (Add(T1),)
+        assert guide_doem.arc_annotations("n2", "comment", "n5") == (Add(T2),)
+
+    def test_removed_arc_stays_with_rem_annotation(self, guide_doem):
+        # "the removed parking arc ... is not actually removed from the
+        # DOEM database; instead it bears a rem annotation."
+        assert guide_doem.graph.has_arc("r2", "parking", "n7")
+        assert guide_doem.arc_annotations("r2", "parking", "n7") == (Rem(T3),)
+
+    def test_unchanged_parts_have_no_annotations(self, guide_doem):
+        assert guide_doem.node_annotations("nm1") == ()
+        assert guide_doem.arc_annotations("guide", "restaurant", "r1") == ()
+
+    def test_annotation_totals(self, guide_doem):
+        # 1 upd + 3 cre + 3 add + 1 rem = 8, one per basic operation.
+        assert guide_doem.annotation_count() == 8
+        assert guide_doem.timestamps() == [T1, T2, T3]
+
+
+class TestValidityAgainstConceptualSnapshot:
+    def make_doem(self):
+        graph = OEMDatabase(root="r")
+        graph.create_node("a", COMPLEX)
+        graph.create_node("x", 1)
+        graph.add_arc("r", "child", "a")
+        graph.add_arc("a", "val", "x")
+        from repro import DOEMDatabase
+        return DOEMDatabase(graph)
+
+    def test_re_add_of_removed_arc_annotates_same_arc(self):
+        doem = self.make_doem()
+        apply_change_set(doem, T1, [RemArc("a", "val", "x")])
+        # x is now dead; re-linking it directly is invalid (id not reusable
+        # as a *target* of addArc because the node is deleted).
+        with pytest.raises(InvalidChangeError):
+            apply_change_set(doem, T2, [AddArc("a", "val", "x")])
+
+    def test_re_add_when_target_still_live(self):
+        doem = self.make_doem()
+        # keep x alive through a second arc, then remove and re-add.
+        apply_change_set(doem, T1, [AddArc("r", "keep", "x")])
+        apply_change_set(doem, T2, [RemArc("a", "val", "x")])
+        apply_change_set(doem, T3, [AddArc("a", "val", "x")])
+        annotations = doem.arc_annotations("a", "val", "x")
+        assert annotations == (Rem(T2), Add(T3))
+
+    def test_adding_existing_live_arc_rejected(self):
+        doem = self.make_doem()
+        with pytest.raises(InvalidChangeError):
+            apply_change_set(doem, T1, [AddArc("a", "val", "x")])
+
+    def test_removing_dead_arc_rejected(self):
+        doem = self.make_doem()
+        apply_change_set(doem, T1, [AddArc("r", "keep", "x"),
+                                    ])
+        apply_change_set(doem, T2, [RemArc("a", "val", "x")])
+        with pytest.raises(InvalidChangeError):
+            apply_change_set(doem, T3, [RemArc("a", "val", "x")])
+
+    def test_deleted_node_ids_never_reused(self):
+        doem = self.make_doem()
+        apply_change_set(doem, T1, [RemArc("r", "child", "a")])
+        # a and x are conceptually deleted but their ids remain taken.
+        with pytest.raises(InvalidChangeError):
+            apply_change_set(doem, T2, [CreNode("x", 9)])
+
+    def test_ops_on_dead_nodes_rejected(self):
+        doem = self.make_doem()
+        apply_change_set(doem, T1, [RemArc("r", "child", "a")])
+        with pytest.raises(InvalidChangeError):
+            apply_change_set(doem, T2, [UpdNode("x", 9)])
+        with pytest.raises(InvalidChangeError):
+            apply_change_set(doem, T2, [AddArc("r", "back", "a")])
+
+    def test_update_complex_to_atomic_with_dead_arcs(self):
+        doem = self.make_doem()
+        apply_change_set(doem, T1, [RemArc("a", "val", "x"),
+                                    AddArc("r", "keep", "x")])
+        # 'a' has no *live* subobjects now, so it may become atomic even
+        # though the dead arc lingers in the DOEM graph.
+        apply_change_set(doem, T2, [UpdNode("a", 42)])
+        assert doem.graph.value("a") == 42
+        assert doem.graph.has_arc("a", "val", "x")  # dead arc retained
+
+    def test_update_complex_with_live_children_rejected(self):
+        doem = self.make_doem()
+        with pytest.raises(InvalidChangeError):
+            apply_change_set(doem, T1, [UpdNode("a", 42)])
+
+
+class TestBuildDoem:
+    def test_origin_not_mutated(self, guide_db, guide_history):
+        before = guide_db.copy()
+        build_doem(guide_db, guide_history)
+        assert guide_db.same_as(before)
+
+    def test_invalid_history_raises(self, guide_db):
+        history = OEMHistory([("1Jan97", [UpdNode("ghost", 1)])])
+        with pytest.raises(InvalidChangeError):
+            build_doem(guide_db, history)
+
+    def test_empty_history(self, guide_db):
+        doem = build_doem(guide_db, OEMHistory())
+        assert doem.annotation_count() == 0
+        assert doem.graph.same_as(guide_db)
+
+    def test_multiple_updates_accumulate(self):
+        graph = OEMDatabase(root="r")
+        graph.create_node("x", 1)
+        graph.add_arc("r", "v", "x")
+        history = OEMHistory([
+            ("1Jan97", [UpdNode("x", 2)]),
+            ("5Jan97", [UpdNode("x", 3)]),
+        ])
+        doem = build_doem(graph, history)
+        assert doem.node_annotations("x") == (Upd(T1, 1), Upd(T2, 2))
+        assert doem.graph.value("x") == 3

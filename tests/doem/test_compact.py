@@ -1,0 +1,133 @@
+"""Tests for DOEM history compaction (Section 6.1, idea #3)."""
+
+import pytest
+
+from repro import (
+    build_doem,
+    compact,
+    current_snapshot,
+    encoded_history,
+    is_feasible,
+    original_snapshot,
+    parse_timestamp,
+    random_database,
+    random_history,
+    snapshot_at,
+)
+
+
+class TestGuideCompaction:
+    def test_cutoff_becomes_original(self, guide_doem):
+        cut = compact(guide_doem, "3Jan97")
+        assert original_snapshot(cut).same_as(snapshot_at(guide_doem,
+                                                          "3Jan97"))
+
+    def test_recent_history_preserved(self, guide_doem):
+        cut = compact(guide_doem, "3Jan97")
+        for when in ("3Jan97", "5Jan97", "7Jan97", "8Jan97", "1Feb97"):
+            assert snapshot_at(cut, when).same_as(
+                snapshot_at(guide_doem, when)), when
+
+    def test_current_snapshot_identical(self, guide_doem):
+        cut = compact(guide_doem, "3Jan97")
+        assert current_snapshot(cut).same_as(current_snapshot(guide_doem))
+
+    def test_history_is_suffix(self, guide_doem, guide_history):
+        cut = compact(guide_doem, "3Jan97")
+        remaining = encoded_history(cut)
+        times = [str(t) for t in remaining.timestamps()]
+        assert times == ["5Jan97", "8Jan97"]
+        # the surviving change sets are verbatim
+        expected = guide_history.entries()[1:]
+        assert remaining.entries() == expected
+
+    def test_old_annotations_forgotten(self, guide_doem):
+        cut = compact(guide_doem, "3Jan97")
+        # the 1Jan97 price update and Hakata creation are gone...
+        assert cut.node_annotations("n1") == ()
+        assert cut.node_annotations("n2") == ()
+        # ...but the 5Jan97 comment creation and 8Jan97 removal remain.
+        assert len(cut.node_annotations("n5")) == 1
+        assert len(cut.arc_annotations("r2", "parking", "n7")) == 1
+
+    def test_result_is_feasible(self, guide_doem):
+        for when in ("31Dec96", "3Jan97", "6Jan97", "9Jan97"):
+            assert is_feasible(compact(guide_doem, when)), when
+
+    def test_compact_everything(self, guide_doem):
+        cut = compact(guide_doem, "1Feb97")
+        assert cut.annotation_count() == 0
+        assert cut.graph.same_as(current_snapshot(guide_doem))
+
+    def test_compact_before_everything_is_identity_ish(self, guide_doem):
+        cut = compact(guide_doem, "1Dec96")
+        assert cut.same_as(guide_doem)
+
+    def test_source_not_modified(self, guide_doem):
+        before = guide_doem.copy()
+        compact(guide_doem, "3Jan97")
+        assert guide_doem.same_as(before)
+
+    def test_size_never_grows(self, guide_doem):
+        cut = compact(guide_doem, "6Jan97")
+        assert len(cut.graph) <= len(guide_doem.graph)
+        assert cut.graph.arc_count() <= guide_doem.graph.arc_count()
+        assert cut.annotation_count() < guide_doem.annotation_count()
+
+    def test_dead_before_cutoff_disappears(self):
+        """A subtree removed before the cutoff leaves no trace."""
+        from repro import COMPLEX, OEMDatabase, OEMHistory, RemArc
+        db = OEMDatabase(root="r")
+        db.create_node("a", COMPLEX)
+        db.create_node("x", 7)
+        db.add_arc("r", "keep", "a")
+        db.add_arc("r", "drop", "x")
+        history = OEMHistory([("1Jan97", [RemArc("r", "drop", "x")])])
+        doem = build_doem(db, history)
+        cut = compact(doem, "2Jan97")
+        assert not cut.graph.has_node("x")
+        assert cut.graph.has_node("a")
+
+
+class TestCompactionProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_histories(self, seed):
+        db = random_database(seed=seed, nodes=25)
+        history = random_history(db, seed=seed, steps=6)
+        doem = build_doem(db, history)
+        times = history.timestamps()
+        if len(times) < 3:
+            pytest.skip("history too short")
+        cutoff = times[len(times) // 2]
+        cut = compact(doem, cutoff)
+
+        assert is_feasible(cut), seed
+        assert original_snapshot(cut).same_as(snapshot_at(doem, cutoff))
+        for when in times:
+            if when > cutoff:
+                assert snapshot_at(cut, when).same_as(
+                    snapshot_at(doem, when)), (seed, when)
+        assert current_snapshot(cut).same_as(current_snapshot(doem))
+        assert cut.annotation_count() <= doem.annotation_count()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chorel_agrees_after_cutoff(self, seed):
+        """Post-cutoff change queries answer identically."""
+        from repro import ChorelEngine
+        db = random_database(seed=seed + 40, nodes=25)
+        history = random_history(db, seed=seed + 40, steps=6)
+        doem = build_doem(db, history)
+        times = history.timestamps()
+        cutoff = times[len(times) // 2]
+        cut = compact(doem, cutoff)
+        query = (f"select X, T from root.<add at T>item X "
+                 f"where T > {cutoff}")
+        full = sorted(map(str, ChorelEngine(doem, name="root").run(query)))
+        compacted = sorted(map(str, ChorelEngine(cut, name="root").run(query)))
+        assert full == compacted, seed
+
+    def test_incremental_compaction_composes(self, guide_doem):
+        """compact(compact(D, t1), t2) == compact(D, t2) for t1 <= t2."""
+        once = compact(compact(guide_doem, "3Jan97"), "6Jan97")
+        direct = compact(guide_doem, "6Jan97")
+        assert once.same_as(direct)

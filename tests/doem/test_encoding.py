@@ -1,0 +1,180 @@
+"""Tests for the DOEM-in-OEM encoding (Section 5.1)."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    DOEMDatabase,
+    OEMDatabase,
+    OEMHistory,
+    RemArc,
+    UpdNode,
+    build_doem,
+    decode_doem,
+    encode_doem,
+    parse_timestamp,
+)
+from repro.doem.encoding import history_label, label_from_history
+from repro.errors import EncodingError
+
+
+class TestEncodingStructure:
+    """The &val/&cre/&upd/&l-history scheme, checked against Figure 5."""
+
+    def test_complex_objects_get_val_self_loop(self, guide_doem):
+        encoded = encode_doem(guide_doem)
+        oem = encoded.oem
+        assert oem.has_arc("r1", "&val", "r1")
+
+    def test_atomic_objects_get_val_atom(self, guide_doem):
+        encoded = encode_doem(guide_doem)
+        oem = encoded.oem
+        val_nodes = list(oem.children("n1", "&val"))
+        assert len(val_nodes) == 1
+        assert oem.value(val_nodes[0]) == 20  # current value
+
+    def test_cre_subobject(self, guide_doem):
+        encoded = encode_doem(guide_doem)
+        oem = encoded.oem
+        cre_nodes = list(oem.children("n2", "&cre"))
+        assert [oem.value(node) for node in cre_nodes] == \
+            [parse_timestamp("1Jan97")]
+
+    def test_upd_record_has_time_ov_nv(self, guide_doem):
+        encoded = encode_doem(guide_doem)
+        oem = encoded.oem
+        records = list(oem.children("n1", "&upd"))
+        assert len(records) == 1
+        record = records[0]
+        assert [oem.value(n) for n in oem.children(record, "&time")] == \
+            [parse_timestamp("1Jan97")]
+        assert [oem.value(n) for n in oem.children(record, "&ov")] == [10]
+        # the redundant &nv: the value after the update (current: 20)
+        assert [oem.value(n) for n in oem.children(record, "&nv")] == [20]
+
+    def test_live_arcs_directly_accessible(self, guide_doem):
+        encoded = encode_doem(guide_doem)
+        assert encoded.oem.has_arc("guide", "restaurant", "r1")
+        assert encoded.oem.has_arc("guide", "restaurant", "n2")
+
+    def test_removed_arc_not_directly_accessible(self, guide_doem):
+        # "only arcs that exist in the current snapshot ... are accessible
+        # directly via their labels in the encoding."
+        encoded = encode_doem(guide_doem)
+        assert not encoded.oem.has_arc("r2", "parking", "n7")
+
+    def test_every_arc_has_history_object(self, guide_doem):
+        encoded = encode_doem(guide_doem)
+        oem = encoded.oem
+        histories = list(oem.children("r2", "&parking-history"))
+        assert len(histories) == 1
+        record = histories[0]
+        assert list(oem.children(record, "&target")) == ["n7"]
+        rems = [oem.value(n) for n in oem.children(record, "&rem")]
+        assert rems == [parse_timestamp("8Jan97")]
+
+    def test_unannotated_arc_history_object_is_bare(self, guide_doem):
+        encoded = encode_doem(guide_doem)
+        oem = encoded.oem
+        histories = list(oem.children("r1", "&name-history"))
+        assert len(histories) == 1
+        record = histories[0]
+        assert list(oem.children(record, "&add")) == []
+        assert list(oem.children(record, "&rem")) == []
+
+    def test_encoding_is_valid_oem(self, guide_doem):
+        encode_doem(guide_doem).oem.check()
+
+    def test_object_ids_preserved(self, guide_doem):
+        encoded = encode_doem(guide_doem)
+        assert set(guide_doem.graph.nodes()) <= encoded.object_ids
+        assert encoded.is_encoding_object("n1")
+
+    def test_reserved_label_rejected(self):
+        graph = OEMDatabase(root="r")
+        graph.create_node("x", 1)
+        graph.add_arc("r", "&sneaky", "x")
+        with pytest.raises(EncodingError):
+            encode_doem(DOEMDatabase(graph))
+
+    def test_complex_old_value_encoded(self):
+        # An update that turned a complex object atomic stores ov = C.
+        graph = OEMDatabase(root="r")
+        graph.create_node("a", COMPLEX)
+        graph.add_arc("r", "a", "a")
+        history = OEMHistory([("1Jan97", [UpdNode("a", 5)])])
+        doem = build_doem(graph, history)
+        encoded = encode_doem(doem)
+        decoded = decode_doem(encoded)
+        assert decoded.same_as(doem)
+
+
+class TestHistoryLabels:
+    def test_round_trip(self):
+        assert history_label("price") == "&price-history"
+        assert label_from_history("&price-history") == "price"
+
+    def test_non_history_labels(self):
+        assert label_from_history("price") is None
+        assert label_from_history("&val") is None
+
+
+class TestDecodeRoundTrip:
+    def test_guide(self, guide_doem):
+        assert decode_doem(encode_doem(guide_doem)).same_as(guide_doem)
+
+    def test_annotation_free(self, guide_db):
+        doem = DOEMDatabase(guide_db.copy())
+        assert decode_doem(encode_doem(doem)).same_as(doem)
+
+    def test_orphaned_history_preserved(self):
+        # A whole subtree removed: its nodes survive only in the history;
+        # the &orphan arcs keep them reachable in the encoding.
+        graph = OEMDatabase(root="r")
+        graph.create_node("x", 5)
+        graph.add_arc("r", "v", "x")
+        history = OEMHistory([("1Jan97", [RemArc("r", "v", "x")])])
+        doem = build_doem(graph, history)
+        encoded = encode_doem(doem)
+        encoded.oem.check()
+        assert decode_doem(encoded).same_as(doem)
+
+    def test_random_histories_round_trip(self):
+        from repro import random_database, random_history
+        for seed in range(5):
+            db = random_database(seed=seed, nodes=25)
+            history = random_history(db, seed=seed, steps=4)
+            doem = build_doem(db, history)
+            assert decode_doem(encode_doem(doem)).same_as(doem), seed
+
+
+class TestDecodeErrors:
+    def _encoded_guide(self, guide_doem):
+        return encode_doem(guide_doem)
+
+    def test_missing_val_rejected(self, guide_doem):
+        encoded = self._encoded_guide(guide_doem)
+        val_node = next(iter(encoded.oem.children("n1", "&val")))
+        encoded.oem.remove_arc("n1", "&val", val_node)
+        with pytest.raises(EncodingError):
+            decode_doem(encoded)
+
+    def test_history_without_target_rejected(self, guide_doem):
+        encoded = self._encoded_guide(guide_doem)
+        record = next(iter(encoded.oem.children("r1", "&name-history")))
+        encoded.oem.remove_arc(record, "&target", "nm1")
+        with pytest.raises(EncodingError):
+            decode_doem(encoded)
+
+    def test_root_must_be_object(self, guide_doem):
+        encoded = self._encoded_guide(guide_doem)
+        encoded.object_ids.discard("guide")
+        with pytest.raises(EncodingError):
+            decode_doem(encoded)
+
+    def test_bad_timestamp_value_rejected(self, guide_doem):
+        encoded = self._encoded_guide(guide_doem)
+        cre_node = next(iter(encoded.oem.children("n2", "&cre")))
+        encoded.oem.update_value(cre_node, "not a timestamp")
+        with pytest.raises(EncodingError):
+            decode_doem(encoded)

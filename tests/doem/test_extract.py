@@ -1,0 +1,132 @@
+"""Tests for H(D) extraction and the feasibility test (Section 3.2)."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    AddArc,
+    CreNode,
+    DOEMDatabase,
+    OEMDatabase,
+    OEMHistory,
+    RemArc,
+    UpdNode,
+    build_doem,
+    encoded_history,
+    is_feasible,
+    parse_timestamp,
+)
+from repro.doem.annotations import Add, Cre, Rem, Upd
+from repro.doem.extract import original_database
+
+
+class TestEncodedHistory:
+    def test_guide_round_trip(self, guide_history, guide_doem):
+        assert encoded_history(guide_doem) == guide_history
+
+    def test_original_database(self, guide_db, guide_doem):
+        assert original_database(guide_doem).same_as(guide_db)
+
+    def test_update_chain_values(self):
+        graph = OEMDatabase(root="r")
+        graph.create_node("x", "v0")
+        graph.add_arc("r", "v", "x")
+        history = OEMHistory([
+            ("1Jan97", [UpdNode("x", "v1")]),
+            ("5Jan97", [UpdNode("x", "v2")]),
+        ])
+        doem = build_doem(graph, history)
+        extracted = encoded_history(doem)
+        entries = extracted.entries()
+        # "v is the next value of n": first update writes v1, second v2.
+        assert entries[0][1].operations() == (UpdNode("x", "v1"),)
+        assert entries[1][1].operations() == (UpdNode("x", "v2"),)
+
+    def test_creation_value_is_value_at_creation(self):
+        # A node created with value 1 then updated to 2: creNode must
+        # carry 1 (the old value of the first update), not 2.
+        graph = OEMDatabase(root="r")
+        history = OEMHistory([
+            ("1Jan97", [CreNode("x", 1), AddArc("r", "v", "x")]),
+            ("5Jan97", [UpdNode("x", 2)]),
+        ])
+        doem = build_doem(graph, history)
+        extracted = encoded_history(doem)
+        first_ops = set(extracted.entries()[0][1].operations())
+        assert CreNode("x", 1) in first_ops
+
+    def test_empty_history(self, guide_db):
+        doem = build_doem(guide_db, OEMHistory())
+        assert len(encoded_history(doem)) == 0
+
+    def test_extraction_then_rebuild_is_identity(self, guide_db, guide_history):
+        doem = build_doem(guide_db, guide_history)
+        rebuilt = build_doem(original_database(doem), encoded_history(doem))
+        assert rebuilt.same_as(doem)
+
+
+class TestFeasibility:
+    def test_built_doem_is_feasible(self, guide_doem):
+        assert is_feasible(guide_doem)
+
+    def test_unannotated_doem_is_feasible(self, guide_db):
+        assert is_feasible(DOEMDatabase(guide_db.copy()))
+
+    def test_hand_built_feasible(self):
+        graph = OEMDatabase(root="r")
+        graph.create_node("x", 5)
+        graph.add_arc("r", "v", "x")
+        doem = DOEMDatabase(graph)
+        doem.annotate_node("x", Upd(parse_timestamp("1Jan97"), 3))
+        assert is_feasible(doem)
+
+    def test_cre_on_original_looking_node_is_infeasible(self):
+        # A node with a cre annotation but reachable via an unannotated
+        # (original) arc: the original snapshot would contain an arc to a
+        # node that does not exist yet.
+        graph = OEMDatabase(root="r")
+        graph.create_node("x", 5)
+        graph.add_arc("r", "v", "x")
+        doem = DOEMDatabase(graph)
+        doem.annotate_node("x", Cre(parse_timestamp("1Jan97")))
+        assert not is_feasible(doem)
+
+    def test_add_annotation_without_cre_child_ok(self):
+        # An arc added later between two original nodes is feasible.
+        graph = OEMDatabase(root="r")
+        graph.create_node("a", COMPLEX)
+        graph.create_node("x", 5)
+        graph.add_arc("r", "a", "a")
+        graph.add_arc("r", "x", "x")
+        graph.add_arc("a", "link", "x")
+        doem = DOEMDatabase(graph)
+        doem.annotate_arc("a", "link", "x", Add(parse_timestamp("1Jan97")))
+        assert is_feasible(doem)
+
+    def test_rem_annotation_on_only_path_is_feasible(self):
+        # Removing the only arc deletes the subtree -- that is a legal
+        # history, so a DOEM recording it is feasible.
+        graph = OEMDatabase(root="r")
+        graph.create_node("x", 5)
+        graph.add_arc("r", "v", "x")
+        doem = DOEMDatabase(graph)
+        doem.annotate_arc("r", "v", "x", Rem(parse_timestamp("1Jan97")))
+        assert is_feasible(doem)
+
+    def test_double_add_same_time_is_infeasible(self):
+        graph = OEMDatabase(root="r")
+        graph.create_node("x", 5)
+        graph.add_arc("r", "v", "x")
+        doem = DOEMDatabase(graph)
+        when = parse_timestamp("1Jan97")
+        doem.annotate_arc("r", "v", "x", Add(when))
+        doem.annotate_arc("r", "v", "x", Add(when))
+        assert not is_feasible(doem)
+
+    def test_uniqueness_of_decomposition(self, guide_db, guide_history):
+        """Feasible D determines (O0, H) uniquely: extracting from two
+        structurally different builds of the same history agrees."""
+        doem_a = build_doem(guide_db, guide_history)
+        doem_b = build_doem(guide_db.copy(), guide_history)
+        assert encoded_history(doem_a) == encoded_history(doem_b)
+        assert original_database(doem_a).same_as(original_database(doem_b))

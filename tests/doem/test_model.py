@@ -1,0 +1,160 @@
+"""Tests for the DOEM database model (Definition 3.1) and its accessors."""
+
+import pytest
+
+from repro import COMPLEX, DOEMDatabase, OEMDatabase, parse_timestamp
+from repro import NEG_INF, POS_INF
+from repro.doem.annotations import Add, Cre, Rem, Upd, sort_key
+from repro.errors import DOEMError, UnknownNodeError
+
+
+@pytest.fixture
+def doem():
+    graph = OEMDatabase(root="r")
+    graph.create_node("a", COMPLEX)
+    graph.create_node("x", 5)
+    graph.add_arc("r", "child", "a")
+    graph.add_arc("a", "val", "x")
+    return DOEMDatabase(graph)
+
+
+T1 = parse_timestamp("1Jan97")
+T2 = parse_timestamp("5Jan97")
+T3 = parse_timestamp("8Jan97")
+
+
+class TestAnnotations:
+    def test_annotate_and_read_node(self, doem):
+        doem.annotate_node("a", Cre(T1))
+        doem.annotate_node("x", Upd(T2, 3))
+        assert doem.node_annotations("a") == (Cre(T1),)
+        assert doem.node_annotations("x") == (Upd(T2, 3),)
+
+    def test_annotations_sorted_by_time(self, doem):
+        doem.annotate_node("x", Upd(T3, 7))
+        doem.annotate_node("x", Upd(T1, 3))
+        times = [annotation.at for annotation in doem.node_annotations("x")]
+        assert times == [T1, T3]
+
+    def test_annotate_arc(self, doem):
+        doem.annotate_arc("r", "child", "a", Add(T1))
+        assert doem.arc_annotations("r", "child", "a") == (Add(T1),)
+
+    def test_arc_annotation_on_node_rejected(self, doem):
+        with pytest.raises(DOEMError):
+            doem.annotate_node("a", Add(T1))  # type: ignore[arg-type]
+
+    def test_node_annotation_on_arc_rejected(self, doem):
+        with pytest.raises(DOEMError):
+            doem.annotate_arc("r", "child", "a", Cre(T1))  # type: ignore[arg-type]
+
+    def test_unknown_targets_rejected(self, doem):
+        with pytest.raises(UnknownNodeError):
+            doem.annotate_node("zzz", Cre(T1))
+        with pytest.raises(DOEMError):
+            doem.annotate_arc("r", "nope", "a", Add(T1))
+
+    def test_timestamps_coerced_in_annotations(self):
+        assert Cre("1Jan97").at == T1  # type: ignore[arg-type]
+        assert Upd("5Jan97", 3).at == T2  # type: ignore[arg-type]
+
+    def test_sort_key_orders_kinds(self):
+        assert sort_key(Add(T1)) < sort_key(Rem(T1))
+        assert sort_key(Cre(T1)) < sort_key(Upd(T1, 0))
+
+    def test_annotation_count_and_timestamps(self, doem):
+        doem.annotate_node("x", Upd(T2, 3))
+        doem.annotate_arc("r", "child", "a", Add(T1))
+        assert doem.annotation_count() == 2
+        assert doem.timestamps() == [T1, T2]
+
+
+class TestChorelAccessors:
+    """creFun / updFun / addFun / remFun (Section 4.2.1)."""
+
+    def test_cre_times(self, doem):
+        assert doem.cre_times("a") == []
+        doem.annotate_node("a", Cre(T1))
+        assert doem.cre_times("a") == [T1]
+
+    def test_upd_triples_new_value_chain(self, doem):
+        # x: 1 -> 3 -> 5(current); old values recorded are 1 then 3.
+        doem.annotate_node("x", Upd(T1, 1))
+        doem.annotate_node("x", Upd(T2, 3))
+        triples = doem.upd_triples("x")
+        assert triples == [(T1, 1, 3), (T2, 3, 5)]
+
+    def test_add_and_rem_pairs(self, doem):
+        doem.annotate_arc("a", "val", "x", Add(T1))
+        doem.annotate_arc("a", "val", "x", Rem(T2))
+        assert doem.add_pairs("a", "val") == [(T1, "x")]
+        assert doem.rem_pairs("a", "val") == [(T2, "x")]
+        assert doem.add_pairs("a", "other") == []
+
+
+class TestLiveness:
+    def test_unannotated_arc_always_live(self, doem):
+        for when in [NEG_INF, T1, POS_INF]:
+            assert doem.arc_live_at("r", "child", "a", when)
+
+    def test_added_arc_live_after_add(self, doem):
+        doem.annotate_arc("a", "val", "x", Add(T2))
+        assert not doem.arc_live_at("a", "val", "x", T1)
+        assert doem.arc_live_at("a", "val", "x", T2)
+        assert doem.arc_live_at("a", "val", "x", POS_INF)
+
+    def test_removed_arc_dead_after_rem(self, doem):
+        doem.annotate_arc("a", "val", "x", Rem(T2))
+        assert doem.arc_live_at("a", "val", "x", T1)     # original arc
+        assert not doem.arc_live_at("a", "val", "x", T2)
+        assert not doem.arc_live_at("a", "val", "x", POS_INF)
+
+    def test_add_rem_add_timeline(self, doem):
+        doem.annotate_arc("a", "val", "x", Add(T1))
+        doem.annotate_arc("a", "val", "x", Rem(T2))
+        doem.annotate_arc("a", "val", "x", Add(T3))
+        assert not doem.arc_live_at("a", "val", "x", NEG_INF)
+        assert doem.arc_live_at("a", "val", "x", T1)
+        assert not doem.arc_live_at("a", "val", "x", T2)
+        assert doem.arc_live_at("a", "val", "x", T3)
+
+    def test_value_at(self, doem):
+        doem.annotate_node("x", Upd(T1, 1))
+        doem.annotate_node("x", Upd(T3, 3))
+        assert doem.value_at("x", NEG_INF) == 1
+        assert doem.value_at("x", T1) == 3       # after the T1 update
+        assert doem.value_at("x", T2) == 3
+        assert doem.value_at("x", T3) == 5       # current value
+        assert doem.value_at("x", POS_INF) == 5
+
+    def test_node_existed_at(self, doem):
+        doem.annotate_node("a", Cre(T2))
+        assert not doem.node_existed_at("a", T1)
+        assert doem.node_existed_at("a", T2)
+        assert doem.node_existed_at("x", NEG_INF)  # no cre -> original
+
+    def test_live_children_filters(self, doem):
+        doem.annotate_arc("a", "val", "x", Rem(T2))
+        assert list(doem.live_children("a", T1)) == [("val", "x")]
+        assert list(doem.live_children("a", T3)) == []
+
+
+class TestCopyEquality:
+    def test_copy_independent(self, doem):
+        doem.annotate_node("x", Upd(T1, 1))
+        clone = doem.copy()
+        clone.annotate_node("x", Upd(T2, 2))
+        assert len(doem.node_annotations("x")) == 1
+        assert len(clone.node_annotations("x")) == 2
+
+    def test_same_as(self, doem):
+        doem.annotate_node("x", Upd(T1, 1))
+        assert doem.same_as(doem.copy())
+        other = doem.copy()
+        other.annotate_arc("r", "child", "a", Rem(T3))
+        assert not doem.same_as(other)
+
+    def test_describe_and_repr(self, doem):
+        doem.annotate_node("x", Upd(T1, 1))
+        assert "upd" in doem.describe()
+        assert "annotations=1" in repr(doem)

@@ -1,0 +1,136 @@
+"""Tests for snapshot extraction (Section 3.2): O0(D), Ot(D), current."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    AddArc,
+    CreNode,
+    OEMDatabase,
+    OEMHistory,
+    RemArc,
+    UpdNode,
+    build_doem,
+    current_snapshot,
+    original_snapshot,
+    snapshot_at,
+)
+
+
+class TestGuideSnapshots:
+    def test_original_equals_figure2(self, guide_db, guide_doem):
+        assert original_snapshot(guide_doem).same_as(guide_db)
+
+    def test_current_equals_figure3(self, guide_doem, figure3_db):
+        assert current_snapshot(guide_doem).same_as(figure3_db)
+
+    def test_snapshot_before_first_change(self, guide_db, guide_doem):
+        assert snapshot_at(guide_doem, "31Dec96").same_as(guide_db)
+
+    def test_snapshot_between_changes(self, guide_doem):
+        mid = snapshot_at(guide_doem, "3Jan97")
+        # after t1: price updated, Hakata present without comment
+        assert mid.value("n1") == 20
+        assert mid.has_node("n2")
+        assert not mid.has_node("n5")
+        # parking arc still present (removed only at t3)
+        assert mid.has_arc("r2", "parking", "n7")
+        mid.check()
+
+    def test_snapshot_at_exact_change_time_includes_it(self, guide_doem):
+        at_t2 = snapshot_at(guide_doem, "5Jan97")
+        assert at_t2.has_node("n5")
+        assert at_t2.value("n5") == "need info"
+
+    def test_snapshot_after_everything(self, guide_doem, figure3_db):
+        assert snapshot_at(guide_doem, "1Jan99").same_as(figure3_db)
+
+    def test_every_snapshot_is_valid_oem(self, guide_doem):
+        for when in ["31Dec96", "1Jan97", "3Jan97", "5Jan97", "8Jan97"]:
+            snapshot_at(guide_doem, when).check()
+
+
+class TestSnapshotReplayAgreement:
+    """Ot(D) must equal the replayed history prefix at every instant."""
+
+    def test_replay_agreement(self, guide_db, guide_history, guide_doem):
+        snapshots = guide_history.replay(guide_db)
+        times = guide_history.timestamps()
+        # Just before t1, at t1..t3, and beyond.
+        assert snapshot_at(guide_doem, times[0].plus(days=-1)).same_as(snapshots[0])
+        for index, when in enumerate(times):
+            assert snapshot_at(guide_doem, when).same_as(snapshots[index + 1]), \
+                f"mismatch at {when}"
+            between = when.plus(hours=5)
+            expected = snapshots[index + 1] if index + 1 == len(times) \
+                or times[index + 1] > between else snapshots[index + 2]
+            assert snapshot_at(guide_doem, between).same_as(snapshots[index + 1])
+
+
+class TestTrickyTimelines:
+    def test_arc_added_between_pre_existing_nodes(self):
+        # Regression for the paper's literal Ot rule: an arc added at t2
+        # between original nodes must NOT be present before t2.
+        graph = OEMDatabase(root="r")
+        graph.create_node("a", COMPLEX)
+        graph.create_node("b", 1)
+        graph.add_arc("r", "a", "a")
+        graph.add_arc("r", "b", "b")
+        history = OEMHistory([("5Jan97", [AddArc("a", "link", "b")])])
+        doem = build_doem(graph, history)
+        early = snapshot_at(doem, "1Jan97")
+        assert not early.has_arc("a", "link", "b")
+        late = snapshot_at(doem, "6Jan97")
+        assert late.has_arc("a", "link", "b")
+
+    def test_deleted_subtree_disappears_from_later_snapshots(self):
+        graph = OEMDatabase(root="r")
+        graph.create_node("a", COMPLEX)
+        graph.create_node("x", 7)
+        graph.add_arc("r", "child", "a")
+        graph.add_arc("a", "val", "x")
+        history = OEMHistory([("5Jan97", [RemArc("r", "child", "a")])])
+        doem = build_doem(graph, history)
+        assert snapshot_at(doem, "1Jan97").has_node("x")
+        late = snapshot_at(doem, "6Jan97")
+        assert not late.has_node("a")
+        assert not late.has_node("x")
+        assert len(late) == 1
+
+    def test_created_node_absent_before_creation(self):
+        graph = OEMDatabase(root="r")
+        history = OEMHistory([
+            ("5Jan97", [CreNode("new", 1), AddArc("r", "kid", "new")]),
+        ])
+        doem = build_doem(graph, history)
+        assert not snapshot_at(doem, "4Jan97").has_node("new")
+        assert snapshot_at(doem, "5Jan97").value("new") == 1
+
+    def test_value_timeline_across_multiple_updates(self):
+        graph = OEMDatabase(root="r")
+        graph.create_node("x", "v0")
+        graph.add_arc("r", "v", "x")
+        history = OEMHistory([
+            ("1Jan97", [UpdNode("x", "v1")]),
+            ("5Jan97", [UpdNode("x", "v2")]),
+            ("9Jan97", [UpdNode("x", "v3")]),
+        ])
+        doem = build_doem(graph, history)
+        expectations = [("31Dec96", "v0"), ("1Jan97", "v1"),
+                        ("4Jan97", "v1"), ("5Jan97", "v2"),
+                        ("8Jan97", "v2"), ("9Jan97", "v3"),
+                        ("1Feb97", "v3")]
+        for when, expected in expectations:
+            assert snapshot_at(doem, when).value("x") == expected, when
+
+    def test_shared_node_survives_partial_removal(self, guide_doem):
+        # n7 loses the r2 arc at t3 but stays reachable through r1.
+        late = snapshot_at(guide_doem, "9Jan97")
+        assert late.has_node("n7")
+        assert late.has_arc("r1", "parking", "n7")
+        assert not late.has_arc("r2", "parking", "n7")
+
+    def test_cycle_preserved_in_snapshots(self, guide_doem):
+        snap = current_snapshot(guide_doem)
+        assert snap.has_arc("n7", "nearby-eats", "r1")
+        assert snap.has_arc("r1", "parking", "n7")

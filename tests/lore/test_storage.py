@@ -1,0 +1,75 @@
+"""Tests for the Lore store (named databases + file persistence)."""
+
+import pytest
+
+from repro import DOEMDatabase, LoreStore
+from repro.errors import SerializationError
+
+
+class TestInMemory:
+    def test_put_get_oem(self, guide_db):
+        store = LoreStore()
+        store.put_oem("guide", guide_db)
+        assert store.get_oem("guide") is guide_db
+
+    def test_put_get_doem(self, guide_doem):
+        store = LoreStore()
+        store.put_doem("history", guide_doem)
+        assert store.get_doem("history") is guide_doem
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            LoreStore().get_oem("nope")
+
+    def test_names(self, guide_db, guide_doem):
+        store = LoreStore()
+        store.put_oem("a", guide_db)
+        store.put_doem("b", guide_doem)
+        assert store.names() == ["a", "b"]
+        assert "a" in store and "zzz" not in store
+
+    def test_delete(self, guide_db):
+        store = LoreStore()
+        store.put_oem("a", guide_db)
+        store.delete("a")
+        assert store.names() == []
+
+    def test_illegal_names(self, guide_db):
+        store = LoreStore()
+        for bad in ["", "a/b", "a b", "dot.ted"]:
+            with pytest.raises(SerializationError):
+                store.put_oem(bad, guide_db)
+
+
+class TestDurable:
+    def test_oem_survives_reload(self, guide_db, tmp_path):
+        LoreStore(tmp_path).put_oem("guide", guide_db)
+        fresh = LoreStore(tmp_path)
+        assert fresh.get_oem("guide").same_as(guide_db)
+
+    def test_doem_survives_reload_via_encoding(self, guide_doem, tmp_path):
+        """DOEM persists through its Section 5.1 OEM encoding, exactly."""
+        LoreStore(tmp_path).put_doem("history", guide_doem)
+        fresh = LoreStore(tmp_path)
+        restored = fresh.get_doem("history")
+        assert restored.same_as(guide_doem)
+
+    def test_names_from_disk(self, guide_db, guide_doem, tmp_path):
+        store = LoreStore(tmp_path)
+        store.put_oem("plain", guide_db)
+        store.put_doem("annotated", guide_doem)
+        assert LoreStore(tmp_path).names() == ["annotated", "plain"]
+
+    def test_delete_removes_files(self, guide_doem, tmp_path):
+        store = LoreStore(tmp_path)
+        store.put_doem("d", guide_doem)
+        store.delete("d")
+        assert LoreStore(tmp_path).names() == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_random_doem_round_trips(self, tmp_path):
+        from repro import build_doem, random_database, random_history
+        db = random_database(seed=7, nodes=25)
+        doem = build_doem(db, random_history(db, seed=7, steps=4))
+        LoreStore(tmp_path).put_doem("rand", doem)
+        assert LoreStore(tmp_path).get_doem("rand").same_as(doem)

@@ -1,0 +1,98 @@
+"""Tests for label alternation ``(a|b)`` in path expressions."""
+
+import pytest
+
+from repro import COMPLEX, LorelEngine, OEMDatabase, parse_query
+from repro.lorel.ast import PathStep
+
+
+@pytest.fixture
+def venues():
+    db = OEMDatabase(root="g")
+    for key, kind, name in [("r1", "restaurant", "Janta"),
+                            ("c1", "cafe", "Blue Bottle"),
+                            ("b1", "bar", "Antonio's Nut House")]:
+        node = db.create_node(key, COMPLEX)
+        db.add_arc("g", kind, node)
+        atom = db.create_node(f"{key}n", name)
+        db.add_arc(node, "name", atom)
+    return db
+
+
+class TestParsing:
+    def test_alternation_label(self):
+        query = parse_query("select g.(restaurant|cafe).name")
+        step = query.select[0].expr.steps[0]
+        assert step.is_alternation
+        assert step.alternatives == ("restaurant", "cafe")
+
+    def test_three_way(self):
+        query = parse_query("select g.(a|b|c)")
+        assert query.select[0].expr.steps[0].alternatives == ("a", "b", "c")
+
+    def test_round_trip(self):
+        text = "select g.(restaurant|cafe).name"
+        query = parse_query(text)
+        assert parse_query(str(query)) == query
+
+    def test_bad_separator(self):
+        from repro import ParseError
+        with pytest.raises(ParseError):
+            parse_query("select g.(a,b)")
+
+    def test_condition_parens_still_work(self):
+        query = parse_query("select x where (a = 1 or b = 2) and c = 3")
+        assert query.where is not None
+
+    def test_plain_step_properties(self):
+        step = PathStep("name")
+        assert not step.is_alternation
+        assert step.alternatives == ("name",)
+
+
+class TestEvaluation:
+    def test_two_way_match(self, venues):
+        engine = LorelEngine(venues, name="g")
+        result = engine.run("select N from g.(restaurant|cafe).name N")
+        values = sorted(venues.value(node) for node in result.objects())
+        assert values == ["Blue Bottle", "Janta"]
+
+    def test_no_duplicate_on_overlap(self, venues):
+        engine = LorelEngine(venues, name="g")
+        result = engine.run("select V from g.(restaurant|restaurant) V")
+        assert len(result) == 1
+
+    def test_with_where(self, venues):
+        engine = LorelEngine(venues, name="g")
+        result = engine.run(
+            'select V from g.(cafe|bar) V where V.name like "%Nut%"')
+        assert result.objects() == ["b1"]
+
+    def test_alternation_with_node_annotation(self, guide_doem):
+        from repro import ChorelEngine
+        engine = ChorelEngine(guide_doem, name="guide")
+        result = engine.run(
+            "select guide.restaurant.(comment|name)<cre at T> "
+            "where T > 3Jan97")
+        assert [row.scalar().node for row in result] == ["n5"]
+
+    def test_alternation_with_node_annotation_translates(self, guide_doem):
+        from repro import TranslatingChorelEngine
+        engine = TranslatingChorelEngine(guide_doem, name="guide")
+        result = engine.run(
+            "select guide.restaurant.(comment|name)<cre at T> "
+            "where T > 3Jan97")
+        assert [row.scalar().node for row in result] == ["n5"]
+
+    def test_arc_annotation_on_alternation_native_ok(self, guide_doem):
+        from repro import ChorelEngine
+        engine = ChorelEngine(guide_doem, name="guide")
+        result = engine.run("select guide.<add at T>(restaurant|cafe)")
+        assert [row.scalar().node for row in result] == ["n2"]
+
+    def test_arc_annotation_on_alternation_translation_rejected(
+            self, guide_doem):
+        from repro import TranslatingChorelEngine, TranslationError
+        engine = TranslatingChorelEngine(guide_doem, name="guide")
+        with pytest.raises(TranslationError):
+            engine.run("select guide.<add at T>(restaurant|cafe)")

@@ -1,0 +1,93 @@
+"""Tests for GPE label closures: ``label*`` and ``label+``."""
+
+import pytest
+
+from repro import COMPLEX, LorelEngine, OEMDatabase, ParseError, parse_query
+
+
+@pytest.fixture
+def parts():
+    """A part hierarchy: engine -> piston -> ring, with a cycle."""
+    db = OEMDatabase(root="catalog")
+    db.create_node("engine", COMPLEX)
+    db.create_node("piston", COMPLEX)
+    db.create_node("ring", COMPLEX)
+    db.create_node("ename", "engine")
+    db.create_node("pname", "piston")
+    db.create_node("rname", "ring")
+    db.add_arc("catalog", "part", "engine")
+    db.add_arc("engine", "part", "piston")
+    db.add_arc("piston", "part", "ring")
+    db.add_arc("ring", "made-for", "engine")  # cycle
+    db.add_arc("engine", "name", "ename")
+    db.add_arc("piston", "name", "pname")
+    db.add_arc("ring", "name", "rname")
+    return db
+
+
+class TestParsing:
+    def test_star_and_plus(self):
+        query = parse_query("select catalog.part*.name")
+        step = query.select[0].expr.steps[0]
+        assert step.repetition == "*"
+        assert parse_query("select catalog.part+").select[0].expr.steps[0] \
+            .repetition == "+"
+
+    def test_round_trip(self):
+        for text in ["select catalog.part*.name", "select c.part+",
+                     "select c.(a|b)*"]:
+            query = parse_query(text)
+            assert parse_query(str(query)) == query
+
+    def test_arc_annotation_with_closure_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("select c.<add at T>part*")
+
+    def test_node_annotation_after_closure_allowed(self):
+        query = parse_query("select c.part*<cre at T>")
+        step = query.select[0].expr.steps[0]
+        assert step.repetition == "*" and step.node_annotation is not None
+
+
+class TestEvaluation:
+    def test_plus_requires_one_hop(self, parts):
+        engine = LorelEngine(parts, name="catalog")
+        result = engine.run("select P from catalog.part.part+ P")
+        assert sorted(result.objects()) == ["piston", "ring"]
+
+    def test_star_includes_start(self, parts):
+        engine = LorelEngine(parts, name="catalog")
+        result = engine.run("select P from catalog.part.part* P")
+        assert sorted(result.objects()) == ["engine", "piston", "ring"]
+
+    def test_closure_then_more_steps(self, parts):
+        engine = LorelEngine(parts, name="catalog")
+        result = engine.run("select N from catalog.part+.name N")
+        values = sorted(parts.value(node) for node in result.objects())
+        assert values == ["engine", "piston", "ring"]
+
+    def test_cycle_safe(self, parts):
+        engine = LorelEngine(parts, name="catalog")
+        result = engine.run(
+            "select P from catalog.part.(part|made-for)+ P")
+        # reaches everything in the cycle exactly once per object
+        assert sorted(result.objects()) == ["engine", "piston", "ring"]
+
+    def test_closure_with_node_annotation(self, guide_doem):
+        from repro import ChorelEngine
+        engine = ChorelEngine(guide_doem, name="guide")
+        # everything created, at any depth under restaurants (comment, name)
+        result = engine.run(
+            "select X from guide.restaurant.(comment|name)*<cre at T> X")
+        # '*' includes the restaurants themselves: n2 (Hakata) was created
+        # too, alongside its name (n3) and comment (n5).
+        assert sorted(row.scalar().node for row in result) == \
+            ["n2", "n3", "n5"]
+
+    def test_closure_in_translated_backend(self, guide_doem):
+        from repro import ChorelEngine, TranslatingChorelEngine
+        query = "select P from guide.restaurant.parking.nearby-eats* P"
+        native = ChorelEngine(guide_doem, name="guide")
+        translated = TranslatingChorelEngine(guide_doem, name="guide")
+        assert sorted(map(str, native.run(query))) == \
+            sorted(map(str, translated.run(query)))

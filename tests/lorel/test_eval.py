@@ -1,0 +1,224 @@
+"""Tests for Lorel evaluation over the Figure 3 guide database."""
+
+import pytest
+
+from repro import COMPLEX, EvaluationError, LorelEngine, OEMDatabase
+
+
+@pytest.fixture
+def engine(figure3_db):
+    return LorelEngine(figure3_db, name="guide")
+
+
+def names_of(db, result):
+    """Values of the name children of result objects (sorted)."""
+    out = []
+    for node in result.objects():
+        for child in db.children(node, "name"):
+            out.append(db.value(child))
+    return sorted(out)
+
+
+class TestExample41:
+    """Lorel's forgiving coercion (Example 4.1) on the Figure 3 data."""
+
+    def test_price_filter(self, engine, figure3_db):
+        result = engine.run(
+            "select guide.restaurant where guide.restaurant.price < 20.5")
+        # int 20 coerces and passes; "moderate" fails quietly; Hakata has
+        # no price at all: only Bangkok Cuisine qualifies.
+        assert names_of(figure3_db, result) == ["Bangkok Cuisine"]
+
+    def test_price_filter_catches_nothing_above(self, engine):
+        result = engine.run(
+            "select guide.restaurant where guide.restaurant.price < 5")
+        assert len(result) == 0
+
+    def test_string_comparison(self, engine, figure3_db):
+        result = engine.run(
+            'select guide.restaurant where guide.restaurant.price = "moderate"')
+        assert names_of(figure3_db, result) == ["Janta"]
+
+
+class TestPrefixUnification:
+    def test_select_and_where_share_restaurant(self, engine, figure3_db):
+        # Both paths must range over the SAME restaurant.
+        result = engine.run(
+            'select guide.restaurant.name '
+            'where guide.restaurant.price = "moderate"')
+        values = [figure3_db.value(node) for node in result.objects()]
+        assert values == ["Janta"]
+
+    def test_from_paths_share_prefix(self, engine):
+        # Example 4.4's pattern: two from paths over one restaurant var.
+        result = engine.run(
+            "select N from guide.restaurant.price P, "
+            "guide.restaurant.name N where P < 20.5")
+        assert len(result) == 1
+
+    def test_explicit_distinct_variables_stay_distinct(self, engine):
+        result = engine.run(
+            "select A, B from guide.restaurant A, guide.restaurant B")
+        # 3 restaurants -> 9 ordered pairs.
+        assert len(result) == 9
+
+    def test_where_only_prefix_unifies_with_select(self, engine, figure3_db):
+        result = engine.run(
+            "select guide.restaurant where guide.restaurant.comment")
+        assert names_of(figure3_db, result) == ["Hakata"]
+
+
+class TestPathFeatures:
+    def test_wildcard_reaches_deep_values(self, engine):
+        result = engine.run('select V from guide.# V where V = "Palo Alto"')
+        assert len(result) == 1
+
+    def test_wildcard_matches_zero_steps(self, engine):
+        result = engine.run("select V from guide.restaurant.# V, "
+                            "guide.restaurant.name N "
+                            'where V = "Hakata" and N = "Hakata"')
+        # '#' of length 1 (name) reaches the atom; the atom also equals N.
+        assert len(result) == 1
+
+    def test_label_pattern(self, engine, figure3_db):
+        result = engine.run("select X from guide.restaurant.price% X")
+        values = sorted(str(figure3_db.value(node))
+                        for node in result.objects())
+        assert values == ["20", "moderate"]
+
+    def test_pattern_no_match(self, engine):
+        assert len(engine.run("select X from guide.zzz% X")) == 0
+
+    def test_cycle_safe_wildcard(self, engine):
+        # The guide graph is cyclic (parking/nearby-eats); '#' must stop.
+        result = engine.run("select X from guide.# X")
+        assert len(result) > 0
+
+    def test_like_on_path(self, engine, figure3_db):
+        result = engine.run('select N from guide.restaurant.name N '
+                            'where N like "%a%"')
+        values = sorted(figure3_db.value(node) for node in result.objects())
+        assert values == ["Bangkok Cuisine", "Hakata", "Janta"]
+
+    def test_path_through_shared_object(self, engine, figure3_db):
+        # n7 is reachable from r1 via parking; nearby-eats cycles back.
+        result = engine.run(
+            "select N from guide.restaurant.parking.nearby-eats.name N")
+        values = [figure3_db.value(node) for node in result.objects()]
+        assert values == ["Bangkok Cuisine"]
+
+
+class TestConditions:
+    def test_and(self, engine):
+        result = engine.run(
+            'select guide.restaurant where guide.restaurant.price < 100 '
+            'and guide.restaurant.cuisine = "Indian"')
+        assert len(result) == 0  # Janta has a string price (fails < 100)
+
+    def test_or(self, engine, figure3_db):
+        result = engine.run(
+            'select guide.restaurant where guide.restaurant.price < 100 '
+            'or guide.restaurant.cuisine = "Indian"')
+        assert names_of(figure3_db, result) == ["Bangkok Cuisine", "Janta"]
+
+    def test_not(self, engine, figure3_db):
+        result = engine.run(
+            "select guide.restaurant where not guide.restaurant.price")
+        assert names_of(figure3_db, result) == ["Hakata"]
+
+    def test_exists(self, engine, figure3_db):
+        result = engine.run(
+            "select R from guide.restaurant R where "
+            'exists C in R.address.city : C = "Palo Alto"')
+        assert names_of(figure3_db, result) == ["Janta"]
+
+    def test_bare_path_existence(self, engine, figure3_db):
+        result = engine.run(
+            "select guide.restaurant where guide.restaurant.parking")
+        assert names_of(figure3_db, result) == ["Bangkok Cuisine"]
+
+    def test_comparison_between_two_paths(self, engine, figure3_db):
+        db = figure3_db
+        result = engine.run(
+            "select A from guide.restaurant A, guide.restaurant B "
+            "where A.price < B.price")
+        # only numeric 20 vs "moderate" could compare; strings don't
+        # coerce -> no pair satisfies.
+        assert len(result) == 0
+
+    def test_variable_flow_across_and(self, engine):
+        # A variable bound in the left conjunct is visible on the right.
+        result = engine.run(
+            "select R from guide.restaurant R, R.price P "
+            "where P = 20 and P < 30")
+        assert len(result) == 1
+
+
+class TestResults:
+    def test_duplicate_rows_collapse(self, engine):
+        # Janta + Bangkok share the parking object: one row, not two.
+        result = engine.run("select P from guide.restaurant.parking P")
+        assert len(result) == 1
+
+    def test_default_labels(self, engine):
+        result = engine.run("select guide.restaurant.name")
+        assert result.first().labels() == ["name"]
+
+    def test_as_label_override(self, engine):
+        result = engine.run("select N as nm from guide.restaurant.name N")
+        assert result.first().labels() == ["nm"]
+
+    def test_row_accessors(self, engine):
+        row = engine.run("select guide.restaurant.name").first()
+        assert row.get("name") is row["name"]
+        assert row.get("missing", 42) == 42
+        with pytest.raises(KeyError):
+            row["missing"]
+
+    def test_result_as_oem_single_item(self, engine, figure3_db):
+        result = engine.run("select guide.restaurant")
+        answer = result.as_oem(figure3_db)
+        answer.check()
+        assert len(list(answer.children(answer.root, "restaurant"))) == 3
+        # Subobjects came along recursively.
+        assert any(answer.value(node) == "Bangkok Cuisine"
+                   for node in answer.nodes())
+
+    def test_result_as_oem_multi_item(self, engine, figure3_db):
+        result = engine.run(
+            "select N, P from guide.restaurant R, R.name N, R.price P")
+        answer = result.as_oem(figure3_db)
+        rows = list(answer.children(answer.root, "row"))
+        assert len(rows) == len(result)
+
+    def test_as_oem_preserves_cycles(self, engine, figure3_db):
+        result = engine.run("select guide.restaurant")
+        answer = result.as_oem(figure3_db)
+        # The parking cycle must survive the copy.
+        assert any(arc.label == "nearby-eats" for arc in answer.arcs())
+
+
+class TestErrors:
+    def test_unknown_root_name(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.run("select nosuch.restaurant")
+
+    def test_unbound_select_variable(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.run("select Z from guide.restaurant R")
+
+    def test_scalar_cannot_start_path(self):
+        db = OEMDatabase(root="r")
+        db.create_node("x", 1)
+        db.add_arc("r", "v", "x")
+        engine = LorelEngine(db)
+        # V is an object (atomic node) -- paths from atomic nodes just
+        # yield nothing rather than erroring.
+        result = engine.run("select V from r.v V where V.deeper = 1")
+        assert len(result) == 0
+
+    def test_register_name(self, figure3_db):
+        engine = LorelEngine(figure3_db, name="guide")
+        engine.register_name("bangkok", "r1")
+        result = engine.run("select N from bangkok.name N")
+        assert len(result) == 1

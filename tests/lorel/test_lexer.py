@@ -1,0 +1,141 @@
+"""Tests for the Lorel/Chorel tokenizer."""
+
+import pytest
+
+from repro import LexError, parse_timestamp
+from repro.lorel.lexer import tokenize
+from repro.lorel.tokens import TokenKind
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        for variant in ["select", "SELECT", "Select"]:
+            token = tokenize(variant)[0]
+            assert token.kind is TokenKind.KEYWORD
+            assert token.value == "select"
+
+    def test_identifiers_with_dashes(self):
+        token = tokenize("nearby-eats")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "nearby-eats"
+
+    def test_amp_identifiers(self):
+        token = tokenize("&price-history")[0]
+        assert token.kind is TokenKind.AMP_IDENT
+        assert token.text == "&price-history"
+
+    def test_stray_ampersand(self):
+        with pytest.raises(LexError):
+            tokenize("& illegal")
+
+    def test_numbers(self):
+        tokens = tokenize("42 20.5 1e3 -7 -2.5")
+        values = [token.value for token in tokens[:-1]]
+        assert values == [42, 20.5, 1000.0, -7, -2.5]
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[1].kind is TokenKind.REAL
+
+    def test_strings_with_escapes(self):
+        token = tokenize(r'"a\"b\n"')[0]
+        assert token.value == 'a"b\n'
+
+    def test_single_quoted_strings(self):
+        assert tokenize("'hello'")[0].value == "hello"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_comments_skipped(self):
+        assert kinds("select -- a comment\n x") == \
+            [TokenKind.KEYWORD, TokenKind.IDENT]
+
+    def test_punctuation(self):
+        assert kinds(". , : ( ) #") == [
+            TokenKind.DOT, TokenKind.COMMA, TokenKind.COLON,
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.HASH]
+
+
+class TestTimestampLiterals:
+    def test_paper_style(self):
+        token = tokenize("4Jan97")[0]
+        assert token.kind is TokenKind.TIMESTAMP
+        assert token.value == parse_timestamp("4Jan97")
+
+    def test_iso_style(self):
+        token = tokenize("1997-01-04")[0]
+        assert token.kind is TokenKind.TIMESTAMP
+        assert token.value == parse_timestamp("4Jan97")
+
+    def test_in_context(self):
+        tokens = tokenize("where T < 4Jan97")
+        assert tokens[-2].kind is TokenKind.TIMESTAMP
+
+    def test_number_not_mistaken(self):
+        token = tokenize("1997")[0]
+        assert token.kind is TokenKind.INT
+
+    def test_malformed_mixed_literal(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")
+
+
+class TestTimeVars:
+    def test_basic(self):
+        token = tokenize("t[-1]")[0]
+        assert token.kind is TokenKind.TIMEVAR
+        assert token.value == -1
+
+    def test_zero_and_deep(self):
+        assert tokenize("t[0]")[0].value == 0
+        assert tokenize("t[-12]")[0].value == -12
+
+    def test_plain_t_is_ident(self):
+        token = tokenize("t ")[0]
+        assert token.kind is TokenKind.IDENT
+
+
+class TestAngleBrackets:
+    def test_annotation_opener(self):
+        tokens = tokenize("<add at T>")
+        assert tokens[0].kind is TokenKind.LANGLE
+        assert tokens[-2].kind is TokenKind.RANGLE
+
+    def test_comparison_less_than(self):
+        tokens = tokenize("T < 5")
+        assert tokens[1].kind is TokenKind.OP
+        assert tokens[1].text == "<"
+
+    def test_leq_geq_neq(self):
+        tokens = tokenize("a <= b >= c <> d != e == f = g")
+        ops = [token.text for token in tokens
+               if token.kind is TokenKind.OP]
+        assert ops == ["<=", ">=", "<>", "!=", "==", "="]
+
+    def test_greater_than_is_rangle(self):
+        # '>' is always RANGLE lexically; the parser contextualizes it.
+        tokens = tokenize("NV > 15")
+        assert tokens[1].kind is TokenKind.RANGLE
+
+    def test_upd_annotation_opener(self):
+        assert tokenize("<upd from X>")[0].kind is TokenKind.LANGLE
+        assert tokenize("<cre>")[0].kind is TokenKind.LANGLE
+        assert tokenize("<rem at T>")[0].kind is TokenKind.LANGLE
+        assert tokenize("<at T>")[0].kind is TokenKind.LANGLE
+
+    def test_positions_recorded(self):
+        tokens = tokenize("select x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("select ^")

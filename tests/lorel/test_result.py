@@ -1,0 +1,129 @@
+"""Tests for query results and OEM answer packaging."""
+
+import pytest
+
+from repro import COMPLEX, OEMDatabase
+from repro.lorel.result import ObjectRef, QueryResult, Row
+
+
+@pytest.fixture
+def source():
+    db = OEMDatabase(root="g")
+    db.create_node("a", COMPLEX)
+    db.create_node("x", 1)
+    db.create_node("y", "two")
+    db.add_arc("g", "item", "a")
+    db.add_arc("a", "num", "x")
+    db.add_arc("a", "word", "y")
+    return db
+
+
+class TestRow:
+    def test_accessors(self):
+        row = Row((("name", "Janta"), ("price", 10)))
+        assert row["name"] == "Janta"
+        assert row.get("price") == 10
+        assert row.get("missing", "d") == "d"
+        assert row.labels() == ["name", "price"]
+        assert row.values() == ["Janta", 10]
+
+    def test_duplicate_labels_first_wins_on_lookup(self):
+        row = Row((("v", 1), ("v", 2)))
+        assert row["v"] == 1
+        assert row.values() == [1, 2]
+
+    def test_scalar(self):
+        assert Row((("v", 42),)).scalar() == 42
+        with pytest.raises(ValueError):
+            Row((("a", 1), ("b", 2))).scalar()
+
+    def test_str(self):
+        assert str(Row((("v", 42),))) == "{v: 42}"
+
+
+class TestQueryResult:
+    def test_set_semantics(self):
+        result = QueryResult()
+        result.add(Row((("v", 1),)))
+        result.add(Row((("v", 1),)))
+        result.add(Row((("v", 2),)))
+        assert len(result) == 2
+
+    def test_order_preserved(self):
+        result = QueryResult([Row((("v", 2),)), Row((("v", 1),))])
+        assert [row.scalar() for row in result] == [2, 1]
+        assert result.first().scalar() == 2
+
+    def test_column_and_objects(self):
+        result = QueryResult([
+            Row((("n", ObjectRef("a")), ("t", 1))),
+            Row((("n", ObjectRef("b")), ("t", 2))),
+        ])
+        assert result.column("t") == [1, 2]
+        assert result.objects() == ["a", "b"]
+
+    def test_bool_and_str(self):
+        assert not QueryResult()
+        assert str(QueryResult()) == "(empty result)"
+        filled = QueryResult([Row((("v", 1),))])
+        assert filled and "v: 1" in str(filled)
+
+
+class TestAsOem:
+    def test_single_item_rows(self, source):
+        result = QueryResult([Row((("item", ObjectRef("a")),))])
+        answer = result.as_oem(source)
+        answer.check()
+        item = next(iter(answer.children("answer", "item")))
+        values = {answer.value(child)
+                  for child in answer.children(item)}
+        assert values == {1, "two"}
+
+    def test_multi_item_rows_use_row_objects(self, source):
+        result = QueryResult([
+            Row((("n", ObjectRef("x")), ("w", ObjectRef("y")))),
+        ])
+        answer = result.as_oem(source)
+        rows = list(answer.children("answer", "row"))
+        assert len(rows) == 1
+        assert set(answer.out_labels(rows[0])) == {"n", "w"}
+
+    def test_scalars_become_atoms(self, source):
+        result = QueryResult([Row((("when", 42),))])
+        answer = result.as_oem(source)
+        node = next(iter(answer.children("answer", "when")))
+        assert answer.value(node) == 42
+
+    def test_preserve_ids(self, source):
+        result = QueryResult([Row((("item", ObjectRef("a")),))])
+        answer = result.as_oem(source, preserve_ids=True)
+        assert answer.has_node("a") and answer.has_node("x")
+
+    def test_fresh_ids(self, source):
+        result = QueryResult([Row((("item", ObjectRef("a")),))])
+        answer = result.as_oem(source, preserve_ids=False)
+        assert not answer.has_node("a")
+        assert len(answer) == 4  # root + a + x + y under new names
+
+    def test_shared_object_copied_once(self, source):
+        result = QueryResult([
+            Row((("first", ObjectRef("a")),)),
+            Row((("second", ObjectRef("a")),)),
+        ])
+        answer = result.as_oem(source)
+        assert len(list(answer.children("answer", "first"))) == 1
+        assert len(list(answer.children("answer", "second"))) == 1
+        # one underlying copy, two arcs to it
+        assert len(answer) == 1 + 3
+
+    def test_cycles_survive(self, source):
+        source.add_arc("a", "up", "g")  # cycle through the root
+        result = QueryResult([Row((("item", ObjectRef("a")),))])
+        answer = result.as_oem(source)
+        answer.check()
+        assert any(arc.label == "up" for arc in answer.arcs())
+
+    def test_custom_root(self, source):
+        result = QueryResult([Row((("item", ObjectRef("a")),))])
+        answer = result.as_oem(source, root="notification")
+        assert answer.root == "notification"

@@ -1,0 +1,87 @@
+"""Tests for the data-view layer (OEMView / DOEMView)."""
+
+import pytest
+
+from repro import COMPLEX, OEMDatabase, parse_timestamp
+from repro.lorel.views import DOEMView, OEMView
+
+
+class TestOEMView:
+    def test_children_and_labels(self, guide_db):
+        view = OEMView(guide_db, {"guide": "guide"})
+        assert set(view.children("guide", "restaurant")) == {"r1", "r2"}
+        assert "restaurant" in set(view.labels("guide"))
+
+    def test_value(self, guide_db):
+        view = OEMView(guide_db)
+        assert view.value("n1") == 10
+        assert view.value("r1") is COMPLEX
+
+    def test_name_resolution(self, guide_db):
+        view = OEMView(guide_db, {"thedata": "guide"})
+        assert view.resolve_name("thedata") == "guide"
+        assert view.resolve_name("missing") is None
+        assert view.names() == {"thedata": "guide"}
+
+    def test_default_name_is_root(self, guide_db):
+        view = OEMView(guide_db)
+        assert view.resolve_name("guide") == "guide"
+
+    def test_annotation_functions_empty(self, guide_db):
+        view = OEMView(guide_db)
+        assert view.cre_fun("n1") == []
+        assert view.upd_fun("n1") == []
+        assert view.add_fun("guide", "restaurant") == []
+        assert view.rem_fun("guide", "restaurant") == []
+
+    def test_time_is_always_now(self, guide_db):
+        view = OEMView(guide_db)
+        when = parse_timestamp("1Jan90")
+        assert set(view.children_at("guide", "restaurant", when)) == \
+            {"r1", "r2"}
+        assert view.value_at("n1", when) == 10
+
+    def test_matching_labels(self, guide_db):
+        view = OEMView(guide_db)
+        assert set(view.matching_labels("r2", "%")) >= {"name", "price"}
+        assert list(view.matching_labels("r2", "pri%")) == ["price"]
+
+    def test_amp_labels_hidden_from_patterns(self):
+        db = OEMDatabase(root="r")
+        db.create_node("v", 5)
+        db.add_arc("r", "&val", "v")
+        db.create_node("x", 1)
+        db.add_arc("r", "value", "x")
+        view = OEMView(db)
+        assert list(view.matching_labels("r", "%")) == ["value"]
+        assert list(view.matching_labels("r", "&va%")) == ["&val"]
+
+
+class TestDOEMView:
+    def test_plain_children_are_current_snapshot(self, guide_doem):
+        view = DOEMView(guide_doem, {"guide": "guide"})
+        # Janta's removed parking arc is invisible to plain navigation.
+        assert list(view.children("r2", "parking")) == []
+        assert list(view.children("r1", "parking")) == ["n7"]
+
+    def test_labels_exclude_dead_arcs(self, guide_doem):
+        view = DOEMView(guide_doem)
+        assert "parking" not in set(view.labels("r2"))
+        assert "parking" in set(view.all_labels("r2"))
+
+    def test_annotation_functions(self, guide_doem):
+        view = DOEMView(guide_doem)
+        t1 = parse_timestamp("1Jan97")
+        assert view.cre_fun("n2") == [t1]
+        assert view.upd_fun("n1") == [(t1, 10, 20)]
+        assert view.add_fun("guide", "restaurant") == [(t1, "n2")]
+        assert view.rem_fun("r2", "parking") == \
+            [(parse_timestamp("8Jan97"), "n7")]
+
+    def test_time_travel(self, guide_doem):
+        view = DOEMView(guide_doem)
+        early = parse_timestamp("31Dec96")
+        assert view.value_at("n1", early) == 10
+        assert list(view.children_at("r2", "parking", early)) == ["n7"]
+        assert set(view.children_at("guide", "restaurant", early)) == \
+            {"r1", "r2"}

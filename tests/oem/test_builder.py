@@ -1,0 +1,130 @@
+"""Tests for the GraphBuilder construction DSL."""
+
+import pytest
+
+from repro import COMPLEX, GraphBuilder
+from repro.errors import OEMError
+from repro.oem.builder import build_database
+
+
+class TestBasicSpecs:
+    def test_flat_atoms(self):
+        db = build_database({"name": "Janta", "price": 10})
+        names = [db.value(node) for node in db.children(db.root, "name")]
+        assert names == ["Janta"]
+
+    def test_nested(self):
+        db = build_database({"restaurant": {"name": "Janta",
+                                            "address": {"city": "PA"}}})
+        restaurant = next(iter(db.children(db.root, "restaurant")))
+        address = next(iter(db.children(restaurant, "address")))
+        city = next(iter(db.children(address, "city")))
+        assert db.value(city) == "PA"
+
+    def test_list_fans_out(self):
+        db = build_database({"item": [1, 2, 3]})
+        values = sorted(db.value(node)
+                        for node in db.children(db.root, "item"))
+        assert values == [1, 2, 3]
+
+    def test_mixed_list(self):
+        db = build_database({"entry": ["flat", {"deep": 1}]})
+        assert len(list(db.children(db.root, "entry"))) == 2
+
+    def test_database_is_checked_valid(self):
+        db = build_database({"a": {"b": {"c": 1}}})
+        db.check()
+
+    def test_unsupported_spec_rejected(self):
+        with pytest.raises(OEMError):
+            build_database({"bad": object()})
+
+
+class TestRefs:
+    def test_shared_object(self):
+        builder = GraphBuilder()
+        lot = builder.ref("lot")
+        builder.build({
+            "restaurant": [
+                {"name": "Janta",
+                 "parking": builder.define(lot, {"address": "Lytton lot 2"})},
+                {"name": "Bangkok", "parking": lot},
+            ],
+        })
+        db = builder.database
+        assert lot.node_id is not None
+        parents = sorted(arc.source for arc in db.in_arcs(lot.node_id))
+        assert len(parents) == 2
+        db.check()
+
+    def test_forward_reference(self):
+        builder = GraphBuilder()
+        later = builder.ref("later")
+        builder.build({
+            "first": {"uses": later},
+            "second": builder.define(later, {"name": "defined afterwards"}),
+        })
+        db = builder.database
+        assert later.node_id is not None
+        db.check()
+
+    def test_cycle_via_root_ref(self):
+        builder = GraphBuilder()
+        builder.build({"child": {"back-to-top": builder.root_ref()}})
+        db = builder.database
+        child = next(iter(db.children(db.root, "child")))
+        assert db.has_arc(child, "back-to-top", db.root)
+        db.check()
+
+    def test_atomic_ref_target(self):
+        builder = GraphBuilder()
+        price = builder.ref("price")
+        builder.build({
+            "a": {"price": builder.define(price, 10)},
+            "b": {"price": price},
+        })
+        db = builder.database
+        assert db.value(price.node_id) == 10
+        assert len(list(db.in_arcs(price.node_id))) == 2
+
+    def test_undefined_ref_rejected(self):
+        builder = GraphBuilder()
+        dangling = builder.ref("dangling")
+        with pytest.raises(OEMError):
+            builder.build({"uses": dangling})
+
+    def test_double_definition_rejected(self):
+        builder = GraphBuilder()
+        ref = builder.ref("twice")
+        with pytest.raises(OEMError):
+            builder.build({
+                "a": builder.define(ref, {"x": 1}),
+                "b": builder.define(ref, {"y": 2}),
+            })
+
+    def test_figure2_shape(self):
+        """Build Figure 2's shape via the DSL: shared parking + cycle."""
+        builder = GraphBuilder(root="guide")
+        parking = builder.ref("parking")
+        bangkok = builder.ref("bangkok")
+        builder.build({
+            "restaurant": [
+                builder.define(bangkok, {
+                    "name": "Bangkok Cuisine", "price": 10,
+                    "address": "120 Lytton",
+                    "parking": builder.define(parking, {
+                        "address": "Lytton lot 2",
+                        "comment": "usually full",
+                        "nearby-eats": bangkok,
+                    }),
+                }),
+                {"name": "Janta", "cuisine": "Indian", "price": "moderate",
+                 "parking": parking,
+                 "address": {"street": "Lytton", "city": "Palo Alto"}},
+            ],
+        })
+        db = builder.database
+        db.check()
+        # the cycle: bangkok -> parking -> bangkok
+        assert db.has_arc(bangkok.node_id, "parking", parking.node_id)
+        assert db.has_arc(parking.node_id, "nearby-eats", bangkok.node_id)

@@ -1,0 +1,157 @@
+"""Tests for the four basic change operations (Section 2.1)."""
+
+import pytest
+
+from repro import COMPLEX, AddArc, CreNode, OEMDatabase, RemArc, UpdNode
+from repro.errors import InvalidChangeError, ValueError_
+
+
+@pytest.fixture
+def db():
+    base = OEMDatabase(root="r")
+    base.create_node("a", COMPLEX)
+    base.create_node("x", 1)
+    base.add_arc("r", "child", "a")
+    base.add_arc("a", "val", "x")
+    return base
+
+
+class TestCreNode:
+    def test_valid_and_apply(self, db):
+        op = CreNode("fresh", 42)
+        assert op.is_valid(db)
+        op.apply(db)
+        assert db.value("fresh") == 42
+
+    def test_existing_id_invalid(self, db):
+        op = CreNode("a", 5)
+        assert not op.is_valid(db)
+        with pytest.raises(InvalidChangeError):
+            op.apply(db)
+
+    def test_complex_creation(self, db):
+        CreNode("c", COMPLEX).apply(db)
+        assert db.is_complex("c")
+
+    def test_illegal_value_rejected_at_construction(self):
+        with pytest.raises(ValueError_):
+            CreNode("n", [1, 2])  # type: ignore[arg-type]
+
+    def test_no_inverse(self, db):
+        assert CreNode("fresh", 1).inverse(db) is None
+
+    def test_touched_nodes(self):
+        assert CreNode("n", 1).touched_nodes() == {"n"}
+
+    def test_str(self):
+        assert str(CreNode("n2", COMPLEX)) == "creNode(n2, C)"
+
+
+class TestUpdNode:
+    def test_valid_and_apply(self, db):
+        op = UpdNode("x", 99)
+        assert op.is_valid(db)
+        op.apply(db)
+        assert db.value("x") == 99
+
+    def test_unknown_node_invalid(self, db):
+        assert not UpdNode("zzz", 1).is_valid(db)
+        with pytest.raises(InvalidChangeError):
+            UpdNode("zzz", 1).apply(db)
+
+    def test_complex_with_children_cannot_become_atomic(self, db):
+        op = UpdNode("a", 5)
+        assert not op.is_valid(db)
+        with pytest.raises(InvalidChangeError):
+            op.apply(db)
+
+    def test_complex_with_children_can_stay_complex(self, db):
+        assert UpdNode("a", COMPLEX).is_valid(db)
+
+    def test_inverse_restores(self, db):
+        op = UpdNode("x", 99)
+        inverse = op.inverse(db)
+        op.apply(db)
+        inverse.apply(db)
+        assert db.value("x") == 1
+
+    def test_str(self):
+        assert str(UpdNode("n1", 20)) == "updNode(n1, 20)"
+
+
+class TestAddArc:
+    def test_valid_and_apply(self, db):
+        db.create_node("y", 2)
+        op = AddArc("a", "val", "y")
+        assert op.is_valid(db)
+        op.apply(db)
+        assert db.has_arc("a", "val", "y")
+
+    def test_atomic_parent_invalid(self, db):
+        assert not AddArc("x", "l", "a").is_valid(db)
+
+    def test_existing_arc_invalid(self, db):
+        assert not AddArc("a", "val", "x").is_valid(db)
+
+    def test_unknown_endpoints_invalid(self, db):
+        assert not AddArc("a", "l", "zzz").is_valid(db)
+        assert not AddArc("zzz", "l", "x").is_valid(db)
+
+    def test_inverse(self, db):
+        db.create_node("y", 2)
+        op = AddArc("a", "val", "y")
+        op.apply(db)
+        op.inverse(db).apply(db)
+        assert not db.has_arc("a", "val", "y")
+
+    def test_str(self):
+        assert str(AddArc("n4", "restaurant", "n2")) == \
+            "addArc(n4, 'restaurant', n2)"
+
+
+class TestRemArc:
+    def test_valid_and_apply(self, db):
+        op = RemArc("a", "val", "x")
+        assert op.is_valid(db)
+        op.apply(db)
+        assert not db.has_arc("a", "val", "x")
+
+    def test_missing_arc_invalid(self, db):
+        assert not RemArc("r", "nope", "a").is_valid(db)
+        with pytest.raises(InvalidChangeError):
+            RemArc("r", "nope", "a").apply(db)
+
+    def test_inverse(self, db):
+        op = RemArc("a", "val", "x")
+        op.apply(db)
+        op.inverse(db).apply(db)
+        assert db.has_arc("a", "val", "x")
+
+    def test_ops_are_hashable_and_frozen(self):
+        ops = {RemArc("a", "l", "b"), RemArc("a", "l", "b")}
+        assert len(ops) == 1
+        with pytest.raises(Exception):
+            RemArc("a", "l", "b").label = "m"  # type: ignore[misc]
+
+
+class TestExample22:
+    """The modification sequence of Example 2.2, operation by operation."""
+
+    def test_full_sequence(self, guide_db):
+        # 1Jan97: price update + Hakata creation
+        UpdNode("n1", 20).apply(guide_db)
+        CreNode("n2", COMPLEX).apply(guide_db)
+        CreNode("n3", "Hakata").apply(guide_db)
+        AddArc("guide", "restaurant", "n2").apply(guide_db)
+        AddArc("n2", "name", "n3").apply(guide_db)
+        # 5Jan97: the comment
+        CreNode("n5", "need info").apply(guide_db)
+        AddArc("n2", "comment", "n5").apply(guide_db)
+        # 8Jan97: parking removed
+        RemArc("r2", "parking", "n7").apply(guide_db)
+
+        assert guide_db.value("n1") == 20
+        assert guide_db.has_arc("guide", "restaurant", "n2")
+        assert not guide_db.has_arc("r2", "parking", "n7")
+        # n7 is still reachable through Bangkok Cuisine's parking arc.
+        guide_db.check()

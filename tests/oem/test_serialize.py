@@ -1,0 +1,156 @@
+"""Tests for the textual OEM format and the JSON bridge."""
+
+import pytest
+
+from repro import COMPLEX, OEMDatabase, dumps, from_json, loads, parse_timestamp, to_json
+from repro.errors import SerializationError
+
+
+class TestDumpLoadRoundTrip:
+    def test_atomic_values(self):
+        db = OEMDatabase(root="r")
+        for node, value in [("i", 42), ("f", 2.5), ("s", "hello"),
+                            ("t", True), ("z", False),
+                            ("ts", parse_timestamp("1Jan97"))]:
+            db.create_node(node, value)
+            db.add_arc("r", "v", node)
+        assert loads(dumps(db)).same_as(db)
+
+    def test_empty_complex(self):
+        db = OEMDatabase(root="r")
+        db.create_node("e", COMPLEX)
+        db.add_arc("r", "empty", "e")
+        assert loads(dumps(db)).same_as(db)
+
+    def test_shared_subobject(self):
+        db = OEMDatabase(root="r")
+        db.create_node("shared", 7)
+        db.create_node("a", COMPLEX)
+        db.create_node("b", COMPLEX)
+        db.add_arc("r", "a", "a")
+        db.add_arc("r", "b", "b")
+        db.add_arc("a", "v", "shared")
+        db.add_arc("b", "v", "shared")
+        restored = loads(dumps(db))
+        assert restored.same_as(db)
+
+    def test_cycle(self):
+        db = OEMDatabase(root="r")
+        db.create_node("a", COMPLEX)
+        db.add_arc("r", "down", "a")
+        db.add_arc("a", "up", "r")
+        assert loads(dumps(db)).same_as(db)
+
+    def test_guide_round_trip(self, guide_db):
+        assert loads(dumps(guide_db)).same_as(guide_db)
+
+    def test_special_characters_in_strings(self):
+        db = OEMDatabase(root="r")
+        db.create_node("s", 'quote " backslash \\ newline \n end')
+        db.add_arc("r", "v", "s")
+        assert loads(dumps(db)).same_as(db)
+
+    def test_quoted_labels_and_ids(self):
+        db = OEMDatabase(root="r")
+        db.create_node("odd id!", 1)
+        db.add_arc("r", "label with spaces", "odd id!")
+        assert loads(dumps(db)).same_as(db)
+
+    def test_ampersand_labels(self):
+        # Encoding labels (&val etc.) must serialize, for the Lore store.
+        db = OEMDatabase(root="r")
+        db.create_node("v", 5)
+        db.add_arc("r", "&val", "v")
+        assert loads(dumps(db)).same_as(db)
+
+    def test_timestamp_with_time_of_day(self):
+        db = OEMDatabase(root="r")
+        db.create_node("ts", parse_timestamp("30Dec96 11:30pm"))
+        db.add_arc("r", "when", "ts")
+        assert loads(dumps(db)).same_as(db)
+
+    def test_negative_and_float_numbers(self):
+        db = OEMDatabase(root="r")
+        db.create_node("n", -17)
+        db.create_node("f", 0.125)
+        db.add_arc("r", "a", "n")
+        db.add_arc("r", "b", "f")
+        assert loads(dumps(db)).same_as(db)
+
+
+class TestLoadsErrors:
+    def test_must_start_with_id(self):
+        with pytest.raises(SerializationError):
+            loads("{}")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SerializationError):
+            loads('&r { v: &x "unterminated }')
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SerializationError):
+            loads("&r {} extra")
+
+    def test_error_carries_location(self):
+        try:
+            loads("&r {\n  bad bad\n}")
+        except SerializationError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected SerializationError")
+
+    def test_comments_allowed(self):
+        db = loads("# header comment\n&r { # inline\n v: &x 1\n}\n")
+        assert db.value("x") == 1
+
+
+class TestJsonBridge:
+    def test_tree_round_trip(self):
+        value = {"restaurant": [
+            {"name": "Janta", "price": 10},
+            {"name": "Bangkok", "price": "moderate",
+             "address": {"street": "Lytton", "city": "Palo Alto"}},
+        ]}
+        db = from_json(value, root="guide")
+        assert to_json(db) == {"restaurant": [
+            {"name": "Janta", "price": 10},
+            {"address": {"city": "Palo Alto", "street": "Lytton"},
+             "name": "Bangkok", "price": "moderate"},
+        ]}
+
+    def test_scalar_top_level(self):
+        db = from_json(42)
+        assert to_json(db) == {"value": 42}
+
+    def test_null_becomes_empty_string(self):
+        db = from_json({"a": None})
+        assert to_json(db) == {"a": ""}
+
+    def test_timestamp_convention(self):
+        db = from_json({"when": "@1Jan97"})
+        node = next(iter(db.children(db.root, "when")))
+        assert db.value(node) == parse_timestamp("1Jan97")
+        assert to_json(db) == {"when": "@1Jan97"}
+
+    def test_cycle_rejected(self):
+        db = OEMDatabase(root="r")
+        db.create_node("a", COMPLEX)
+        db.add_arc("r", "down", "a")
+        db.add_arc("a", "up", "r")
+        with pytest.raises(SerializationError):
+            to_json(db)
+
+    def test_sharing_duplicates(self):
+        db = OEMDatabase(root="r")
+        db.create_node("shared", 7)
+        db.create_node("a", COMPLEX)
+        db.create_node("b", COMPLEX)
+        db.add_arc("r", "a", "a")
+        db.add_arc("r", "b", "b")
+        db.add_arc("a", "v", "shared")
+        db.add_arc("b", "v", "shared")
+        assert to_json(db) == {"a": {"v": 7}, "b": {"v": 7}}
+
+    def test_unsupported_json_value(self):
+        with pytest.raises(SerializationError):
+            from_json({"bad": object()})

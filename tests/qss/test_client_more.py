@@ -1,0 +1,109 @@
+"""Additional QSS client and notification-shape tests."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    OEMDatabase,
+    QSC,
+    QSSServer,
+    Subscription,
+    Wrapper,
+    parse_timestamp,
+)
+from repro.errors import SubscriptionError
+
+
+class TinySource:
+    def __init__(self):
+        self.now = None
+        self.extra = False
+
+    def advance(self, when):
+        self.now = parse_timestamp(when)
+        if self.now >= parse_timestamp("1Jan97"):
+            self.extra = True
+
+    def export(self):
+        db = OEMDatabase(root="guide")
+        names = ["Janta"] + (["Hakata"] if self.extra else [])
+        for index, name in enumerate(names):
+            node = db.create_node(f"r{index}", COMPLEX)
+            db.add_arc("guide", "restaurant", node)
+            atom = db.create_node(f"a{index}", name)
+            db.add_arc(node, "name", atom)
+        return db
+
+
+@pytest.fixture
+def server():
+    instance = QSSServer(start="30Dec96", deliver_empty=True)
+    instance.register_wrapper("guide", Wrapper(TinySource(), name="guide"))
+    return instance
+
+
+class TestClientLifecycle:
+    def test_unsubscribe_then_resubscribe(self, server):
+        client = QSC(server)
+        client.subscribe("S", "every day at 9:00am",
+                         "select guide.restaurant",
+                         "select S.restaurant<cre at T> where T > t[-1]",
+                         wrapper="guide")
+        server.run_until("31Dec96")
+        first_inbox = len(client.inbox)
+        client.unsubscribe("S")
+        assert client.subscriptions() == []
+        client.subscribe("S", "every day at 9:00am",
+                         "select guide.restaurant",
+                         "select S.restaurant<cre at T> where T > t[-1]",
+                         wrapper="guide")
+        server.run_until("1Jan97")
+        # the fresh subscription starts over: its first poll reports all
+        assert len(client.inbox) > first_inbox
+
+    def test_notifications_filter_by_name(self, server):
+        client = QSC(server)
+        client.subscribe("A", "every day at 8:00am",
+                         "select guide.restaurant",
+                         "select A.restaurant<cre at T> where T > t[-1]",
+                         wrapper="guide")
+        client.subscribe("B", "every day at 9:00am",
+                         "select guide.restaurant",
+                         "select B.restaurant<cre at T> where T > t[-1]",
+                         wrapper="guide")
+        server.run_until("31Dec96")
+        assert {n.subscription for n in client.notifications()} == {"A", "B"}
+        assert {n.subscription for n in client.notifications("A")} == {"A"}
+
+    def test_notification_answer_contains_subobjects(self, server):
+        client = QSC(server)
+        client.subscribe("S", "every day at 9:00am",
+                         "select guide.restaurant",
+                         "select S.restaurant<cre at T> where T > t[-1]",
+                         wrapper="guide")
+        server.run_until("31Dec96")
+        answer = client.inbox[0].answer
+        answer.check()
+        values = {answer.value(node) for node in answer.nodes()
+                  if answer.is_atomic(node)}
+        assert "Janta" in values
+
+    def test_notification_bool_and_poll_index(self, server):
+        client = QSC(server)
+        client.subscribe("S", "every day at 9:00am",
+                         "select guide.restaurant",
+                         "select S.restaurant<cre at T> where T > t[-1]",
+                         wrapper="guide")
+        server.run_until("1Jan97 10:00am")
+        assert bool(client.inbox[0]) is True      # created Janta
+        assert bool(client.inbox[1]) is False     # quiet day
+        assert [n.poll_index for n in client.inbox] == [1, 2, 3]
+
+    def test_subscribe_with_polling_name_override(self, server):
+        client = QSC(server)
+        client.subscribe("MySub", "every day at 9:00am",
+                         "select guide.restaurant",
+                         "select Places.restaurant<cre at T> where T > t[-1]",
+                         wrapper="guide", polling_name="Places")
+        notifications = server.run_until("31Dec96")
+        assert len(notifications) == 1 and len(notifications[0].result) == 1

@@ -1,0 +1,92 @@
+"""Tests for QSS fault tolerance: failing sources must not wedge the server."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    OEMDatabase,
+    QSSServer,
+    Subscription,
+    Wrapper,
+    parse_timestamp,
+)
+from repro.errors import QSSError
+
+
+class FlakySource:
+    """Fails every export whose day-of-month is even."""
+
+    def __init__(self):
+        self.now = None
+
+    def advance(self, when):
+        self.now = parse_timestamp(when)
+
+    def export(self):
+        if self.now is not None and self.now.to_datetime().day % 2 == 0:
+            raise ConnectionError("source unreachable")
+        db = OEMDatabase(root="guide")
+        node = db.create_node("r0", COMPLEX)
+        db.add_arc("guide", "restaurant", node)
+        atom = db.create_node("a0", "Janta")
+        db.add_arc(node, "name", atom)
+        return db
+
+
+def make_server(on_error):
+    server = QSSServer(start="31Dec96 10:00am", deliver_empty=True,
+                       on_error=on_error)  # first poll: 1Jan97 9am
+    server.register_wrapper("guide", Wrapper(FlakySource(), name="guide"))
+    server.subscribe(Subscription(
+        name="S", frequency="every day at 9:00am",
+        polling_query="select guide.restaurant",
+        filter_query="select S.restaurant<cre at T> where T > t[-1]"),
+        "guide")
+    return server
+
+
+class TestOnErrorRaise:
+    def test_default_raises(self):
+        server = make_server("raise")
+        server.run_until("1Jan97 10:00am")  # 1Jan (odd) succeeds
+        with pytest.raises(ConnectionError):
+            server.run_until("2Jan97 10:00am")  # 2Jan (even) fails
+
+
+class TestOnErrorSkip:
+    def test_failed_polls_logged_and_skipped(self):
+        server = make_server("skip")
+        server.run_until("6Jan97 10:00am")
+        failed_days = sorted(when.to_datetime().day
+                             for when, _, _ in server.error_log)
+        assert failed_days == [2, 4, 6]
+        for _, name, error in server.error_log:
+            assert name == "S"
+            assert isinstance(error, ConnectionError)
+
+    def test_schedule_keeps_moving(self):
+        server = make_server("skip")
+        server.run_until("6Jan97 10:00am")
+        state = server.subscriptions.get("S")
+        # 6 scheduled polls: 1..6 Jan; all recorded (failed or not).
+        assert state.poll_count == 6
+
+    def test_successful_polls_still_notify(self):
+        server = make_server("skip")
+        notifications = server.run_until("6Jan97 10:00am")
+        notified_days = [n.polling_time.to_datetime().day
+                         for n in notifications]
+        assert notified_days == [1, 3, 5]
+
+    def test_doem_unaffected_by_failures(self):
+        server = make_server("skip")
+        server.run_until("6Jan97 10:00am")
+        doem = server.doems.doem("S")
+        # only the first successful poll created anything; later successes
+        # saw identical data.
+        days = sorted(t.to_datetime().day for t in doem.timestamps())
+        assert days == [1]
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(QSSError):
+            QSSServer(on_error="explode")

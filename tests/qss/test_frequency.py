@@ -1,0 +1,103 @@
+"""Tests for frequency specifications."""
+
+import pytest
+
+from repro import FrequencyError, FrequencySpec, parse_timestamp
+
+
+class TestIntervalSpecs:
+    def test_every_10_minutes(self):
+        spec = FrequencySpec.parse("every 10 minutes")
+        start = parse_timestamp("1Jan97")
+        times = spec.polling_times(start, 3)
+        assert [when - start for when in times] == [600, 1200, 1800]
+
+    def test_singular_unit(self):
+        spec = FrequencySpec.parse("every minute")
+        assert spec.period_seconds == 60
+
+    def test_every_2_hours(self):
+        assert FrequencySpec.parse("every 2 hours").period_seconds == 7200
+
+    def test_every_3_days(self):
+        assert FrequencySpec.parse("every 3 days").period_seconds == 3 * 86400
+
+    def test_every_week(self):
+        assert FrequencySpec.parse("every week").period_seconds == 604800
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(FrequencyError):
+            FrequencySpec.parse("every 0 minutes")
+
+
+class TestDailySpecs:
+    def test_every_night_at_1130pm(self):
+        """The Example 6.1 frequency specification."""
+        spec = FrequencySpec.parse("every night at 11:30pm")
+        start = parse_timestamp("30Dec96 10:00am")
+        times = spec.polling_times(start, 3)
+        assert times == [parse_timestamp("30Dec96 11:30pm"),
+                         parse_timestamp("31Dec96 11:30pm"),
+                         parse_timestamp("1Jan97 11:30pm")]
+
+    def test_start_after_todays_slot(self):
+        spec = FrequencySpec.parse("every day at 9:00am")
+        start = parse_timestamp("30Dec96 10:00am")
+        assert spec.next_after(start) == parse_timestamp("31Dec96 9:00am")
+
+    def test_24h_clock(self):
+        spec = FrequencySpec.parse("every day at 23:30")
+        assert (spec.hour, spec.minute) == (23, 30)
+
+    def test_midnight_and_noon(self):
+        assert FrequencySpec.parse("every day at 12:00am").hour == 0
+        assert FrequencySpec.parse("every day at 12:00pm").hour == 12
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(FrequencyError):
+            FrequencySpec.parse("every day at 25:00")
+        with pytest.raises(FrequencyError):
+            FrequencySpec.parse("every day at 13:00pm")
+
+
+class TestWeeklySpecs:
+    def test_every_friday_at_5pm(self):
+        """The paper's other example: 'every Friday at 5:00pm'."""
+        spec = FrequencySpec.parse("every Friday at 5:00pm")
+        # 30Dec96 was a Monday.
+        start = parse_timestamp("30Dec96")
+        first = spec.next_after(start)
+        assert first == parse_timestamp("3Jan97 5:00pm")
+        second = spec.next_after(first)
+        assert second == parse_timestamp("10Jan97 5:00pm")
+
+    def test_same_day_later_slot(self):
+        spec = FrequencySpec.parse("every monday at 5:00pm")
+        start = parse_timestamp("30Dec96 9:00am")  # a Monday morning
+        assert spec.next_after(start) == parse_timestamp("30Dec96 5:00pm")
+
+    def test_same_day_passed_slot(self):
+        spec = FrequencySpec.parse("every monday at 5:00pm")
+        start = parse_timestamp("30Dec96 6:00pm")
+        assert spec.next_after(start) == parse_timestamp("6Jan97 5:00pm")
+
+    def test_unknown_weekday(self):
+        with pytest.raises(FrequencyError):
+            FrequencySpec.parse("every someday at 5:00pm")
+
+
+class TestGeneral:
+    def test_unrecognizable(self):
+        with pytest.raises(FrequencyError):
+            FrequencySpec.parse("whenever I feel like it")
+
+    def test_iter_polling_times(self):
+        spec = FrequencySpec.parse("every 1 hours")
+        stream = spec.iter_polling_times(parse_timestamp("1Jan97"))
+        first = next(stream)
+        second = next(stream)
+        assert second - first == 3600
+
+    def test_str_preserves_text(self):
+        assert str(FrequencySpec.parse("every 10 minutes")) == \
+            "every 10 minutes"

@@ -1,0 +1,50 @@
+"""Calendar edge cases for frequency specifications."""
+
+import pytest
+
+from repro import FrequencySpec, parse_timestamp
+
+
+class TestCalendarBoundaries:
+    def test_daily_across_month_end(self):
+        spec = FrequencySpec.parse("every day at 9:00am")
+        assert spec.next_after(parse_timestamp("31Jan97 10:00am")) == \
+            parse_timestamp("1Feb97 9:00am")
+
+    def test_daily_across_year_end(self):
+        spec = FrequencySpec.parse("every night at 11:30pm")
+        assert spec.next_after(parse_timestamp("31Dec96 11:45pm")) == \
+            parse_timestamp("1Jan97 11:30pm")
+
+    def test_weekly_across_year_end(self):
+        # 27Dec96 was a Friday.
+        spec = FrequencySpec.parse("every friday at 5:00pm")
+        assert spec.next_after(parse_timestamp("28Dec96")) == \
+            parse_timestamp("3Jan97 5:00pm")
+
+    def test_leap_year_february(self):
+        spec = FrequencySpec.parse("every day at 9:00am")
+        assert spec.next_after(parse_timestamp("28Feb96 10:00am")) == \
+            parse_timestamp("29Feb96 9:00am")
+        assert spec.next_after(parse_timestamp("28Feb97 10:00am")) == \
+            parse_timestamp("1Mar97 9:00am")
+
+    def test_interval_spans_are_exact(self):
+        spec = FrequencySpec.parse("every 7 days")
+        start = parse_timestamp("25Dec96")
+        times = spec.polling_times(start, 3)
+        assert [str(t) for t in times] == ["1Jan97", "8Jan97", "15Jan97"]
+
+    def test_second_granularity(self):
+        spec = FrequencySpec.parse("every 30 seconds")
+        start = parse_timestamp("1Jan97")
+        first = spec.next_after(start)
+        assert first - start == 30
+
+    def test_polling_sequence_strictly_increasing(self):
+        for text in ("every 10 minutes", "every day at 9:00am",
+                     "every monday at 5:00pm"):
+            spec = FrequencySpec.parse(text)
+            times = spec.polling_times(parse_timestamp("30Dec96"), 10)
+            assert all(earlier < later
+                       for earlier, later in zip(times, times[1:])), text

@@ -1,0 +1,128 @@
+"""Tests for the paper's other snapshot modes (Section 6): on-demand
+polls and source-side trigger signals."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    OEMDatabase,
+    QSSServer,
+    Subscription,
+    Wrapper,
+    parse_timestamp,
+)
+from repro.errors import QSSError
+
+
+class MutableSource:
+    """A source whose content the test controls directly."""
+
+    def __init__(self):
+        self.names = ["Janta"]
+        self.now = None
+
+    def advance(self, when):
+        self.now = parse_timestamp(when)
+
+    def export(self):
+        db = OEMDatabase(root="guide")
+        for index, name in enumerate(self.names):
+            node = db.create_node(f"r{index}", COMPLEX)
+            db.add_arc("guide", "restaurant", node)
+            atom = db.create_node(f"a{index}", name)
+            db.add_arc(node, "name", atom)
+        return db
+
+
+@pytest.fixture
+def setup():
+    source = MutableSource()
+    server = QSSServer(start="30Dec96", deliver_empty=True)
+    server.register_wrapper("guide", Wrapper(source, name="guide"))
+    server.subscribe(Subscription(
+        name="S", frequency="every day at 9:00am",
+        polling_query="select guide.restaurant",
+        filter_query="select S.restaurant<cre at T> where T > t[-1]"),
+        "guide")
+    return server, source
+
+
+class TestPollNow:
+    def test_on_demand_poll_sees_fresh_data(self, setup):
+        server, source = setup
+        server.run_until("30Dec96 10:00am")      # scheduled poll happened
+        source.names.append("Hakata")
+        server.run_until("30Dec96 2:00pm")       # clock moves, nothing due
+        notification = server.poll_now("S")
+        assert notification is not None
+        assert len(notification.result) == 1     # only Hakata is new
+        assert notification.polling_time == parse_timestamp("30Dec96 2:00pm")
+
+    def test_on_demand_poll_joins_timeline(self, setup):
+        server, source = setup
+        server.run_until("30Dec96 10:00am")
+        server.run_until("30Dec96 2:00pm")
+        server.poll_now("S")
+        state = server.subscriptions.get("S")
+        assert state.poll_count == 2
+        # the scheduled cadence continues from the on-demand poll
+        assert state.next_poll == parse_timestamp("31Dec96 9:00am")
+        # and the next scheduled poll's t[-1] is the on-demand instant:
+        source.names.append("Zibibbo")
+        notifications = server.run_until("31Dec96 10:00am")
+        assert [len(n.result) for n in notifications] == [1]
+
+    def test_double_poll_at_same_instant_rejected(self, setup):
+        server, _ = setup
+        server.run_until("30Dec96 10:00am")  # scheduled poll at 9:00am
+        assert server.poll_now("S") is not None  # clock 10:00 > 9:00: fine
+        with pytest.raises(QSSError):
+            server.poll_now("S")  # clock has not moved past the last poll
+
+    def test_unknown_subscription(self, setup):
+        server, _ = setup
+        from repro.errors import SubscriptionError
+        with pytest.raises(SubscriptionError):
+            server.poll_now("nope")
+
+
+class TestSourceSignal:
+    def test_signal_polls_all_matching_subscriptions(self, setup):
+        server, source = setup
+        server.subscribe(Subscription(
+            name="S2", frequency="every day at 10:00am",
+            polling_query="select guide.restaurant",
+            filter_query="select S2.restaurant<cre at T> where T > t[-1]"),
+            "guide")
+        server.run_until("30Dec96 11:00am")   # both scheduled polls ran
+        source.names.append("Hakata")
+        server.run_until("30Dec96 3:00pm")
+        notifications = server.on_source_signal("guide")
+        assert {n.subscription for n in notifications} == {"S", "S2"}
+        assert all(len(n.result) == 1 for n in notifications)
+
+    def test_signal_skips_up_to_date_subscriptions(self, setup):
+        server, _ = setup
+        server.run_until("30Dec96 9:00am")  # poll at exactly 9:00
+        # clock == last poll time: nothing to do
+        assert server.on_source_signal("guide") == []
+
+    def test_signal_on_unknown_wrapper(self, setup):
+        server, _ = setup
+        with pytest.raises(QSSError):
+            server.on_source_signal("nope")
+
+    def test_signal_only_touches_its_wrapper(self, setup):
+        server, source = setup
+        other = MutableSource()
+        server.register_wrapper("other", Wrapper(other, name="guide"))
+        server.subscribe(Subscription(
+            name="O", frequency="every day at 8:00am",
+            polling_query="select guide.restaurant",
+            filter_query="select O.restaurant<cre at T> where T > t[-1]"),
+            "other")
+        server.run_until("30Dec96 11:00am")
+        source.names.append("Hakata")
+        server.run_until("30Dec96 3:00pm")
+        notifications = server.on_source_signal("guide")
+        assert {n.subscription for n in notifications} == {"S"}

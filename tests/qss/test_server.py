@@ -1,0 +1,227 @@
+"""End-to-end QSS tests: Example 6.1 and beyond."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    OEMDatabase,
+    QSC,
+    QSSServer,
+    Subscription,
+    Wrapper,
+    parse_timestamp,
+)
+from repro.errors import QSSError, SubscriptionError
+from repro.timestamps import Timestamp
+
+
+class ScriptedGuideSource:
+    """Example 2.2's timeline: Hakata appears on 1Jan97."""
+
+    def __init__(self):
+        self.now: Timestamp | None = None
+
+    def advance(self, when):
+        self.now = parse_timestamp(when)
+
+    def export(self):
+        db = OEMDatabase(root="guide")
+        counter = [0]
+
+        def atom(value):
+            counter[0] += 1
+            return db.create_node(f"a{counter[0]}", value)
+
+        names = ["Bangkok Cuisine", "Janta"]
+        if self.now is not None and self.now >= parse_timestamp("1Jan97"):
+            names.append("Hakata")
+        for index, name in enumerate(names):
+            node = db.create_node(f"r{index}", COMPLEX)
+            db.add_arc("guide", "restaurant", node)
+            db.add_arc(node, "name", atom(name))
+            db.add_arc(node, "price", atom(10 * (index + 1)))
+        return db
+
+
+@pytest.fixture
+def server():
+    instance = QSSServer(start="30Dec96 10:00am", deliver_empty=True)
+    instance.register_wrapper("guide", Wrapper(ScriptedGuideSource(),
+                                               name="guide"))
+    return instance
+
+
+def example61_subscription():
+    return Subscription.from_definitions(
+        name="Restaurants", frequency="every night at 11:30pm",
+        polling="define polling query Restaurants as "
+                "select guide.restaurant",
+        filter_="define filter query NewRestaurants as "
+                "select Restaurants.restaurant<cre at T> where T > t[-1]")
+
+
+class TestExample61:
+    """The paper's complete QSS walkthrough."""
+
+    def test_three_poll_timeline(self, server):
+        server.subscribe(example61_subscription(), "guide")
+        notifications = server.run_until("2Jan97")
+        assert len(notifications) == 3
+        t1, t2, t3 = notifications
+        # t1: both initial restaurants are 'created' (R0 is empty).
+        assert t1.polling_time == parse_timestamp("30Dec96 11:30pm")
+        assert len(t1.result) == 2
+        # t2: nothing changed -> empty result.
+        assert len(t2.result) == 0
+        # t3: exactly the new Hakata object.
+        assert t3.polling_time == parse_timestamp("1Jan97 11:30pm")
+        assert len(t3.result) == 1
+
+    def test_hakata_is_the_t3_answer(self, server):
+        server.subscribe(example61_subscription(), "guide")
+        notifications = server.run_until("2Jan97")
+        doem = server.doems.doem("Restaurants")
+        ref = notifications[2].result.first().scalar()
+        names = [doem.graph.value(child)
+                 for _, child in doem.live_children(
+                     ref.node, parse_timestamp("2Jan97"), "name")]
+        assert names == ["Hakata"]
+
+    def test_silent_when_deliver_empty_off(self):
+        server = QSSServer(start="30Dec96 10:00am", deliver_empty=False)
+        server.register_wrapper("guide", Wrapper(ScriptedGuideSource(),
+                                                 name="guide"))
+        server.subscribe(example61_subscription(), "guide")
+        notifications = server.run_until("2Jan97")
+        # the empty t2 notification is suppressed
+        assert [len(n.result) for n in notifications] == [2, 1]
+
+    def test_notification_answer_is_valid_oem(self, server):
+        server.subscribe(example61_subscription(), "guide")
+        notifications = server.run_until("2Jan97")
+        for notification in notifications:
+            notification.answer.check()
+
+    def test_notification_str(self, server):
+        server.subscribe(example61_subscription(), "guide")
+        notifications = server.run_until("31Dec96")
+        assert "Restaurants" in str(notifications[0])
+
+
+class TestServerMechanics:
+    def test_clock_cannot_go_backwards(self, server):
+        server.run_until("31Dec96")
+        with pytest.raises(QSSError):
+            server.run_until("30Dec96")
+
+    def test_duplicate_subscription_rejected(self, server):
+        server.subscribe(example61_subscription(), "guide")
+        with pytest.raises(SubscriptionError):
+            server.subscribe(example61_subscription(), "guide")
+
+    def test_unknown_wrapper_rejected(self, server):
+        with pytest.raises(QSSError):
+            server.subscribe(example61_subscription(), "nope")
+
+    def test_unsubscribe_stops_polls(self, server):
+        server.subscribe(example61_subscription(), "guide")
+        server.run_until("31Dec96")
+        server.unsubscribe("Restaurants")
+        assert server.run_until("5Jan97") == []
+
+    def test_multiple_subscriptions_one_server(self, server):
+        server.subscribe(example61_subscription(), "guide")
+        cheap = Subscription(
+            name="Cheap", frequency="every day at 8:00am",
+            polling_query="select guide.restaurant "
+                          "where guide.restaurant.price < 15",
+            filter_query="select Cheap.restaurant<cre at T> where T > t[-1]")
+        server.subscribe(cheap, "guide")
+        notifications = server.run_until("1Jan97 9:00am")
+        subscribers = {n.subscription for n in notifications}
+        assert subscribers == {"Restaurants", "Cheap"}
+
+    def test_polls_execute_in_time_order(self, server):
+        server.subscribe(example61_subscription(), "guide")
+        other = Subscription(
+            name="Hourly", frequency="every 12 hours",
+            polling_query="select guide.restaurant",
+            filter_query="select Hourly.restaurant<cre at T> where T > t[-1]")
+        server.subscribe(other, "guide")
+        notifications = server.run_until("1Jan97")
+        times = [n.polling_time for n in notifications]
+        assert times == sorted(times)
+
+    def test_update_notifications(self):
+        """A filter query over upd annotations (price-change watch)."""
+
+        class PriceSource(ScriptedGuideSource):
+            def export(self):
+                db = super().export()
+                if self.now >= parse_timestamp("1Jan97"):
+                    target = [n for n in db.nodes() if db.value(n) == 10][0]
+                    db.update_value(target, 25)
+                return db
+
+        server = QSSServer(start="30Dec96 10:00am")
+        server.register_wrapper("guide", Wrapper(PriceSource(), name="guide"))
+        subscription = Subscription(
+            name="Watch", frequency="every day at 6:00am",
+            polling_query="select guide.restaurant",
+            filter_query="select OV, NV from "
+                         "Watch.restaurant.price<upd at T from OV to NV> "
+                         "where T > t[-1]")
+        server.subscribe(subscription, "guide")
+        notifications = server.run_until("2Jan97")
+        assert len(notifications) == 1
+        row = notifications[0].result.first()
+        assert (row["old-value"], row["new-value"]) == (10, 25)
+
+
+class TestQSC:
+    def test_client_inbox(self, server):
+        client = QSC(server, user="alice")
+        client.subscribe(
+            name="Restaurants", frequency="every night at 11:30pm",
+            polling_query="define polling query Restaurants as "
+                          "select guide.restaurant",
+            filter_query="define filter query New as "
+                         "select Restaurants.restaurant<cre at T> "
+                         "where T > t[-1]",
+            wrapper="guide")
+        server.run_until("2Jan97")
+        assert len(client.inbox) == 3
+        assert "Restaurants" in client.render_inbox()
+
+    def test_two_clients_separate_inboxes(self, server):
+        alice, bob = QSC(server, "alice"), QSC(server, "bob")
+        alice.subscribe("A", "every day at 1:00am",
+                        "select guide.restaurant",
+                        "select A.restaurant<cre at T> where T > t[-1]",
+                        wrapper="guide")
+        bob.subscribe("B", "every day at 2:00am",
+                      "select guide.restaurant",
+                      "select B.restaurant<cre at T> where T > t[-1]",
+                      wrapper="guide")
+        server.run_until("1Jan97 3:00am")
+        assert {n.subscription for n in alice.inbox} == {"A"}
+        assert {n.subscription for n in bob.inbox} == {"B"}
+
+    def test_callback(self, server):
+        client = QSC(server)
+        seen = []
+        client.on_notification(lambda n: seen.append(n.subscription))
+        client.subscribe("S", "every day at 1:00am",
+                         "select guide.restaurant",
+                         "select S.restaurant<cre at T> where T > t[-1]",
+                         wrapper="guide")
+        server.run_until("31Dec96 2:00am")
+        assert seen == ["S"]
+
+    def test_unsubscribe_requires_ownership(self, server):
+        client = QSC(server)
+        with pytest.raises(SubscriptionError):
+            client.unsubscribe("never-created")
+
+    def test_render_empty_inbox(self, server):
+        assert QSC(server).render_inbox() == "(no notifications)"

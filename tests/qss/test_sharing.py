@@ -1,0 +1,141 @@
+"""Tests for DOEM sharing across subscriptions (Section 6.1, idea #1)."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    OEMDatabase,
+    QSSServer,
+    Subscription,
+    Wrapper,
+    parse_timestamp,
+)
+
+
+class CountingSource:
+    """Counts exports so tests can see how often the source was hit."""
+
+    def __init__(self):
+        self.now = None
+        self.export_count = 0
+
+    def advance(self, when):
+        self.now = parse_timestamp(when)
+
+    def export(self):
+        self.export_count += 1
+        db = OEMDatabase(root="guide")
+        names = ["Janta"]
+        if self.now is not None and self.now >= parse_timestamp("1Jan97"):
+            names.append("Hakata")
+        for index, name in enumerate(names):
+            node = db.create_node(f"r{index}", COMPLEX)
+            db.add_arc("guide", "restaurant", node)
+            atom = db.create_node(f"a{index}", name)
+            db.add_arc(node, "name", atom)
+        return db
+
+
+def subscription(name, hour):
+    return Subscription(
+        name=name, frequency=f"every day at {hour}:00am",
+        polling_query="select guide.restaurant",
+        filter_query=f"select {name}.restaurant<cre at T> where T > t[-1]",
+        polling_name=name)
+
+
+def make_server(share):
+    server = QSSServer(start="30Dec96", deliver_empty=True,
+                       share_by_polling_query=share)
+    server.register_wrapper("guide", Wrapper(CountingSource(), name="guide"))
+    return server
+
+
+class TestSharing:
+    def test_shared_doem_is_one_object(self):
+        server = make_server(share=True)
+        server.subscribe(subscription("A", 6), "guide")
+        server.subscribe(subscription("B", 7), "guide")
+        assert server.doems.doem("A") is server.doems.doem("B")
+        assert server.doems.shared_with("A") == ["B"]
+
+    def test_unshared_doems_are_distinct(self):
+        server = make_server(share=False)
+        server.subscribe(subscription("A", 6), "guide")
+        server.subscribe(subscription("B", 7), "guide")
+        assert server.doems.doem("A") is not server.doems.doem("B")
+
+    def test_notifications_unchanged_by_sharing(self):
+        results = {}
+        for share in (False, True):
+            server = make_server(share)
+            server.subscribe(subscription("A", 6), "guide")
+            server.subscribe(subscription("B", 7), "guide")
+            notifications = server.run_until("2Jan97")
+            results[share] = [(n.subscription, str(n.polling_time),
+                               len(n.result)) for n in notifications]
+        assert results[False] == results[True]
+
+    def test_sharing_halves_doem_state(self):
+        shared = make_server(True)
+        separate = make_server(False)
+        for server in (shared, separate):
+            server.subscribe(subscription("A", 6), "guide")
+            server.subscribe(subscription("B", 7), "guide")
+            server.run_until("2Jan97")
+        shared_nodes = len({id(shared.doems.doem(n)) for n in "AB"})
+        separate_nodes = len({id(separate.doems.doem(n)) for n in "AB"})
+        assert shared_nodes == 1 and separate_nodes == 2
+
+    def test_redundant_poll_folds_empty_set(self):
+        """B's poll an hour after A's sees identical data: empty diff."""
+        server = make_server(share=True)
+        server.subscribe(subscription("A", 6), "guide")
+        server.subscribe(subscription("B", 7), "guide")
+        server.run_until("31Dec96")
+        assert server.doems.last_diff_stats["B"].total == 0
+        assert server.doems.last_diff_stats["A"].total > 0
+
+    def test_different_polling_queries_not_merged(self):
+        server = make_server(share=True)
+        server.subscribe(subscription("A", 6), "guide")
+        other = Subscription(
+            name="C", frequency="every day at 8:00am",
+            polling_query='select guide.restaurant '
+                          'where guide.restaurant.name like "%a%"',
+            filter_query="select C.restaurant<cre at T> where T > t[-1]")
+        server.subscribe(other, "guide")
+        assert server.doems.doem("A") is not server.doems.doem("C")
+
+    def test_unsubscribe_keeps_shared_doem_alive(self):
+        server = make_server(share=True)
+        server.subscribe(subscription("A", 6), "guide")
+        server.subscribe(subscription("B", 7), "guide")
+        server.run_until("31Dec96")
+        before = server.doems.doem("B").annotation_count()
+        server.unsubscribe("A")
+        assert server.doems.doem("B").annotation_count() == before
+
+    def test_last_unsubscribe_drops_state(self):
+        server = make_server(share=True)
+        server.subscribe(subscription("A", 6), "guide")
+        server.subscribe(subscription("B", 7), "guide")
+        server.run_until("31Dec96")
+        server.unsubscribe("A")
+        server.unsubscribe("B")
+        # a fresh subscription under the same polling query starts empty
+        server.subscribe(subscription("C", 9), "guide")
+        assert server.doems.doem("C").annotation_count() == 0
+
+    def test_filter_queries_use_own_time_variables(self):
+        """Sharing must not leak one subscription's t[-1] into another."""
+        server = make_server(share=True)
+        server.subscribe(subscription("A", 6), "guide")
+        server.subscribe(subscription("B", 7), "guide")
+        notifications = server.run_until("2Jan97")
+        by_sub = {}
+        for n in notifications:
+            by_sub.setdefault(n.subscription, []).append(len(n.result))
+        # Both see: everything at the first poll, Hakata on 1Jan97.
+        assert by_sub["A"] == [1, 0, 1]
+        assert by_sub["B"] == [1, 0, 1]

@@ -1,0 +1,76 @@
+"""Tests for subscriptions, definitions, and t[i] mappings."""
+
+import pytest
+
+from repro import NEG_INF, Subscription, SubscriptionError, parse_timestamp
+from repro.lorel.ast import Query
+from repro.qss.subscription import polling_time_mapping
+
+
+class TestSubscriptionConstruction:
+    def test_from_plain_queries(self):
+        subscription = Subscription(
+            name="S", frequency="every 10 minutes",
+            polling_query="select guide.restaurant",
+            filter_query="select S.restaurant<cre at T> where T > t[-1]")
+        assert isinstance(subscription.polling_query, Query)
+        assert isinstance(subscription.filter_query, Query)
+        assert subscription.polling_name == "S"
+
+    def test_from_definitions(self):
+        """The Example 6.1 subscription, verbatim."""
+        subscription = Subscription.from_definitions(
+            name="S1", frequency="every night at 11:30pm",
+            polling="define polling query Restaurants as "
+                    "select guide.restaurant",
+            filter_="define filter query NewRestaurants as "
+                    "select Restaurants.restaurant<cre at T> "
+                    "where T > t[-1]")
+        assert subscription.polling_name == "Restaurants"
+
+    def test_lytton_example(self):
+        """The Section 6 LyttonRestaurants / NewOnLytton pair."""
+        subscription = Subscription.from_definitions(
+            name="lytton", frequency="every Friday at 5:00pm",
+            polling="define polling query LyttonRestaurants as "
+                    "select guide.restaurant where "
+                    'guide.restaurant.address.# like "%Lytton%"',
+            filter_="define filter query NewOnLytton as "
+                    "select LyttonRestaurants.restaurant<cre at T> "
+                    "where T > t[-1]")
+        assert subscription.polling_name == "LyttonRestaurants"
+
+    def test_swapped_definitions_rejected(self):
+        with pytest.raises(SubscriptionError):
+            Subscription.from_definitions(
+                name="S", frequency="every day at 9:00am",
+                polling="define filter query F as select x.y",
+                filter_="define polling query P as select x.y")
+
+    def test_polling_query_must_be_lorel(self):
+        from repro import ParseError
+        with pytest.raises(ParseError):
+            Subscription(name="S", frequency="every week",
+                         polling_query="select g.<add>x",  # Chorel!
+                         filter_query="select S.x")
+
+
+class TestPollingTimeMapping:
+    def test_before_any_poll(self):
+        mapping = polling_time_mapping([])
+        assert mapping[0] is NEG_INF
+        assert mapping[-1] is NEG_INF
+
+    def test_after_one_poll(self):
+        t1 = parse_timestamp("30Dec96")
+        mapping = polling_time_mapping([t1])
+        assert mapping[0] == t1
+        assert mapping[-1] is NEG_INF
+
+    def test_after_three_polls(self):
+        times = [parse_timestamp(t) for t in ["30Dec96", "31Dec96", "1Jan97"]]
+        mapping = polling_time_mapping(times)
+        assert mapping[0] == times[2]
+        assert mapping[-1] == times[1]
+        assert mapping[-2] == times[0]
+        assert mapping[-3] is NEG_INF

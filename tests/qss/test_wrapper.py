@@ -1,0 +1,112 @@
+"""Tests for wrappers and mediators (the Tsimmis substrate)."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    LibrarySource,
+    OEMDatabase,
+    QSSServer,
+    StaticSource,
+    Subscription,
+    Wrapper,
+    parse_timestamp,
+)
+from repro.qss.wrapper import Mediator
+from repro.errors import QSSError
+from tests.conftest import make_guide_db
+
+
+class TestWrapper:
+    def test_poll_packages_answer(self):
+        wrapper = Wrapper(StaticSource(make_guide_db()), name="guide")
+        result = wrapper.poll("select guide.restaurant")
+        assert result.root == "answer"
+        assert len(list(result.children("answer", "restaurant"))) == 2
+        result.check()
+
+    def test_poll_includes_recursive_subobjects(self):
+        wrapper = Wrapper(StaticSource(make_guide_db()), name="guide")
+        result = wrapper.poll("select guide.restaurant")
+        values = {result.value(node) for node in result.nodes()
+                  if not result.is_complex(node)}
+        # deep values came along: street/city of Janta's address
+        assert {"Lytton", "Palo Alto"} <= values
+
+    def test_poll_preserves_shared_structure(self):
+        wrapper = Wrapper(StaticSource(make_guide_db()), name="guide")
+        result = wrapper.poll("select guide.restaurant")
+        # the parking object is shared by both copied restaurants
+        shared = [node for node in result.nodes()
+                  if len(set(result.parents(node))) > 1]
+        assert shared
+
+    def test_selective_polling_query(self):
+        wrapper = Wrapper(StaticSource(make_guide_db()), name="guide")
+        result = wrapper.poll(
+            'select guide.restaurant '
+            'where guide.restaurant.name like "%Janta%"')
+        assert len(list(result.children("answer", "restaurant"))) == 1
+
+    def test_advance_reaches_source(self):
+        source = StaticSource(make_guide_db())
+        wrapper = Wrapper(source, name="guide")
+        wrapper.advance("5Jan97")
+        assert source.now == parse_timestamp("5Jan97")
+
+    def test_poll_count(self):
+        wrapper = Wrapper(StaticSource(make_guide_db()), name="guide")
+        wrapper.poll("select guide.restaurant")
+        wrapper.poll("select guide.restaurant")
+        assert wrapper.poll_count == 2
+
+
+class TestMediator:
+    def _mediator(self):
+        return Mediator({
+            "guide": StaticSource(make_guide_db()),
+            "library": LibrarySource(seed=1, books=3),
+        })
+
+    def test_requires_sources(self):
+        with pytest.raises(QSSError):
+            Mediator({})
+
+    def test_fused_export_shape(self):
+        mediator = self._mediator()
+        fused = mediator.export()
+        fused.check()
+        assert len(list(fused.children(fused.root, "guide"))) == 1
+        assert len(list(fused.children(fused.root, "library"))) == 1
+
+    def test_cross_source_query(self):
+        mediator = self._mediator()
+        result = mediator.poll("select R, B from med.guide.restaurant R, "
+                               "med.library.book B")
+        rows = list(result.children("answer", "row"))
+        assert len(rows) == 2 * 3  # restaurants x books
+
+    def test_single_source_query(self):
+        mediator = self._mediator()
+        result = mediator.poll("select med.library.book")
+        assert len(list(result.children("answer", "book"))) == 3
+
+    def test_advance_fans_out(self):
+        mediator = self._mediator()
+        mediator.advance("5Jan97")
+        for source in mediator.sources.values():
+            assert source.now == parse_timestamp("5Jan97")
+
+    def test_mediator_as_qss_wrapper(self):
+        """A subscription polling two sources through one mediator."""
+        mediator = self._mediator()
+        server = QSSServer(start="30Dec96", deliver_empty=True)
+        server.register_wrapper("med", mediator)
+        server.subscribe(Subscription(
+            name="Everything", frequency="every day at 9:00am",
+            polling_query="select med.guide.restaurant, med.library.book",
+            filter_query="select Everything.#<cre at T> where T > t[-1]"),
+            "med")
+        notifications = server.run_until("31Dec96")
+        # first poll: every fetched object freshly created
+        assert notifications and len(notifications[0].result) > 0

@@ -1,0 +1,165 @@
+"""Tests for the simulated autonomous sources."""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    LibrarySource,
+    RestaurantGuideSource,
+    Source,
+    StaticSource,
+    parse_timestamp,
+)
+from repro.sources.base import scramble_ids
+from tests.conftest import make_guide_db
+
+
+class TestScrambleIds:
+    def test_structure_preserved(self):
+        db = make_guide_db()
+        scrambled = scramble_ids(db, salt=1)
+        assert db.isomorphic_to(scrambled)
+
+    def test_identifiers_differ(self):
+        db = make_guide_db()
+        scrambled = scramble_ids(db, salt=1)
+        shared = set(db.nodes()) & set(scrambled.nodes())
+        assert shared == {db.root}
+
+    def test_salt_varies_ids(self):
+        db = make_guide_db()
+        a = scramble_ids(db, salt=1)
+        b = scramble_ids(db, salt=2)
+        assert set(a.nodes()) & set(b.nodes()) == {db.root}
+
+
+class TestStaticSource:
+    def test_protocol_conformance(self):
+        source = StaticSource(make_guide_db())
+        assert isinstance(source, Source)
+
+    def test_never_changes_structurally(self):
+        source = StaticSource(make_guide_db())
+        source.advance("1Jan97")
+        first = source.export()
+        source.advance("1Feb97")
+        second = source.export()
+        assert first.isomorphic_to(second)
+
+    def test_exports_scramble_by_default(self):
+        source = StaticSource(make_guide_db())
+        a, b = source.export(), source.export()
+        assert set(a.nodes()) & set(b.nodes()) == {a.root}
+
+    def test_stable_ids_mode(self):
+        source = StaticSource(make_guide_db(), stable_ids=True)
+        assert source.export().same_as(source.export())
+
+
+class TestRestaurantGuideSource:
+    def test_deterministic(self):
+        a = RestaurantGuideSource(seed=5, stable_ids=True)
+        b = RestaurantGuideSource(seed=5, stable_ids=True)
+        a.advance("10Dec96")
+        b.advance("10Dec96")
+        assert a.export().same_as(b.export())
+
+    def test_export_is_valid_oem(self):
+        source = RestaurantGuideSource(seed=5)
+        source.export().check()
+
+    def test_heterogeneity_like_figure2(self):
+        """Prices mix ints and strings; addresses mix flat and structured."""
+        source = RestaurantGuideSource(seed=1, initial_restaurants=20,
+                                       stable_ids=True)
+        db = source.export()
+        price_types = set()
+        address_complex = set()
+        for restaurant in db.children(db.root, "restaurant"):
+            for price in db.children(restaurant, "price"):
+                price_types.add(type(db.value(price)).__name__)
+            for address in db.children(restaurant, "address"):
+                address_complex.add(db.is_complex(address))
+        assert price_types == {"int", "str"}
+        assert address_complex == {True, False}
+
+    def test_shared_parking_and_cycles(self):
+        source = RestaurantGuideSource(seed=2, initial_restaurants=20,
+                                       stable_ids=True)
+        db = source.export()
+        back_arcs = [arc for arc in db.arcs() if arc.label == "nearby-eats"]
+        assert back_arcs, "expected nearby-eats cycles"
+
+    def test_evolution_changes_data(self):
+        source = RestaurantGuideSource(seed=3, events_per_day=5.0,
+                                       stable_ids=True)
+        before = source.export()
+        source.advance("15Dec96")
+        after = source.export()
+        assert not before.isomorphic_to(after)
+        assert source.event_log
+
+    def test_advance_is_monotone(self):
+        source = RestaurantGuideSource(seed=3)
+        source.advance("15Dec96")
+        source.advance("10Dec96")  # going back is a no-op
+        assert source.now == parse_timestamp("15Dec96")
+
+    def test_render_html(self):
+        source = RestaurantGuideSource(seed=4)
+        page = source.render_html()
+        assert page.startswith("<html>")
+        assert "<li>" in page and "Restaurant Guide" in page
+
+    def test_names_unique(self):
+        source = RestaurantGuideSource(seed=6, initial_restaurants=30)
+        names = [r.name for r in source.restaurants.values()]
+        assert len(names) == len(set(names))
+
+
+class TestLibrarySource:
+    def test_catalog_shape(self):
+        source = LibrarySource(seed=1, books=5, stable_ids=True)
+        db = source.export()
+        books = list(db.children(db.root, "book"))
+        assert len(books) == 5
+        for book in books:
+            labels = sorted(db.out_labels(book))
+            assert labels == ["author", "status", "title"]
+
+    def test_status_values(self):
+        source = LibrarySource(seed=1, books=5, stable_ids=True)
+        db = source.export()
+        statuses = {db.value(status)
+                    for book in db.children(db.root, "book")
+                    for status in db.children(book, "status")}
+        assert statuses <= {"in", "out"}
+
+    def test_circulation_happens(self):
+        source = LibrarySource(seed=2, books=8, events_per_day=10.0)
+        source.advance("15Dec96")
+        events = [event for book in source.books.values()
+                  for event in book.history]
+        assert events, "expected checkouts/returns"
+        kinds = {kind for _, kind in events}
+        assert "checkout" in kinds
+
+    def test_popular_book_scenario_data(self):
+        """At least one book accumulates 2+ checkouts over a month."""
+        source = LibrarySource(seed=3, books=6, events_per_day=6.0)
+        source.advance("1Jan97")
+        assert any(book.checkout_count >= 2
+                   for book in source.books.values())
+
+    def test_acquisitions_flag(self):
+        source = LibrarySource(seed=4, books=3, events_per_day=20.0,
+                               acquisitions=True)
+        source.advance("1Feb97")
+        assert len(source.books) > 3
+
+    def test_deterministic(self):
+        a = LibrarySource(seed=9, stable_ids=True)
+        b = LibrarySource(seed=9, stable_ids=True)
+        a.advance("20Dec96")
+        b.advance("20Dec96")
+        assert a.export().same_as(b.export())

@@ -1,0 +1,146 @@
+"""Tests for the repro command line."""
+
+import io
+
+import pytest
+
+from repro import LoreStore, build_doem, dumps
+from repro.cli import main
+from tests.conftest import make_guide_db, make_guide_history
+
+
+@pytest.fixture
+def guide_file(tmp_path):
+    path = tmp_path / "guide.oem"
+    path.write_text(dumps(make_guide_db()), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def doem_store(tmp_path):
+    store_dir = tmp_path / "store"
+    store = LoreStore(store_dir)
+    store.put_doem("guidehist",
+                   build_doem(make_guide_db(), make_guide_history()))
+    return store_dir
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestValidateAndShow:
+    def test_validate_ok(self, guide_file):
+        code, text = run_cli("validate", str(guide_file))
+        assert code == 0
+        assert "OK:" in text and "root &guide" in text
+
+    def test_validate_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.oem"
+        bad.write_text("not oem at all", encoding="utf-8")
+        assert run_cli("validate", str(bad))[0] == 1
+
+    def test_validate_missing_file(self, tmp_path):
+        assert run_cli("validate", str(tmp_path / "nope.oem"))[0] == 1
+
+    def test_show(self, guide_file):
+        code, text = run_cli("show", str(guide_file))
+        assert code == 0
+        assert "Bangkok Cuisine" in text
+
+
+class TestQuery:
+    def test_lorel_query(self, guide_file):
+        code, text = run_cli(
+            "query", str(guide_file),
+            "select guide.restaurant where guide.restaurant.price < 20.5")
+        assert code == 0
+        assert "&r1" in text
+
+    def test_empty_result(self, guide_file):
+        code, text = run_cli("query", str(guide_file),
+                             "select guide.nothing")
+        assert code == 0
+        assert "empty" in text
+
+    def test_parse_error_is_reported(self, guide_file):
+        assert run_cli("query", str(guide_file), "select select")[0] == 1
+
+
+class TestDiff:
+    def test_diff(self, tmp_path, guide_file):
+        changed = make_guide_db()
+        changed.update_value("n1", 99)
+        new_file = tmp_path / "new.oem"
+        new_file.write_text(dumps(changed), encoding="utf-8")
+        code, text = run_cli("diff", str(guide_file), str(new_file))
+        assert code == 0
+        assert "updNode(n1, 99)" in text
+
+    def test_no_changes(self, guide_file):
+        code, text = run_cli("diff", str(guide_file), str(guide_file))
+        assert code == 0
+        assert "no changes" in text
+
+
+class TestHtmlDiff:
+    def test_markup_to_stdout(self, tmp_path):
+        old = tmp_path / "a.html"
+        new = tmp_path / "b.html"
+        old.write_text("<p>hello</p>", encoding="utf-8")
+        new.write_text("<p>goodbye</p>", encoding="utf-8")
+        code, text = run_cli("htmldiff", str(old), str(new))
+        assert code == 0
+        assert "htmldiff-legend" in text
+
+    def test_markup_to_file(self, tmp_path):
+        old = tmp_path / "a.html"
+        new = tmp_path / "b.html"
+        old.write_text("<p>hello</p>", encoding="utf-8")
+        new.write_text("<p>hello<b>!</b></p>", encoding="utf-8")
+        out_file = tmp_path / "out.html"
+        code, text = run_cli("htmldiff", str(old), str(new),
+                             "-o", str(out_file))
+        assert code == 0
+        assert out_file.exists()
+
+
+class TestHistoryAndChorel:
+    def test_timeline(self, doem_store):
+        code, text = run_cli("timeline", str(doem_store), "guidehist", "n1")
+        assert code == 0
+        assert "value 10 -> 20" in text
+
+    def test_timeline_quiet_object(self, doem_store):
+        code, text = run_cli("timeline", str(doem_store), "guidehist", "nm1")
+        assert code == 0
+        assert "no recorded changes" in text
+
+    def test_timeline_unknown_node(self, doem_store):
+        assert run_cli("timeline", str(doem_store), "guidehist",
+                       "ghost")[0] == 1
+
+    def test_history(self, doem_store):
+        code, text = run_cli("history", str(doem_store), "guidehist")
+        assert code == 0
+        assert "updNode(n1, 20)" in text
+        assert "remArc(r2, 'parking', n7)" in text
+
+    def test_chorel_native(self, doem_store):
+        code, text = run_cli("chorel", str(doem_store), "guidehist",
+                             "select guide.<add at T>restaurant")
+        assert code == 0
+        assert "&n2" in text
+
+    def test_chorel_translated(self, doem_store):
+        code, text = run_cli("chorel", str(doem_store), "guidehist",
+                             "select guide.<add at T>restaurant",
+                             "--translate")
+        assert code == 0
+        assert "&restaurant-history" in text  # the printed translation
+        assert "&n2" in text                   # and the same answer
+
+    def test_unknown_store_name(self, doem_store):
+        assert run_cli("chorel", str(doem_store), "nope", "select x")[0] == 1

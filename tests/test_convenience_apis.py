@@ -1,0 +1,97 @@
+"""Tests for the convenience APIs: object timelines and subgraph extraction."""
+
+import pytest
+
+from repro import COMPLEX, OEMDatabase, parse_timestamp
+from repro.errors import UnknownNodeError
+
+
+class TestTimeline:
+    def test_update_history(self, guide_doem):
+        events = guide_doem.timeline("n1")
+        assert events == [(parse_timestamp("1Jan97"), "value 10 -> 20")]
+
+    def test_creation_with_initial_value(self, guide_doem):
+        events = guide_doem.timeline("n3")
+        times_and_text = [(str(when), text) for when, text in events]
+        assert ("1Jan97", "created with value 'Hakata'") in times_and_text
+        assert any("linked from &n2" in text for _, text in events)
+
+    def test_full_object_story(self, guide_doem):
+        events = guide_doem.timeline("n2")  # Hakata, the busy object
+        texts = [text for _, text in events]
+        assert any(text.startswith("created") for text in texts)
+        assert any("gained 'name'" in text for text in texts)
+        assert any("gained 'comment'" in text for text in texts)
+        assert any("linked from &guide" in text for text in texts)
+        # chronological
+        times = [when for when, _ in events]
+        assert times == sorted(times)
+
+    def test_removal_shows_as_unlink(self, guide_doem):
+        events = guide_doem.timeline("n7")
+        assert any("unlinked from &r2 via 'parking'" in text
+                   for _, text in events)
+
+    def test_untouched_object_has_empty_timeline(self, guide_doem):
+        assert guide_doem.timeline("nm1") == []
+
+    def test_unknown_object(self, guide_doem):
+        with pytest.raises(UnknownNodeError):
+            guide_doem.timeline("ghost")
+
+    def test_creation_value_precedes_updates(self):
+        """A node created with v0 then updated reports v0 at creation."""
+        from repro import (AddArc, CreNode, OEMHistory, UpdNode, build_doem)
+        db = OEMDatabase(root="r")
+        history = OEMHistory([
+            ("1Jan97", [CreNode("x", "v0"), AddArc("r", "v", "x")]),
+            ("2Jan97", [UpdNode("x", "v1")]),
+        ])
+        doem = build_doem(db, history)
+        events = [text for _, text in doem.timeline("x")]
+        assert "created with value 'v0'" in events
+        assert "value 'v0' -> 'v1'" in events
+
+
+class TestSubgraph:
+    def test_extracts_closure(self, guide_db):
+        sub = guide_db.subgraph("r2")
+        sub.check()
+        # Janta reaches its own atoms, the shared parking object, and --
+        # through nearby-eats -- Bangkok's subtree.
+        assert sub.has_node("n7")
+        values = {sub.value(node) for node in sub.nodes()
+                  if sub.is_atomic(node)}
+        assert "Janta" in values
+
+    def test_leaf_subgraph(self, guide_db):
+        sub = guide_db.subgraph("nm1")
+        assert len(sub) == 1
+        assert sub.value(sub.root) == "Bangkok Cuisine"
+
+    def test_rename_root(self, guide_db):
+        sub = guide_db.subgraph("r1", new_root="bangkok")
+        assert sub.root == "bangkok"
+        assert not sub.has_node("r1")
+        sub.check()
+
+    def test_cycles_preserved(self, guide_db):
+        sub = guide_db.subgraph("r1")
+        assert sub.has_arc("n7", "nearby-eats", "r1")
+
+    def test_source_untouched(self, guide_db):
+        before = guide_db.copy()
+        guide_db.subgraph("r1")
+        assert guide_db.same_as(before)
+
+    def test_unknown_node(self, guide_db):
+        with pytest.raises(UnknownNodeError):
+            guide_db.subgraph("ghost")
+
+    def test_subgraph_is_queryable(self, guide_db):
+        from repro import LorelEngine
+        sub = guide_db.subgraph("r2", new_root="janta")
+        engine = LorelEngine(sub, name="janta")
+        result = engine.run("select N from janta.name N")
+        assert [sub.value(node) for node in result.objects()] == ["Janta"]

@@ -1,0 +1,102 @@
+"""Tests for the exception hierarchy: one base, meaningful subtrees."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    DiffError,
+    DOEMError,
+    EncodingError,
+    EvaluationError,
+    FrequencyError,
+    InfeasibleDOEMError,
+    InvalidChangeError,
+    InvalidHistoryError,
+    LexError,
+    OEMError,
+    ParseError,
+    QSSError,
+    QueryError,
+    ReproError,
+    SerializationError,
+    SubscriptionError,
+    TimestampError,
+    TranslationError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for error_type in (OEMError, DOEMError, QueryError, QSSError,
+                           TimestampError, DiffError, SerializationError):
+            assert issubclass(error_type, ReproError)
+
+    def test_oem_subtree(self):
+        for error_type in (InvalidChangeError, InvalidHistoryError):
+            assert issubclass(error_type, OEMError)
+
+    def test_doem_subtree(self):
+        for error_type in (InfeasibleDOEMError, EncodingError):
+            assert issubclass(error_type, DOEMError)
+
+    def test_query_subtree(self):
+        for error_type in (LexError, ParseError, EvaluationError,
+                           TranslationError):
+            assert issubclass(error_type, QueryError)
+
+    def test_qss_subtree(self):
+        for error_type in (FrequencyError, SubscriptionError):
+            assert issubclass(error_type, QSSError)
+
+    def test_one_catch_all_suffices(self):
+        """A caller can wrap any library call in `except ReproError`."""
+        from repro import LorelEngine, OEMDatabase, parse_timestamp
+        db = OEMDatabase(root="r")
+        failures = 0
+        for action in (
+            lambda: parse_timestamp("gibberish"),
+            lambda: db.create_node("r", 1),
+            lambda: LorelEngine(db).run("select select"),
+            lambda: LorelEngine(db).run("select nosuch.thing"),
+            lambda: repro.loads("not oem"),
+        ):
+            try:
+                action()
+            except ReproError:
+                failures += 1
+        assert failures == 5
+
+
+class TestErrorMessages:
+    def test_lex_error_carries_offset(self):
+        from repro.lorel.lexer import tokenize
+        try:
+            tokenize("select ^")
+        except LexError as error:
+            assert error.position == 7
+            assert "offset 7" in str(error)
+
+    def test_parse_error_carries_offset(self):
+        from repro import parse_query
+        try:
+            parse_query("select a extra junk")
+        except ParseError as error:
+            assert error.position is not None
+
+    def test_serialization_error_location(self):
+        error = SerializationError("bad", line=3, column=9)
+        assert "line 3" in str(error) and "column 9" in str(error)
+
+    def test_unknown_node_names_the_node(self):
+        from repro import OEMDatabase
+        from repro.errors import UnknownNodeError
+        db = OEMDatabase(root="r")
+        with pytest.raises(UnknownNodeError) as exc_info:
+            db.value("ghost")
+        assert "ghost" in str(exc_info.value)
+        assert exc_info.value.node_id == "ghost"
+
+    def test_all_public_errors_are_exported(self):
+        for name in ("ReproError", "OEMError", "QueryError", "QSSError",
+                     "ParseError", "EvaluationError", "TimestampError"):
+            assert hasattr(repro, name)

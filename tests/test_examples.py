@@ -1,0 +1,41 @@
+"""Smoke tests: every example script must run clean and say what it promises.
+
+The examples are user-facing deliverables; a refactor that breaks one
+should fail the suite, not a reader's first session with the library.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+_EXPECTATIONS = {
+    "quickstart.py": ["backends agree: OK", "Ex 4.4", "&price-history"],
+    "restaurant_changes.py": ["New restaurants", "Price changes"],
+    "library_notifications.py": ["POPULAR", "Ground truth"],
+    "query_subscription.py": ["match", "Hakata"],
+    "htmldiff_demo.py": ["htmldiff summary", "creNode"],
+    "triggers_demo.py": ["rule activation", "per-rule firing counts"],
+    "time_travel.py": ["H(D) == H: True",
+                       "replay(O0, H(D)) == current snapshot: True"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(_EXPECTATIONS))
+def test_example_runs(script, tmp_path):
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=180,
+        cwd=tmp_path)  # htmldiff_demo writes next to itself; cwd is inert
+    assert process.returncode == 0, process.stderr[-2000:]
+    for expected in _EXPECTATIONS[script]:
+        assert expected in process.stdout, (script, expected)
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert scripts == set(_EXPECTATIONS), \
+        "add new examples to _EXPECTATIONS so they stay smoke-tested"

@@ -1,0 +1,159 @@
+"""Robustness and edge-case tests across the stack.
+
+Unusual-but-legal inputs: unicode labels and values, deep chains, wide
+fan-out, empty everything, duplicate-heavy data, and hostile query text.
+"""
+
+import pytest
+
+from repro import (
+    COMPLEX,
+    ChorelEngine,
+    DOEMDatabase,
+    LexError,
+    LorelEngine,
+    OEMDatabase,
+    OEMHistory,
+    ParseError,
+    UpdNode,
+    build_doem,
+    current_snapshot,
+    dumps,
+    encode_doem,
+    decode_doem,
+    loads,
+    oem_diff,
+)
+from repro.diff.oemdiff import apply_diff
+
+
+class TestUnicode:
+    def make_db(self):
+        db = OEMDatabase(root="r")
+        db.create_node("n1", "héllo wörld é世界")
+        db.add_arc("r", "grüße", "n1")
+        db.create_node("n2", "\U0001F35C noodles")
+        db.add_arc("r", "emoji label ✓", "n2")
+        return db
+
+    def test_serializer_round_trip(self):
+        db = self.make_db()
+        assert loads(dumps(db)).same_as(db)
+
+    def test_query_over_unicode(self):
+        db = self.make_db()
+        engine = LorelEngine(db, name="r")
+        result = engine.run('select V from r."grüße" V')
+        assert len(result) == 1
+
+    def test_like_on_unicode(self):
+        db = self.make_db()
+        engine = LorelEngine(db, name="r")
+        result = engine.run('select V from r.# V where V like "%noodles%"')
+        assert len(result) == 1
+
+    def test_diff_over_unicode(self):
+        old = self.make_db()
+        new = self.make_db()
+        new.update_value("n1", "geändert")
+        changes = oem_diff(old, new)
+        assert apply_diff(old, changes).isomorphic_to(new)
+
+
+class TestExtremeShapes:
+    def test_deep_chain_serializes(self):
+        db = OEMDatabase(root="r")
+        previous = "r"
+        depth = 3000
+        for index in range(depth):
+            node = db.create_node(
+                f"n{index}", COMPLEX if index < depth - 1 else 0)
+            db.add_arc(previous, "next", node)
+            previous = node
+        restored = loads(dumps(db))
+        assert restored.same_as(db)
+
+    def test_wide_fanout(self):
+        db = OEMDatabase(root="r")
+        for index in range(2000):
+            db.create_node(f"n{index}", index)
+            db.add_arc("r", "item", f"n{index}")
+        engine = LorelEngine(db, name="r")
+        result = engine.run("select V from r.item V where V = 1234")
+        assert len(result) == 1
+        assert loads(dumps(db)).same_as(db)
+
+    def test_empty_database(self):
+        db = OEMDatabase(root="only")
+        assert loads(dumps(db)).same_as(db)
+        engine = LorelEngine(db, name="only")
+        assert len(engine.run("select only.anything")) == 0
+        doem = DOEMDatabase(db.copy())
+        assert decode_doem(encode_doem(doem)).same_as(doem)
+
+    def test_empty_history_doem(self):
+        db = OEMDatabase(root="r")
+        doem = build_doem(db, OEMHistory())
+        assert current_snapshot(doem).same_as(db)
+        engine = ChorelEngine(doem, name="r")
+        assert len(engine.run("select r.#<cre at T>")) == 0
+
+    def test_many_updates_one_node(self):
+        db = OEMDatabase(root="r")
+        db.create_node("x", 0)
+        db.add_arc("r", "v", "x")
+        history = OEMHistory()
+        from repro import parse_timestamp
+        when = parse_timestamp("1Jan97")
+        for index in range(300):
+            history.append(when.plus(days=index), [UpdNode("x", index + 1)])
+        doem = build_doem(db, history)
+        assert doem.graph.value("x") == 300
+        triples = doem.upd_triples("x")
+        assert len(triples) == 300
+        assert triples[0][1] == 0 and triples[-1][2] == 300
+        # encoding with 300 upd records still round-trips
+        assert decode_doem(encode_doem(doem)).same_as(doem)
+
+    def test_duplicate_values_everywhere(self):
+        db = OEMDatabase(root="r")
+        for index in range(50):
+            db.create_node(f"n{index}", "same")
+            db.add_arc("r", "v", f"n{index}")
+        engine = LorelEngine(db, name="r")
+        result = engine.run('select V from r.v V where V = "same"')
+        assert len(result) == 50  # distinct objects, equal values
+
+    def test_label_equal_to_keyword(self):
+        db = OEMDatabase(root="r")
+        db.create_node("x", 1)
+        db.add_arc("r", "select", "x")   # a label named 'select'
+        engine = LorelEngine(db, name="r")
+        result = engine.run('select V from r."select" V')
+        assert len(result) == 1
+
+
+class TestHostileQueryText:
+    @pytest.mark.parametrize("text", [
+        "", "   ", "select", "select from", "select a..b",
+        "select a where", "select a where x ==", "select a.<>b",
+        "select <add>", "select a.(b", "select a.b<upd at>",
+        'select a where b like 5',
+    ])
+    def test_bad_queries_raise_cleanly(self, guide_db, text):
+        engine = LorelEngine(guide_db, name="guide")
+        with pytest.raises((ParseError, LexError)):
+            engine.run(text)
+
+    def test_enormous_query_ok(self, guide_db):
+        engine = LorelEngine(guide_db, name="guide")
+        disjuncts = " or ".join(
+            f"guide.restaurant.price = {index}" for index in range(200))
+        result = engine.run(f"select guide.restaurant where {disjuncts}")
+        assert result.objects() == ["r1"]  # price 10 is in [0, 200)
+
+    def test_deep_path_query(self, guide_db):
+        engine = LorelEngine(guide_db, name="guide")
+        path = "guide" + ".parking.nearby-eats" * 30 + ".name"
+        result = engine.run(f"select N from {path} N")
+        assert len(result) == 0  # root has no parking arc

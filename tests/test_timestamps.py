@@ -1,0 +1,163 @@
+"""Tests for the time domain (repro.timestamps)."""
+
+import datetime
+
+import pytest
+
+from repro import NEG_INF, POS_INF, Timestamp, TimestampError, parse_timestamp
+from repro.timestamps import is_timestamp_literal
+
+
+class TestParsing:
+    def test_paper_style(self):
+        ts = parse_timestamp("1Jan97")
+        assert ts.to_datetime() == datetime.datetime(1997, 1, 1)
+
+    def test_paper_style_all_months(self):
+        months = ["Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                  "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
+        for index, month in enumerate(months, start=1):
+            ts = parse_timestamp(f"15{month}97")
+            assert ts.to_datetime().month == index
+
+    def test_full_month_name(self):
+        assert parse_timestamp("8January1997") == parse_timestamp("8Jan97")
+
+    def test_two_digit_year_window(self):
+        assert parse_timestamp("1Jan97").to_datetime().year == 1997
+        assert parse_timestamp("1Jan25").to_datetime().year == 2025
+        assert parse_timestamp("1Jan70").to_datetime().year == 1970
+
+    def test_four_digit_year(self):
+        assert parse_timestamp("30Dec1996") == parse_timestamp("30Dec96")
+
+    def test_time_of_day(self):
+        ts = parse_timestamp("30Dec96 11:30pm")
+        when = ts.to_datetime()
+        assert (when.hour, when.minute) == (23, 30)
+
+    def test_time_of_day_am(self):
+        assert parse_timestamp("1Jan97 12:05am").to_datetime().hour == 0
+        assert parse_timestamp("1Jan97 9:05am").to_datetime().hour == 9
+
+    def test_iso_date(self):
+        assert parse_timestamp("1997-01-08") == parse_timestamp("8Jan97")
+
+    def test_iso_datetime(self):
+        ts = parse_timestamp("1997-01-08 14:30:15")
+        when = ts.to_datetime()
+        assert (when.hour, when.minute, when.second) == (14, 30, 15)
+
+    def test_us_date(self):
+        assert parse_timestamp("1/8/97") == parse_timestamp("8Jan97")
+
+    def test_int_ticks(self):
+        assert parse_timestamp(0).to_datetime() == datetime.datetime(1970, 1, 1)
+
+    def test_datetime_passthrough(self):
+        when = datetime.datetime(1997, 1, 5, 12, 0)
+        assert parse_timestamp(when).to_datetime() == when
+
+    def test_date_passthrough(self):
+        assert parse_timestamp(datetime.date(1997, 1, 5)) == \
+            parse_timestamp("5Jan97")
+
+    def test_timestamp_passthrough(self):
+        ts = parse_timestamp("1Jan97")
+        assert parse_timestamp(ts) is ts
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TimestampError):
+            parse_timestamp("not a date")
+
+    def test_bad_month_rejected(self):
+        with pytest.raises(TimestampError):
+            parse_timestamp("1Xyz97")
+
+    def test_boolean_rejected(self):
+        with pytest.raises(TimestampError):
+            parse_timestamp(True)
+
+    def test_none_rejected(self):
+        with pytest.raises(TimestampError):
+            parse_timestamp(None)
+
+
+class TestOrderingAndArithmetic:
+    def test_total_order(self):
+        a = parse_timestamp("30Dec96")
+        b = parse_timestamp("1Jan97")
+        c = parse_timestamp("8Jan97")
+        assert a < b < c
+        assert c > a
+        assert a <= a and a >= a
+
+    def test_infinities(self):
+        ts = parse_timestamp("1Jan97")
+        assert NEG_INF < ts < POS_INF
+        assert NEG_INF < POS_INF
+        assert not (NEG_INF < NEG_INF)
+        assert NEG_INF == NEG_INF and POS_INF == POS_INF
+
+    def test_infinity_is_not_finite(self):
+        assert not NEG_INF.is_finite and not POS_INF.is_finite
+        assert parse_timestamp("1Jan97").is_finite
+
+    def test_infinity_has_no_calendar_form(self):
+        with pytest.raises(TimestampError):
+            POS_INF.to_datetime()
+
+    def test_plus(self):
+        ts = parse_timestamp("1Jan97")
+        assert ts.plus(days=7) == parse_timestamp("8Jan97")
+        assert ts.plus(hours=24) == ts.plus(days=1)
+        assert ts.plus(minutes=60) == ts.plus(hours=1)
+
+    def test_plus_on_infinity_is_identity(self):
+        assert POS_INF.plus(days=5) is POS_INF
+
+    def test_subtraction_seconds(self):
+        a = parse_timestamp("1Jan97")
+        b = parse_timestamp("2Jan97")
+        assert b - a == 86400
+
+    def test_subtraction_with_infinity_fails(self):
+        with pytest.raises(TimestampError):
+            POS_INF - parse_timestamp("1Jan97")
+
+    def test_hashable(self):
+        times = {parse_timestamp("1Jan97"), parse_timestamp("1997-01-01")}
+        assert len(times) == 1
+
+    def test_ticks_must_be_int(self):
+        with pytest.raises(TimestampError):
+            Timestamp(1.5)  # type: ignore[arg-type]
+
+
+class TestPresentation:
+    def test_str_round_trips(self):
+        for text in ["1Jan97", "30Dec96", "8Jan97"]:
+            ts = parse_timestamp(text)
+            assert parse_timestamp(str(ts)) == ts
+
+    def test_str_with_time(self):
+        ts = parse_timestamp("30Dec96 11:30pm")
+        assert "23:30" in str(ts)
+        assert parse_timestamp(str(ts)) == ts
+
+    def test_infinity_str(self):
+        assert str(NEG_INF) == "NEG_INF"
+        assert str(POS_INF) == "POS_INF"
+
+    def test_repr(self):
+        assert "1Jan97" in repr(parse_timestamp("1Jan97"))
+
+
+class TestLiteralDetection:
+    def test_positive(self):
+        for text in ["4Jan97", "1997-01-01", "1/8/97", "30Dec96 11:30pm"]:
+            assert is_timestamp_literal(text), text
+
+    def test_negative(self):
+        for text in ["hello", "42", "20.5", "Jan97"]:
+            assert not is_timestamp_literal(text), text
