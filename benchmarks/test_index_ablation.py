@@ -13,12 +13,21 @@ histories, at a one-time rebuild cost linear in the annotation count.
 import pytest
 
 from repro import (
+    AddArc,
     AnnotationIndex,
+    ChangeSet,
     ChorelEngine,
+    CreNode,
+    IndexedChorelEngine,
+    OEMDatabase,
+    OEMHistory,
+    SnapshotCache,
+    TimestampIndex,
     build_doem,
     parse_timestamp,
     random_database,
     random_history,
+    snapshot_at,
 )
 
 SCALES = [10, 40]
@@ -27,6 +36,23 @@ SCALES = [10, 40]
 def make_doem(steps):
     db = random_database(seed=4242, nodes=80)
     history = random_history(db, seed=4242, steps=steps, set_size=10)
+    return build_doem(db, history), history
+
+
+def make_append_log(entries):
+    """A DOEM shaped like an append-only feed: one ``item`` arc added
+    under the root per day.  This is the workload annotation indexes are
+    for -- the naive evaluator must visit every ``add`` annotation on the
+    root's ``item`` arcs, while the index bisects straight to the tail.
+    """
+    db = OEMDatabase()
+    history = OEMHistory()
+    when = parse_timestamp("1Jan97")
+    for i in range(entries):
+        node = f"i{i}"
+        history.append(when, ChangeSet(
+            [CreNode(node, i), AddArc("root", "item", node)]))
+        when = when.plus(days=1)
     return build_doem(db, history), history
 
 
@@ -50,9 +76,9 @@ def test_engine_scan(benchmark, steps):
 
 @pytest.mark.parametrize("steps", SCALES)
 def test_indexed_lookup(benchmark, steps, record_artifact):
-    """The AnnotationIndex answering the same time-interval question."""
+    """The TimestampIndex answering the same time-interval question."""
     doem, history = make_doem(steps)
-    index = AnnotationIndex(doem)
+    index = TimestampIndex(doem)
     times = history.timestamps()
     low = times[len(times) // 2]
 
@@ -60,9 +86,12 @@ def test_indexed_lookup(benchmark, steps, record_artifact):
         return index.between("cre", low)
 
     hits = benchmark(lookup)
+    index.stats.reset()
+    hits = index.between("cre", low)
     record_artifact(f"index_hits_steps{steps}",
                     f"steps={steps} total cre={index.count('cre')} "
-                    f"hits after {low}: {len(hits)}")
+                    f"hits after {low}: {len(hits)}\n"
+                    f"index stats (one lookup): {index.stats.describe()}")
 
     # Cross-check against a direct annotation walk (ground truth).
     expected = sorted(
@@ -90,8 +119,6 @@ def test_engine_level_ablation(benchmark, backend, steps):
     the indexed engine must return identical rows (asserted) while paying
     only the interval lookup plus backward path verification.
     """
-    from repro import ChorelEngine, IndexedChorelEngine
-
     doem, history = make_doem(steps)
     times = history.timestamps()
     low = times[len(times) // 2]
@@ -109,3 +136,76 @@ def test_engine_level_ablation(benchmark, backend, steps):
     assert sorted(map(str, result)) == expected
     if backend == "indexed":
         assert engine.last_plan is not None
+
+
+@pytest.mark.parametrize("entries", [60, 240])
+def test_annotation_visit_reduction(benchmark, entries, record_artifact):
+    """Indexed pushdown visits strictly fewer annotations than the scan.
+
+    On the append-log workload the naive engine's ``add_fun`` touches the
+    ``add`` annotation of every ``item`` arc ever added under the root;
+    the indexed engine bisects the (kind, label) partition and only
+    touches the ones inside the ``T > low`` interval.  Row sets are
+    asserted identical, so the saving is pure overhead removed.
+    """
+    doem, history = make_append_log(entries)
+    times = history.timestamps()
+    low = times[-6]
+    query = f"select T, X from root.<add at T>item X where T > {low}"
+
+    naive = ChorelEngine(doem, name="root")
+    expected = sorted(map(str, naive.run(query)))
+    naive_visits = naive.annotation_visits
+    assert expected, "threshold query must match something"
+
+    indexed = IndexedChorelEngine(doem, name="root")
+    benchmark(indexed.run, query)
+
+    indexed.reset_counters()
+    rows = indexed.run(query)
+    assert sorted(map(str, rows)) == expected
+    indexed_visits = indexed.annotation_visits
+    assert indexed_visits < naive_visits, \
+        f"indexed engine visited {indexed_visits} annotations, " \
+        f"naive visited {naive_visits}"
+
+    record_artifact(
+        f"index_hits_engine_entries{entries}",
+        f"append-log entries={entries} query: {query}\n"
+        f"rows={len(rows)}\n"
+        f"naive annotation visits={naive_visits}\n"
+        f"indexed annotation visits={indexed_visits}\n"
+        f"index stats: {indexed.index.stats.describe()}\n"
+        f"path-index stats: {indexed.paths.stats.describe()}\n"
+        f"engine stats: {indexed.stats.describe()}")
+
+
+@pytest.mark.parametrize("steps", SCALES)
+def test_snapshot_cache_time_travel(benchmark, steps, record_artifact):
+    """Cached ``Ot(D)`` extraction vs. recomputing every snapshot.
+
+    The probe walks the history's timestamps in ascending order twice.
+    Nearly every lookup is served by incremental replay from the nearest
+    earlier checkpoint (the LRU keeps only the most recent four, so
+    restarting the walk costs a couple of full recomputes, not one per
+    probe).  The artifact records the hit-rate counters so the cache's
+    behavior is auditable.
+    """
+    doem, history = make_doem(steps)
+    times = history.timestamps()
+
+    def probe():
+        cache = SnapshotCache(doem, capacity=4)
+        for when in list(times) + list(times):
+            cache.snapshot_at(when)
+        return cache
+
+    cache = benchmark(probe)
+    # Ground truth: the cached result equals the direct computation.
+    mid = times[len(times) // 2]
+    assert cache.snapshot_at(mid).same_as(snapshot_at(doem, mid))
+
+    record_artifact(
+        f"index_hits_snapshot_steps{steps}",
+        f"steps={steps} probes={2 * len(times)} capacity=4\n"
+        f"cache stats: {cache.stats.describe()}")

@@ -66,8 +66,11 @@ from .doem import (
     compact,
     DOEMDatabase,
     Rem,
+    SnapshotCache,
+    SnapshotCacheStats,
     Upd,
     build_doem,
+    cached_snapshot_at,
     current_snapshot,
     decode_doem,
     encode_doem,
@@ -75,13 +78,22 @@ from .doem import (
     is_feasible,
     original_snapshot,
     snapshot_at,
+    snapshot_cache,
 )
 from .lorel import LorelEngine, QueryResult, format_query, parse_query
 from .lorel.update import parse_update, plan_update
 from .chorel import ChorelEngine, TranslatingChorelEngine, translate_query
 from .chorel.optimize import IndexedChorelEngine
 from .triggers import Activation, Event, Rule, TriggerManager
-from .lore import AnnotationIndex, LabelIndex, LoreStore, ValueIndex
+from .lore import (
+    AnnotationIndex,
+    IndexStats,
+    LabelIndex,
+    LoreStore,
+    PathIndex,
+    TimestampIndex,
+    ValueIndex,
+)
 from .diff import apply_diff, html_diff, html_to_oem, id_diff, match_snapshots, oem_diff
 from .qss import (
     QSC,
@@ -121,6 +133,8 @@ __all__ = [
     # DOEM
     "DOEMDatabase", "Cre", "Upd", "Add", "Rem", "build_doem",
     "snapshot_at", "original_snapshot", "current_snapshot",
+    "SnapshotCache", "SnapshotCacheStats", "snapshot_cache",
+    "cached_snapshot_at",
     "encoded_history", "is_feasible", "encode_doem", "decode_doem",
     "compact",
     # query languages
@@ -132,6 +146,7 @@ __all__ = [
     "TriggerManager", "Rule", "Event", "Activation",
     # lore
     "LoreStore", "LabelIndex", "ValueIndex", "AnnotationIndex",
+    "TimestampIndex", "PathIndex", "IndexStats",
     # diff
     "match_snapshots", "oem_diff", "apply_diff", "id_diff",
     "html_to_oem", "html_diff",

@@ -45,6 +45,20 @@ class ChorelEngine:
         """Expose ``node_id`` as a database name for path expressions."""
         self.view._names[name] = node_id
 
+    @property
+    def annotation_visits(self) -> int:
+        """Annotations touched while answering queries so far.
+
+        For the naive engine this is the view's scan counter; the indexed
+        subclass adds the entries its index lookups returned.  The
+        ``index_hits_*`` benchmarks compare the two.
+        """
+        return self.view.annotation_visits
+
+    def reset_counters(self) -> None:
+        """Zero the annotation-visit accounting (benchmarks do this)."""
+        self.view.annotation_visits = 0
+
     def set_polling_times(self, times: dict[int, object]) -> None:
         """Set the ``t[i]`` mapping (index -> timestamp), coercing values."""
         self._polling_times = {index: parse_timestamp(when)

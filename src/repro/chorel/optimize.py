@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..doem.model import DOEMDatabase
-from ..lore.indexes import AnnotationIndex
+from ..lore.indexes import PathIndex, TimestampIndex
 from ..lorel.ast import (
     And,
     AnnotationExpr,
@@ -50,7 +50,7 @@ from ..oem.model import Arc
 from ..timestamps import NEG_INF, POS_INF, Timestamp, parse_timestamp
 from .engine import ChorelEngine
 
-__all__ = ["IndexedChorelEngine", "IndexPlan"]
+__all__ = ["IndexedChorelEngine", "IndexPlan", "EngineStats"]
 
 _TIME_LABELS = {"cre": "create-time", "add": "add-time",
                 "rem": "remove-time", "upd": "update-time"}
@@ -83,26 +83,75 @@ class IndexPlan:
                 f"in {lo}{self.low}, {self.high}{hi}")
 
 
+@dataclass
+class EngineStats:
+    """Per-engine pushdown accounting: which path served each query."""
+
+    indexed_queries: int = 0
+    fallback_queries: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.indexed_queries + self.fallback_queries
+
+    @property
+    def pushdown_rate(self) -> float:
+        """Fraction of queries served by an index plan."""
+        return self.indexed_queries / self.total if self.total else 0.0
+
+    def reset(self) -> None:
+        self.indexed_queries = self.fallback_queries = 0
+
+    def describe(self) -> str:
+        return (f"queries={self.total} indexed={self.indexed_queries} "
+                f"fallback={self.fallback_queries} "
+                f"pushdown_rate={self.pushdown_rate:.2f}")
+
+
 class IndexedChorelEngine(ChorelEngine):
     """A Chorel engine with an annotation-index fast path.
 
     Behaviourally identical to :class:`~repro.chorel.engine.ChorelEngine`;
-    eligible queries are served from the index.  Call
-    :meth:`refresh_index` after folding new changes into the DOEM
-    database (QSS does this once per poll; the rebuild is linear in the
-    annotation count and amortizes after one standing query -- see the
-    index-ablation benchmark).
+    eligible queries are served from a :class:`TimestampIndex` that is
+    *attached* to the DOEM database, so annotations folded in after
+    engine construction (QSS polling, ``apply_change_set``) enter the
+    index incrementally -- no :meth:`refresh_index` calls needed.  Hit
+    verification walks a memoized :class:`PathIndex` over the current
+    snapshot instead of a per-hit backward BFS.
+
+    Accounting: ``engine.stats`` says how many queries took the indexed
+    vs. fallback path, ``engine.index.stats`` / ``engine.paths.stats``
+    carry index hit rates, and ``engine.annotation_visits`` totals the
+    annotations touched (index entries + fallback scans) for direct
+    comparison against the naive engine.
     """
 
     def __init__(self, doem: DOEMDatabase, name: str | None = None,
                  **kwargs) -> None:
         super().__init__(doem, name, **kwargs)
-        self.index = AnnotationIndex(doem)
+        self.index = TimestampIndex(doem)
+        self.paths = PathIndex(doem)
+        self.stats = EngineStats()
         self.last_plan: IndexPlan | None = None
 
     def refresh_index(self) -> None:
-        """Rebuild the annotation index from the current DOEM state."""
+        """Force a full index rebuild.
+
+        Kept for API compatibility and for databases mutated behind the
+        listener protocol's back; attached indexes normally maintain
+        themselves as change sets are applied.
+        """
         self.index.rebuild(self.doem)
+
+    @property
+    def annotation_visits(self) -> int:
+        return self.view.annotation_visits + self.index.stats.visited
+
+    def reset_counters(self) -> None:
+        super().reset_counters()
+        self.index.stats.reset()
+        self.paths.stats.reset()
+        self.stats.reset()
 
     # ------------------------------------------------------------------
 
@@ -115,7 +164,9 @@ class IndexedChorelEngine(ChorelEngine):
             plan = self._extract_plan(query)
             if plan is not None:
                 self.last_plan = plan
+                self.stats.indexed_queries += 1
                 return self._execute_plan(plan)
+        self.stats.fallback_queries += 1
         return super().run(query, bindings=bindings)
 
     # ------------------------------------------------------------------
@@ -147,8 +198,6 @@ class IndexedChorelEngine(ChorelEngine):
             labels.append(step.label)
         if annotation is None or annotation.kind == "at":
             return None
-        if annotation.at_literal is not None:
-            return None
         # Anonymous annotations (<add>) index-scan the full time axis.
         at_var = annotation.at_var or "__anon_T"
 
@@ -164,6 +213,18 @@ class IndexedChorelEngine(ChorelEngine):
         )
         if final_var is not None:
             plan.object_var = final_var
+
+        if annotation.at_literal is not None:
+            # A pinned time (<add at 5Jan97>) is the degenerate interval
+            # [t, t] -- the naive engine's equality filter, pushed down.
+            pinned = self._literal_time(annotation.at_literal
+                                        if isinstance(annotation.at_literal,
+                                                      TimeVar)
+                                        else Literal(annotation.at_literal))
+            if pinned is None:
+                return None
+            plan.low = plan.high = pinned
+            plan.include_low = plan.include_high = True
 
         if query.where is not None:
             if not self._fold_interval(query.where, plan):
@@ -259,9 +320,13 @@ class IndexedChorelEngine(ChorelEngine):
     # ------------------------------------------------------------------
 
     def _execute_plan(self, plan: IndexPlan) -> QueryResult:
+        # Arc-annotation plans narrow the scan to the final step's label
+        # via the index's label partition; node kinds scan the kind list.
+        label = plan.labels[-1] if plan.kind in ("add", "rem") else None
         hits = self.index.between(plan.kind, plan.low, plan.high,
                                   include_low=plan.include_low,
-                                  include_high=plan.include_high)
+                                  include_high=plan.include_high,
+                                  label=label)
         result = QueryResult()
         for when, subject in hits:
             row = self._verify_and_build(plan, when, subject)
@@ -297,21 +362,12 @@ class IndexedChorelEngine(ChorelEngine):
         return None
 
     def _connects_backward(self, node: str, labels: tuple[str, ...]) -> bool:
-        """Is there a live path root -labels-> node?  Backward BFS."""
-        frontier = {node}
-        for label in reversed(labels):
-            parents: set[str] = set()
-            for current in frontier:
-                for arc in self.doem.graph.in_arcs(current):
-                    if arc.label == label and \
-                            self.doem.arc_live_at(*arc, POS_INF):
-                        parents.add(arc.source)
-            if not parents:
-                return False
-            frontier = parents
-        # All labels consumed: the remaining frontier plays the role of
-        # the path's start, which is the database root.
-        return self.doem.graph.root in frontier
+        """Is there a live path root -labels-> node?
+
+        Served by the memoized :class:`PathIndex`: one forward expansion
+        per distinct label prefix instead of a backward BFS per hit.
+        """
+        return self.paths.contains(node, labels)
 
     def _upd_triple_at(self, node: str, when: Timestamp):
         for at, old, new in self.doem.upd_triples(node):

@@ -18,7 +18,15 @@ Public surface:
 from .annotations import Add, Annotation, Cre, Rem, Upd
 from .model import DOEMDatabase
 from .build import build_doem
-from .snapshot import current_snapshot, original_snapshot, snapshot_at
+from .snapshot import (
+    SnapshotCache,
+    SnapshotCacheStats,
+    cached_snapshot_at,
+    current_snapshot,
+    original_snapshot,
+    snapshot_at,
+    snapshot_cache,
+)
 from .extract import encoded_history, is_feasible, original_database
 from .encoding import decode_doem, encode_doem, EncodedDOEM
 from .compact import compact
@@ -34,6 +42,10 @@ __all__ = [
     "snapshot_at",
     "original_snapshot",
     "current_snapshot",
+    "SnapshotCache",
+    "SnapshotCacheStats",
+    "snapshot_cache",
+    "cached_snapshot_at",
     "encoded_history",
     "original_database",
     "is_feasible",

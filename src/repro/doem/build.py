@@ -16,6 +16,15 @@ approach."
 Because removed arcs linger, operation validity is checked against the
 *conceptual current snapshot* (liveness via annotations), not against the
 raw DOEM graph.
+
+Index and cache maintenance: every operation the applier folds in ends in
+an ``annotate_node``/``annotate_arc`` call, which bumps the database's
+generation counter and notifies attached annotation listeners -- this is
+how a :class:`~repro.lore.indexes.TimestampIndex` stays current without
+rebuilds and how :class:`~repro.doem.snapshot.SnapshotCache` and
+:class:`~repro.lore.indexes.PathIndex` detect staleness.  Raw graph
+mutations additionally call :meth:`~repro.doem.model.DOEMDatabase.touch`
+so the fingerprint moves even mid-operation.
 """
 
 from __future__ import annotations
@@ -69,6 +78,7 @@ class DOEMApplier:
                     f"creNode: identifier {op.node!r} already used "
                     f"(identifiers of deleted nodes are not reused)")
             graph.create_node(op.node, op.value)
+            self.doem.touch()
             self.doem.annotate_node(op.node, Cre(when))
         elif isinstance(op, UpdNode):
             if not self._node_is_live(op.node):
@@ -78,6 +88,7 @@ class DOEMApplier:
                     f"updNode({op.node}): object still has live subobjects")
             old_value = graph.value(op.node)
             graph._values[op.node] = op.value  # bypass child check: dead arcs linger
+            self.doem.touch()
             self.doem.annotate_node(op.node, Upd(when, old_value))
         elif isinstance(op, AddArc):
             if not self._node_is_live(op.source):
@@ -90,6 +101,7 @@ class DOEMApplier:
                 raise InvalidChangeError(f"addArc: arc {op.arc} already present")
             if not graph.has_arc(*op.arc):
                 graph.add_arc(*op.arc)
+                self.doem.touch()
             self.doem.annotate_arc(op.source, op.label, op.target, Add(when))
         elif isinstance(op, RemArc):
             if not self._arc_is_live(*op.arc):

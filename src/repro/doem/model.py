@@ -13,6 +13,7 @@ state from this one structure.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Iterator
 
 from ..errors import DOEMError, UnknownNodeError
@@ -35,6 +36,64 @@ class DOEMDatabase:
         self.graph = graph if graph is not None else OEMDatabase()
         self._node_annotations: dict[str, list[NodeAnnotation]] = {}
         self._arc_annotations: dict[Arc, list[ArcAnnotation]] = {}
+        self._generation = 0
+        self._listeners: list[weakref.ref] = []
+
+    # ------------------------------------------------------------------
+    # Change tracking (incremental index / cache maintenance)
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """A counter bumped on every tracked mutation.
+
+        Derived structures (snapshot caches, path indexes) compare this
+        against the generation they were built at to detect staleness.
+        Mutations through the DOEM API (``annotate_node``,
+        ``annotate_arc``, the appliers in :mod:`repro.doem.build`) are
+        tracked; raw ``self.graph`` edits should call :meth:`touch`.
+        """
+        return self._generation
+
+    def fingerprint(self) -> tuple[int, int, int]:
+        """A cheap staleness token: (generation, node count, arc count).
+
+        The node/arc counts catch most untracked raw-graph mutations, so
+        pull-based caches stay correct even for hand-built databases.
+        """
+        return (self._generation, len(self.graph), self.graph.arc_count())
+
+    def touch(self) -> None:
+        """Record an untracked mutation (bump the generation counter)."""
+        self._generation += 1
+
+    def add_annotation_listener(self, listener: object) -> None:
+        """Register ``listener`` for incremental annotation maintenance.
+
+        The listener (held weakly) must implement
+        ``_on_annotation(subject_kind, subject, annotation)`` where
+        ``subject_kind`` is ``"node"`` or ``"arc"``; it is invoked after
+        every :meth:`annotate_node` / :meth:`annotate_arc`.
+        :class:`~repro.lore.indexes.TimestampIndex` uses this to stay in
+        sync as histories are folded in, without rebuild calls.
+        """
+        self._listeners.append(weakref.ref(listener))
+
+    def remove_annotation_listener(self, listener: object) -> None:
+        """Unregister a previously added listener (no-op if absent)."""
+        self._listeners = [ref for ref in self._listeners
+                           if ref() is not None and ref() is not listener]
+
+    def _notify(self, subject_kind: str, subject: object,
+                annotation: Annotation) -> None:
+        live: list[weakref.ref] = []
+        for ref in self._listeners:
+            listener = ref()
+            if listener is None:
+                continue
+            live.append(ref)
+            listener._on_annotation(subject_kind, subject, annotation)
+        self._listeners = live
 
     # ------------------------------------------------------------------
     # Annotation accessors (fN and fA of Definition 3.1)
@@ -62,6 +121,8 @@ class DOEMDatabase:
         annotations = self._node_annotations.setdefault(node_id, [])
         annotations.append(annotation)
         annotations.sort(key=sort_key)
+        self._generation += 1
+        self._notify("node", node_id, annotation)
 
     def annotate_arc(self, source: str, label: str, target: str,
                      annotation: ArcAnnotation) -> None:
@@ -74,6 +135,8 @@ class DOEMDatabase:
         annotations = self._arc_annotations.setdefault(arc, [])
         annotations.append(annotation)
         annotations.sort(key=sort_key)
+        self._generation += 1
+        self._notify("arc", arc, annotation)
 
     # ------------------------------------------------------------------
     # Derived accessors used by Chorel's annotation functions (Sec. 4.2.1)

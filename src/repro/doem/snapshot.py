@@ -11,9 +11,21 @@ recover individual states:
 All three return fresh, fully valid OEM databases whose node identifiers
 coincide with the DOEM database's, so results can be compared against
 replayed histories directly (the round-trip property tests rely on this).
+
+For workloads that ask for many snapshots of the same database (time
+travel, ``<at T>`` queries, QSS polling), :class:`SnapshotCache` keeps an
+LRU set of checkpoint snapshots and serves each ``Ot(D)`` incrementally
+from the nearest earlier checkpoint -- replaying only the change sets in
+``(checkpoint, t]`` instead of walking the whole annotation graph per
+call.  :func:`cached_snapshot_at` is the drop-in cached counterpart of
+:func:`snapshot_at`, with one cache attached per DOEM database.
 """
 
 from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
 
 from ..oem.model import OEMDatabase
 from ..oem.values import COMPLEX
@@ -21,7 +33,9 @@ from ..timestamps import NEG_INF, POS_INF, Timestamp, parse_timestamp
 from .annotations import Rem, Upd
 from .model import DOEMDatabase
 
-__all__ = ["snapshot_at", "original_snapshot", "current_snapshot"]
+__all__ = ["snapshot_at", "original_snapshot", "current_snapshot",
+           "SnapshotCache", "SnapshotCacheStats", "snapshot_cache",
+           "cached_snapshot_at"]
 
 
 def snapshot_at(doem: DOEMDatabase, when: object) -> OEMDatabase:
@@ -78,3 +92,167 @@ def original_snapshot(doem: DOEMDatabase) -> OEMDatabase:
 def current_snapshot(doem: DOEMDatabase) -> OEMDatabase:
     """The snapshot "now": all recorded changes applied."""
     return snapshot_at(doem, POS_INF)
+
+
+# ----------------------------------------------------------------------
+# Snapshot caching
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SnapshotCacheStats:
+    """Counters describing how a :class:`SnapshotCache` earned its keep.
+
+    ``lookups = exact_hits + incremental + full``; ``replayed_sets`` is
+    the number of change sets applied on the incremental path (the work a
+    full replay from ``O0(D)`` would multiply many times over).
+    """
+
+    lookups: int = 0
+    exact_hits: int = 0
+    incremental: int = 0
+    full: int = 0
+    replayed_sets: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from a checkpoint (exact or base)."""
+        if not self.lookups:
+            return 0.0
+        return (self.exact_hits + self.incremental) / self.lookups
+
+    def reset(self) -> None:
+        self.lookups = self.exact_hits = self.incremental = self.full = 0
+        self.replayed_sets = self.evictions = self.invalidations = 0
+
+    def describe(self) -> str:
+        return (f"lookups={self.lookups} exact_hits={self.exact_hits} "
+                f"incremental={self.incremental} full={self.full} "
+                f"hit_rate={self.hit_rate:.2f} "
+                f"replayed_sets={self.replayed_sets} "
+                f"evictions={self.evictions} "
+                f"invalidations={self.invalidations}")
+
+
+class SnapshotCache:
+    """An LRU checkpoint cache making repeated ``Ot(D)`` calls cheap.
+
+    The cache keeps up to ``capacity`` checkpoint snapshots keyed by their
+    timestamp.  A lookup at time ``t``:
+
+    1. returns a copy of the checkpoint at exactly ``t`` when present;
+    2. otherwise finds the latest checkpoint at some ``t0 <= t``, copies
+       it, and replays only the encoded change sets in ``(t0, t]``
+       (Section 3.2 guarantees ``Ot`` equals the replayed prefix, the
+       invariant the differential harness re-proves on random histories);
+    3. with no usable checkpoint, falls back to the direct annotation
+       walk of :func:`snapshot_at`.
+
+    Results of 2 and 3 are themselves cached (LRU eviction).  The cache
+    watches the database's fingerprint and drops everything when the
+    underlying DOEM database changes, so it is always safe to keep one
+    around while folding new history in.
+    """
+
+    def __init__(self, doem: DOEMDatabase, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("SnapshotCache capacity must be >= 1")
+        self.doem = doem
+        self.capacity = capacity
+        self.stats = SnapshotCacheStats()
+        self._checkpoints: OrderedDict[Timestamp, OEMDatabase] = OrderedDict()
+        self._history = None  # lazily extracted encoded history
+        self._fingerprint: object = None
+
+    # -- freshness -------------------------------------------------------
+
+    def _ensure_fresh(self) -> None:
+        fingerprint = self.doem.fingerprint()
+        if fingerprint != self._fingerprint:
+            if self._fingerprint is not None:
+                self.stats.invalidations += 1
+            self._checkpoints.clear()
+            self._history = None
+            self._fingerprint = fingerprint
+
+    def _encoded_history(self):
+        if self._history is None:
+            from .extract import encoded_history
+            self._history = encoded_history(self.doem)
+        return self._history
+
+    # -- the cache proper ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def checkpoints(self) -> list[Timestamp]:
+        """The cached checkpoint times, least- to most-recently used."""
+        return list(self._checkpoints)
+
+    def clear(self) -> None:
+        """Drop every checkpoint (counters are kept)."""
+        self._checkpoints.clear()
+
+    def _store(self, when: Timestamp, snapshot: OEMDatabase) -> None:
+        self._checkpoints[when] = snapshot
+        self._checkpoints.move_to_end(when)
+        while len(self._checkpoints) > self.capacity:
+            self._checkpoints.popitem(last=False)
+            self.stats.evictions += 1
+
+    def snapshot_at(self, when: object) -> OEMDatabase:
+        """``Ot(D)`` via the cache; equal to :func:`snapshot_at`'s answer."""
+        cutoff = parse_timestamp(when)
+        self._ensure_fresh()
+        self.stats.lookups += 1
+
+        cached = self._checkpoints.get(cutoff)
+        if cached is not None:
+            self.stats.exact_hits += 1
+            self._checkpoints.move_to_end(cutoff)
+            return cached.copy()
+
+        base_time = None
+        for candidate in self._checkpoints:
+            if candidate <= cutoff and (base_time is None
+                                        or candidate > base_time):
+                base_time = candidate
+        if base_time is None:
+            self.stats.full += 1
+            snapshot = snapshot_at(self.doem, cutoff)
+        else:
+            self.stats.incremental += 1
+            self._checkpoints.move_to_end(base_time)
+            snapshot = self._checkpoints[base_time].copy()
+            for step_time, change_set in self._encoded_history():
+                if base_time < step_time <= cutoff:
+                    change_set.apply_to(snapshot)
+                    self.stats.replayed_sets += 1
+        self._store(cutoff, snapshot)
+        return snapshot.copy()
+
+    def warm(self, times: object) -> None:
+        """Precompute checkpoints at each of ``times`` (e.g. poll times)."""
+        for when in times:
+            self.snapshot_at(when)
+
+
+_CACHES: "weakref.WeakKeyDictionary[DOEMDatabase, SnapshotCache]" = \
+    weakref.WeakKeyDictionary()
+
+
+def snapshot_cache(doem: DOEMDatabase, capacity: int = 8) -> SnapshotCache:
+    """The per-database :class:`SnapshotCache` (created on first use)."""
+    cache = _CACHES.get(doem)
+    if cache is None or cache.capacity != capacity:
+        cache = SnapshotCache(doem, capacity=capacity)
+        _CACHES[doem] = cache
+    return cache
+
+
+def cached_snapshot_at(doem: DOEMDatabase, when: object) -> OEMDatabase:
+    """Drop-in cached variant of :func:`snapshot_at`."""
+    return snapshot_cache(doem).snapshot_at(when)

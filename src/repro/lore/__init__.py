@@ -9,9 +9,22 @@ is the corresponding substrate in pure Python:
 * :mod:`~repro.lore.indexes` -- label, value, and **annotation** indexes.
   Annotation indexes (by kind and timestamp) are the paper's Section 7
   future-work item; the index-ablation benchmark measures what they buy.
+  :class:`~repro.lore.indexes.TimestampIndex` is the incrementally
+  maintained variant (attached to a DOEM database via its annotation
+  listeners) and :class:`~repro.lore.indexes.PathIndex` memoizes
+  label-path reachability for Lorel/Chorel path evaluation; both carry
+  :class:`~repro.lore.indexes.IndexStats` hit-rate counters.
 """
 
 from .storage import LoreStore
-from .indexes import AnnotationIndex, LabelIndex, ValueIndex
+from .indexes import (
+    AnnotationIndex,
+    IndexStats,
+    LabelIndex,
+    PathIndex,
+    TimestampIndex,
+    ValueIndex,
+)
 
-__all__ = ["LoreStore", "LabelIndex", "ValueIndex", "AnnotationIndex"]
+__all__ = ["LoreStore", "LabelIndex", "ValueIndex", "AnnotationIndex",
+           "TimestampIndex", "PathIndex", "IndexStats"]

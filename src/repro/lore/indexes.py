@@ -21,15 +21,57 @@ quantify the ablation.
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from ..doem.annotations import Add, Cre, Rem, Upd
+from ..doem.annotations import Add, Annotation, Cre, Rem, Upd
 from ..doem.model import DOEMDatabase
 from ..oem.model import Arc, OEMDatabase
 from ..oem.values import COMPLEX, is_atomic_value
 from ..timestamps import NEG_INF, POS_INF, Timestamp, parse_timestamp
 
-__all__ = ["LabelIndex", "ValueIndex", "AnnotationIndex"]
+__all__ = ["LabelIndex", "ValueIndex", "AnnotationIndex", "TimestampIndex",
+           "PathIndex", "IndexStats"]
+
+
+@dataclass
+class IndexStats:
+    """Hit-rate counters shared by the incremental indexes.
+
+    * ``lookups`` -- queries answered by the index;
+    * ``hits`` -- lookups that found at least one entry (``misses`` is the
+      complement);
+    * ``visited`` -- entries the index actually touched to answer its
+      lookups -- the number the ablation benchmark compares against the
+      naive engine's full annotation scans;
+    * ``inserts`` -- incremental maintenance events;
+    * ``rebuilds`` -- full from-scratch (re)constructions.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    visited: int = 0
+    inserts: int = 0
+    rebuilds: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that produced at least one entry."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.lookups = self.hits = self.visited = 0
+        self.inserts = self.rebuilds = 0
+
+    def describe(self) -> str:
+        return (f"lookups={self.lookups} hits={self.hits} "
+                f"misses={self.misses} hit_rate={self.hit_rate:.2f} "
+                f"visited={self.visited} inserts={self.inserts} "
+                f"rebuilds={self.rebuilds}")
 
 
 class LabelIndex:
@@ -158,8 +200,11 @@ class AnnotationIndex:
     _ARC_KINDS = {"add": Add, "rem": Rem}
 
     def __init__(self, doem: DOEMDatabase | None = None) -> None:
-        # kind -> sorted list of (ticks-ordering key, timestamp, subject)
+        # kind -> sorted list of (ticks-ordering key, timestamp, subject),
+        # with a parallel key array per kind so interval lookups bisect in
+        # O(log n) instead of materializing the keys on every call.
         self._entries: dict[str, list[tuple[tuple, Timestamp, object]]] = {}
+        self._keys: dict[str, list[tuple]] = {}
         if doem is not None:
             self.rebuild(doem)
 
@@ -183,6 +228,8 @@ class AnnotationIndex:
                     (self._order_key(annotation.at), annotation.at, arc))
         self._entries = {kind: sorted(items, key=lambda e: (e[0], str(e[2])))
                          for kind, items in buckets.items()}
+        self._keys = {kind: [entry[0] for entry in items]
+                      for kind, items in self._entries.items()}
 
     def count(self, kind: str) -> int:
         """Number of annotations of ``kind`` in the index."""
@@ -200,15 +247,226 @@ class AnnotationIndex:
         """
         if kind not in self._entries:
             raise KeyError(f"unknown annotation kind {kind!r}")
-        items = self._entries[kind]
-        keys = [entry[0] for entry in items]
+        return self._slice(self._keys[kind], self._entries[kind], low, high,
+                           include_low, include_high)
+
+    @classmethod
+    def _slice(cls, keys: list[tuple],
+               items: list[tuple[tuple, Timestamp, object]], low: object,
+               high: object, include_low: bool,
+               include_high: bool) -> list[tuple[Timestamp, object]]:
         low_ts, high_ts = parse_timestamp(low), parse_timestamp(high)
-        start = bisect.bisect_left(keys, self._order_key(low_ts)) \
-            if include_low else bisect.bisect_right(keys, self._order_key(low_ts))
-        end = bisect.bisect_right(keys, self._order_key(high_ts)) \
-            if include_high else bisect.bisect_left(keys, self._order_key(high_ts))
+        start = bisect.bisect_left(keys, cls._order_key(low_ts)) \
+            if include_low else bisect.bisect_right(keys, cls._order_key(low_ts))
+        end = bisect.bisect_right(keys, cls._order_key(high_ts)) \
+            if include_high else bisect.bisect_left(keys, cls._order_key(high_ts))
         return [(when, subject) for _, when, subject in items[start:end]]
 
     def created_since(self, low: object) -> list[str]:
         """Node ids created strictly after ``low`` (QSS's common ask)."""
         return [node for _, node in self.between("cre", low)]
+
+
+class TimestampIndex(AnnotationIndex):
+    """An incrementally maintained annotation-kind x timestamp index.
+
+    The same (kind, interval) -> subjects contract as
+    :class:`AnnotationIndex`, plus:
+
+    * **incremental maintenance** -- :meth:`attach` registers the index as
+      an annotation listener on a :class:`~repro.doem.model.DOEMDatabase`,
+      so every annotation folded in by the appliers of
+      :mod:`repro.doem.build` is inserted in O(log n) without rebuilds;
+    * **label partitioning** -- arc annotations (``add``/``rem``) are
+      additionally bucketed by arc label, so ``<add at T>item`` predicates
+      scan only the ``item`` entries (pass ``label=`` to :meth:`between`);
+    * **hit-rate counters** -- :attr:`stats` records lookups, hits, and
+      entries visited, the numbers the ``index_hits_*`` benchmarks emit.
+
+    ``TimestampIndex(doem)`` rebuilds *and* attaches; pass
+    ``attach=False`` for a detached snapshot-in-time index.
+    """
+
+    def __init__(self, doem: DOEMDatabase | None = None, *,
+                 attach: bool = True) -> None:
+        self.stats = IndexStats()
+        self._source: DOEMDatabase | None = None
+        # (kind, arc label) -> parallel (keys, entries) lists
+        self._by_label: dict[tuple[str, str],
+                             tuple[list[tuple],
+                                   list[tuple[tuple, Timestamp, object]]]] = {}
+        super().__init__(None)
+        self._entries = {kind: [] for kind in ("cre", "upd", "add", "rem")}
+        self._keys = {kind: [] for kind in self._entries}
+        if doem is not None:
+            self.rebuild(doem)
+            if attach:
+                self.attach(doem)
+
+    # -- maintenance -----------------------------------------------------
+
+    def rebuild(self, doem: DOEMDatabase) -> None:
+        super().rebuild(doem)
+        for kind in ("cre", "upd", "add", "rem"):
+            self._entries.setdefault(kind, [])
+            self._keys.setdefault(kind, [])
+        self._by_label = {}
+        for kind in ("add", "rem"):
+            for entry in self._entries[kind]:
+                keys, entries = self._label_bucket(kind, entry[2].label)
+                keys.append(entry[0])
+                entries.append(entry)
+        self.stats.rebuilds += 1
+
+    def _label_bucket(self, kind: str, label: str):
+        bucket = self._by_label.get((kind, label))
+        if bucket is None:
+            bucket = ([], [])
+            self._by_label[(kind, label)] = bucket
+        return bucket
+
+    def attach(self, doem: DOEMDatabase) -> None:
+        """Follow ``doem``: future annotations are inserted automatically."""
+        if self._source is not None:
+            self.detach()
+        self._source = doem
+        doem.add_annotation_listener(self)
+
+    def detach(self) -> None:
+        """Stop following the attached database (the entries remain)."""
+        if self._source is not None:
+            self._source.remove_annotation_listener(self)
+            self._source = None
+
+    def insert(self, subject: object, annotation: Annotation) -> None:
+        """Insert one annotation's entry, keeping the kind list sorted."""
+        if isinstance(annotation, Cre):
+            kind = "cre"
+        elif isinstance(annotation, Upd):
+            kind = "upd"
+        elif isinstance(annotation, Add):
+            kind = "add"
+        else:
+            kind = "rem"
+        key = self._order_key(annotation.at)
+        entry = (key, annotation.at, subject)
+        keys = self._keys[kind]
+        # Insert after equal keys so arrival order breaks ties, matching
+        # one stable interval scan; `between` output order within a single
+        # timestamp is not part of the contract.
+        position = bisect.bisect_right(keys, key)
+        keys.insert(position, key)
+        self._entries[kind].insert(position, entry)
+        if kind in ("add", "rem"):
+            label_keys, label_entries = self._label_bucket(
+                kind, subject.label)
+            label_position = bisect.bisect_right(label_keys, key)
+            label_keys.insert(label_position, key)
+            label_entries.insert(label_position, entry)
+        self.stats.inserts += 1
+
+    def _on_annotation(self, subject_kind: str, subject: object,
+                       annotation: Annotation) -> None:
+        # DOEMDatabase listener hook (see add_annotation_listener).
+        self.insert(subject, annotation)
+
+    # -- counted lookups -------------------------------------------------
+
+    def between(self, kind: str, low: object = NEG_INF,
+                high: object = POS_INF, *, include_low: bool = False,
+                include_high: bool = True,
+                label: str | None = None) -> list[tuple[Timestamp, object]]:
+        """Annotations of ``kind`` in the interval, optionally by label.
+
+        ``label`` narrows ``add``/``rem`` lookups to one arc label using
+        the label partition (it is ignored for node kinds, whose subjects
+        carry no label).
+        """
+        if label is not None and kind in ("add", "rem"):
+            keys, items = self._by_label.get((kind, label), ((), ()))
+            result = self._slice(keys, items, low, high,
+                                 include_low, include_high)
+        else:
+            result = super().between(kind, low, high,
+                                     include_low=include_low,
+                                     include_high=include_high)
+        self.stats.lookups += 1
+        self.stats.visited += len(result)
+        if result:
+            self.stats.hits += 1
+        return result
+
+
+class PathIndex:
+    """A label-path index over the current snapshot of a database.
+
+    Maps a label sequence ``(l1, ..., ln)`` to the set of nodes reachable
+    from the root via a live ``l1 ... ln`` arc path -- the reachability
+    question Lorel path evaluation and the indexed Chorel engine's hit
+    verification both ask.  Path sets are computed on first use (one
+    breadth-first layer per label) and memoized; the memo is dropped
+    whenever the underlying database's fingerprint changes, so results
+    stay exact across incremental history folding.
+    """
+
+    def __init__(self, source: OEMDatabase | DOEMDatabase) -> None:
+        self.source = source
+        self.stats = IndexStats()
+        self._memo: dict[tuple[str, ...], frozenset[str]] = {}
+        self._fingerprint: object = None
+
+    # -- source adaptation ----------------------------------------------
+
+    def _root(self) -> str:
+        if isinstance(self.source, DOEMDatabase):
+            return self.source.graph.root
+        return self.source.root
+
+    def _children(self, node: str, label: str) -> Iterable[str]:
+        if isinstance(self.source, DOEMDatabase):
+            return (child for _, child
+                    in self.source.live_children(node, POS_INF, label))
+        return self.source.children(node, label)
+
+    def _current_fingerprint(self) -> object:
+        if isinstance(self.source, DOEMDatabase):
+            return self.source.fingerprint()
+        return (len(self.source), self.source.arc_count())
+
+    def _ensure_fresh(self) -> None:
+        fingerprint = self._current_fingerprint()
+        if fingerprint != self._fingerprint:
+            self._memo.clear()
+            self._fingerprint = fingerprint
+            self.stats.rebuilds += 1
+
+    # -- lookups ---------------------------------------------------------
+
+    def nodes(self, labels: Iterable[str]) -> frozenset[str]:
+        """Nodes reachable from the root via the exact label path."""
+        path = tuple(labels)
+        self._ensure_fresh()
+        self.stats.lookups += 1
+        cached = self._memo.get(path)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        # Reuse the longest memoized prefix, then extend layer by layer.
+        prefix_len = len(path)
+        while prefix_len > 0 and path[:prefix_len] not in self._memo:
+            prefix_len -= 1
+        frontier = self._memo[path[:prefix_len]] if prefix_len \
+            else frozenset((self._root(),))
+        self._memo.setdefault((), frozenset((self._root(),)))
+        for position in range(prefix_len, len(path)):
+            layer: set[str] = set()
+            for node in frontier:
+                layer.update(self._children(node, path[position]))
+            self.stats.visited += len(layer)
+            frontier = frozenset(layer)
+            self._memo[path[:position + 1]] = frontier
+        return frontier
+
+    def contains(self, node: str, labels: Iterable[str]) -> bool:
+        """Is ``node`` reachable from the root via the label path?"""
+        return node in self.nodes(labels)

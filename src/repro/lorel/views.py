@@ -145,7 +145,13 @@ class OEMView(DataView):
 
 
 class DOEMView(DataView):
-    """The native Chorel view over a DOEM database."""
+    """The native Chorel view over a DOEM database.
+
+    ``annotation_visits`` counts annotations handed to the evaluator by
+    the four annotation functions -- the work an annotation index avoids.
+    The index-ablation benchmark compares this counter between the naive
+    and indexed engines.
+    """
 
     def __init__(self, doem: DOEMDatabase,
                  names: dict[str, str] | None = None) -> None:
@@ -153,6 +159,7 @@ class DOEMView(DataView):
             names = {doem.graph.root: doem.graph.root}
         super().__init__(names)
         self.doem = doem
+        self.annotation_visits = 0
 
     def children(self, node: str, label: str) -> Iterator[str]:
         for _, child in self.doem.live_children(node, POS_INF, label):
@@ -175,16 +182,24 @@ class DOEMView(DataView):
         return self.doem.graph.has_node(node)
 
     def cre_fun(self, node: str) -> list[Timestamp]:
-        return self.doem.cre_times(node)
+        times = self.doem.cre_times(node)
+        self.annotation_visits += len(times)
+        return times
 
     def upd_fun(self, node: str) -> list[tuple[Timestamp, object, object]]:
-        return self.doem.upd_triples(node)
+        triples = self.doem.upd_triples(node)
+        self.annotation_visits += len(triples)
+        return triples
 
     def add_fun(self, node: str, label: str) -> list[tuple[Timestamp, str]]:
-        return self.doem.add_pairs(node, label)
+        pairs = self.doem.add_pairs(node, label)
+        self.annotation_visits += len(pairs)
+        return pairs
 
     def rem_fun(self, node: str, label: str) -> list[tuple[Timestamp, str]]:
-        return self.doem.rem_pairs(node, label)
+        pairs = self.doem.rem_pairs(node, label)
+        self.annotation_visits += len(pairs)
+        return pairs
 
     def children_at(self, node: str, label: str,
                     when: Timestamp) -> Iterator[str]:

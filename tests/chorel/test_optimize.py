@@ -35,13 +35,14 @@ INDEXABLE = [
     "select P, T from guide.restaurant.<rem at T>parking P",
     "select guide.<add at T>restaurant where T = 1Jan97",
     "select guide.<add at T>restaurant where 1Jan97 <= T",
+    "select guide.<add at 5Jan97>restaurant",        # literal pin: [t, t]
+    "select guide.<rem at 8Jan97>restaurant",        # literal pin, no hits
 ]
 
 FALLBACK = [
     'select N from guide.restaurant R, R.name N '
     'where R.<add at T>comment = "need info"',
     "select guide.restaurant where guide.restaurant.price < 20.5",
-    "select guide.<add at 5Jan97>restaurant",        # literal pin
     "select guide.#.comment<cre at T>",              # wildcard prefix
     "select guide.restaurant.price<at 2Jan97> P "
     .replace("select guide", "select P from guide"),  # virtual annotation
@@ -117,7 +118,8 @@ class TestPlanDetails:
             indexed.run("select guide.restaurant.comment<cre at T> "
                         "where T > t[-1]")
 
-    def test_refresh_index_after_fold(self, guide_doem):
+    def test_attached_index_follows_folded_changes(self, guide_doem):
+        """The TimestampIndex is attached: no refresh_index() needed."""
         from repro.doem.build import apply_change_set
         from repro.oem.changes import UpdNode
         indexed = IndexedChorelEngine(guide_doem, name="guide")
@@ -126,12 +128,40 @@ class TestPlanDetails:
             "where T > 1Jan97")
         assert len(before) == 0
         apply_change_set(guide_doem, "9Jan97", [UpdNode("n1", 25)])
-        # stale index: still empty; refresh picks up the new annotation
-        indexed.refresh_index()
         after = indexed.run(
             "select T, NV from guide.restaurant.price<upd at T to NV> "
             "where T > 1Jan97")
         assert len(after) == 1
+
+    def test_refresh_index_still_equivalent(self, guide_doem):
+        """refresh_index() (full rebuild) must agree with the live index."""
+        from repro.doem.build import apply_change_set
+        from repro.oem.changes import UpdNode
+        indexed = IndexedChorelEngine(guide_doem, name="guide")
+        apply_change_set(guide_doem, "9Jan97", [UpdNode("n1", 25)])
+        live = indexed.index.between("upd")
+        indexed.refresh_index()
+        assert indexed.index.between("upd") == live
+
+    def test_label_partition_narrow_scan(self, guide_doem):
+        indexed = IndexedChorelEngine(guide_doem, name="guide")
+        indexed.run("select guide.<add at T>restaurant")
+        # Only the restaurant-labelled add entries were visited, not the
+        # name/comment adds the same history performed.
+        assert indexed.index.stats.visited == 1
+        assert indexed.index.count("add") > 1
+
+    def test_pushdown_stats(self, engines):
+        _, indexed = engines
+        indexed.run("select guide.<add at T>restaurant")
+        indexed.run("select guide.restaurant where "
+                    "guide.restaurant.price < 20.5")
+        assert indexed.stats.indexed_queries == 1
+        assert indexed.stats.fallback_queries == 1
+        assert indexed.stats.pushdown_rate == 0.5
+        indexed.reset_counters()
+        assert indexed.stats.total == 0
+        assert indexed.annotation_visits == 0
 
     def test_bindings_disable_fast_path(self, engines, guide_doem):
         _, indexed = engines

@@ -1,0 +1,88 @@
+"""Golden-file tests for the Chorel -> Lorel translation (Section 5.2).
+
+One golden per annotation form -- ``<cre at T>``, ``<upd at T from OV to
+NV>``, ``<add at T>``, ``<rem at T>`` -- pinned so a translator change
+that rewrites the emitted Lorel shows up as a reviewable diff, not a
+silent behavior shift.  The Example 5.1 artifact
+(``benchmarks/artifacts/ex5_1_translation.txt``) is checked the same way:
+the committed artifact must match what the live translator emits today.
+
+To update a golden intentionally, delete it and re-run with
+``REGEN_GOLDENS=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import ChorelEngine, TranslatingChorelEngine, build_doem
+from tests.conftest import make_guide_db, make_guide_history
+
+GOLDENS = Path(__file__).resolve().parent / "goldens"
+ARTIFACTS = Path(__file__).resolve().parent.parent.parent \
+    / "benchmarks" / "artifacts"
+
+# One query per annotation form of Section 4.2.1 / 5.2.
+FORM_QUERIES = {
+    "cre_at": "select C, T from guide.restaurant.comment<cre at T> C",
+    "upd_at_from_to": "select T, OV, NV from guide.restaurant.price"
+                      "<upd at T from OV to NV> where T >= 1Jan97",
+    "add_at": "select R, T from guide.<add at T>restaurant R",
+    "rem_at": "select P, T from guide.restaurant.<rem at T>parking P "
+              "where T > 5Jan97",
+}
+
+EX51_QUERY = ('select N from guide.restaurant R, R.name N '
+              'where R.<add at T>price = "moderate" and T >= 1Jan97')
+
+
+@pytest.fixture(scope="module")
+def doem():
+    return build_doem(make_guide_db(), make_guide_history())
+
+
+def render(chorel: str, engine: TranslatingChorelEngine) -> str:
+    translation = engine.translate(chorel)
+    return f"Chorel:\n{chorel}\n\nLorel translation:\n{translation.text()}\n"
+
+
+@pytest.mark.parametrize("form", sorted(FORM_QUERIES))
+def test_translation_matches_golden(form, doem):
+    engine = TranslatingChorelEngine(doem, name="guide")
+    actual = render(FORM_QUERIES[form], engine)
+    path = GOLDENS / f"{form}.txt"
+    if os.environ.get("REGEN_GOLDENS") and not path.exists():
+        path.write_text(actual, encoding="utf-8")
+    expected = path.read_text(encoding="utf-8")
+    assert actual == expected, \
+        f"translation drift for <{form}>; diff against {path}"
+
+
+@pytest.mark.parametrize("form", sorted(FORM_QUERIES))
+def test_golden_queries_evaluate_identically(form, doem):
+    """The pinned queries are not just pretty text: both backends agree."""
+    native = ChorelEngine(doem, name="guide")
+    translating = TranslatingChorelEngine(doem, name="guide")
+    query = FORM_QUERIES[form]
+    assert sorted(map(str, native.run(query))) == \
+        sorted(map(str, translating.run(query)))
+
+
+def test_ex51_artifact_matches_live_translation(doem):
+    """The committed benchmark artifact equals today's translator output."""
+    engine = TranslatingChorelEngine(doem, name="guide")
+    translation = engine.translate(EX51_QUERY)
+    expected = (f"Chorel:\n{EX51_QUERY}\n\n"
+                f"Lorel translation:\n{translation.text()}\n")
+    artifact = (ARTIFACTS / "ex5_1_translation.txt").read_text(
+        encoding="utf-8")
+    assert artifact == expected
+
+
+def test_every_annotation_form_has_a_golden():
+    assert {path.stem for path in GOLDENS.glob("*.txt")} \
+        == set(FORM_QUERIES), \
+        "keep one golden file per annotation form"

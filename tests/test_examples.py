@@ -4,6 +4,7 @@ The examples are user-facing deliverables; a refactor that breaks one
 should fail the suite, not a reader's first session with the library.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -11,6 +12,21 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
+
+
+def example_env() -> dict[str, str]:
+    """The test process's env with ``src`` prepended to PYTHONPATH.
+
+    The example scripts import :mod:`repro`; subprocesses do not inherit
+    the pytest process's ``sys.path`` manipulation, so the package
+    location must travel explicitly.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = str(SRC) if not existing \
+        else os.pathsep.join([str(SRC), existing])
+    return env
 
 _EXPECTATIONS = {
     "quickstart.py": ["backends agree: OK", "Ex 4.4", "&price-history"],
@@ -29,7 +45,8 @@ def test_example_runs(script, tmp_path):
     process = subprocess.run(
         [sys.executable, str(EXAMPLES / script)],
         capture_output=True, text=True, timeout=180,
-        cwd=tmp_path)  # htmldiff_demo writes next to itself; cwd is inert
+        cwd=tmp_path,  # htmldiff_demo writes next to itself; cwd is inert
+        env=example_env())
     assert process.returncode == 0, process.stderr[-2000:]
     for expected in _EXPECTATIONS[script]:
         assert expected in process.stdout, (script, expected)

@@ -148,6 +148,20 @@ class TestDiffInvariants:
         db = random_database(seed=seed, nodes=nodes)
         assert len(oem_diff(db, scramble_ids(db, salt=1))) == 0
 
+    @relaxed
+    @given(seed=seeds, nodes=sizes,
+           n_steps=st.integers(min_value=1, max_value=5))
+    def test_inferred_change_set_advances_replay(self, seed, nodes, n_steps):
+        """The OEMdiff invariant ``U(R_{i-1}) == R_i``: for every pair of
+        consecutive replayed snapshots, applying the *inferred* change set
+        to the old snapshot yields the new one."""
+        db = random_database(seed=seed, nodes=nodes)
+        history = random_history(db, seed=seed, steps=n_steps)
+        snapshots = history.replay(db)
+        for old, new in zip(snapshots, snapshots[1:]):
+            inferred = oem_diff(old, new)
+            assert apply_diff(old.copy(), inferred).isomorphic_to(new)
+
 
 class TestBackendEquivalence:
     QUERIES = [
@@ -230,6 +244,47 @@ class TestCompactionInvariants:
                 assert snapshot_at(cut, when).same_as(
                     snapshot_at(doem, when))
         assert cut.annotation_count() <= doem.annotation_count()
+
+
+class TestIncrementalStructures:
+    """The PR-1 fast paths agree with the naive definitions, universally."""
+
+    @relaxed
+    @given(seed=seeds, nodes=sizes, n_steps=steps,
+           capacity=st.integers(min_value=1, max_value=6))
+    def test_snapshot_cache_equals_direct(self, seed, nodes, n_steps,
+                                          capacity):
+        from repro import NEG_INF, POS_INF, SnapshotCache
+        import random as stdlib_random
+        db = random_database(seed=seed, nodes=nodes)
+        history = random_history(db, seed=seed, steps=n_steps)
+        doem = build_doem(db, history)
+        cache = SnapshotCache(doem, capacity=capacity)
+        samples = [NEG_INF, POS_INF]
+        for when in history.timestamps():
+            samples.extend([when, when.plus(hours=-3), when.plus(hours=5)])
+        stdlib_random.Random(seed).shuffle(samples)
+        for when in samples:
+            assert cache.snapshot_at(when).same_as(snapshot_at(doem, when))
+
+    @relaxed
+    @given(seed=seeds, nodes=sizes,
+           n_steps=st.integers(min_value=1, max_value=6))
+    def test_attached_index_equals_rebuilt(self, seed, nodes, n_steps):
+        """Attaching before folding the history == rebuilding after it."""
+        from repro import AnnotationIndex, DOEMDatabase, TimestampIndex
+        from repro.doem.build import DOEMApplier
+        db = random_database(seed=seed, nodes=nodes)
+        history = random_history(db, seed=seed, steps=n_steps)
+        doem = DOEMDatabase(db.copy())
+        live = TimestampIndex(doem)          # attached while still empty
+        applier = DOEMApplier(doem)
+        for when, change_set in history:
+            applier.apply(when, change_set)
+        rebuilt = AnnotationIndex(doem)
+        for kind in ("cre", "upd", "add", "rem"):
+            assert sorted(str(e) for e in live.between(kind)) == \
+                sorted(str(e) for e in rebuilt.between(kind)), kind
 
 
 class TestChangeSetProperties:
