@@ -33,6 +33,27 @@ from repro import (
 SCALES = [10, 40]
 
 
+def metrics_json(exp_id, **series):
+    """Benchmark counters as a registry JSON export.
+
+    A scratch :class:`MetricsRegistry` (not the process-global one, so
+    artifact values are deterministic per benchmark instance) is filled
+    with gauges named ``<exp_id>.<series>.<field>`` and dumped through
+    the same ``export_json`` the observability docs describe -- the
+    artifact format is exactly what a metrics scrape of the experiment
+    would look like.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    scratch = MetricsRegistry()
+    for prefix, values in series.items():
+        if not isinstance(values, dict):
+            values = {"value": values}
+        for name, value in values.items():
+            scratch.gauge(f"{exp_id}.{prefix}.{name}").set(value)
+    return scratch.export_json()
+
+
 def make_doem(steps):
     db = random_database(seed=4242, nodes=80)
     history = random_history(db, seed=4242, steps=steps, set_size=10)
@@ -88,10 +109,11 @@ def test_indexed_lookup(benchmark, steps, record_artifact):
     hits = benchmark(lookup)
     index.stats.reset()
     hits = index.between("cre", low)
-    record_artifact(f"index_hits_steps{steps}",
-                    f"steps={steps} total cre={index.count('cre')} "
-                    f"hits after {low}: {len(hits)}\n"
-                    f"index stats (one lookup): {index.stats.describe()}")
+    record_artifact(f"index_hits_steps{steps}", metrics_json(
+        "bench_index.lookup",
+        params={"steps": steps},
+        cre={"total": index.count("cre"), "hits": len(hits)},
+        index=index.stats.as_dict()))
 
     # Cross-check against a direct annotation walk (ground truth).
     expected = sorted(
@@ -169,15 +191,14 @@ def test_annotation_visit_reduction(benchmark, entries, record_artifact):
         f"indexed engine visited {indexed_visits} annotations, " \
         f"naive visited {naive_visits}"
 
-    record_artifact(
-        f"index_hits_engine_entries{entries}",
-        f"append-log entries={entries} query: {query}\n"
-        f"rows={len(rows)}\n"
-        f"naive annotation visits={naive_visits}\n"
-        f"indexed annotation visits={indexed_visits}\n"
-        f"index stats: {indexed.index.stats.describe()}\n"
-        f"path-index stats: {indexed.paths.stats.describe()}\n"
-        f"engine stats: {indexed.stats.describe()}")
+    record_artifact(f"index_hits_engine_entries{entries}", metrics_json(
+        "bench_index.engine",
+        params={"entries": entries, "rows": len(rows)},
+        naive={"annotation_visits": naive_visits},
+        indexed={"annotation_visits": indexed_visits},
+        index=indexed.index.stats.as_dict(),
+        path_index=indexed.paths.stats.as_dict(),
+        engine=indexed.stats.as_dict()))
 
 
 @pytest.mark.parametrize("steps", SCALES)
@@ -205,7 +226,7 @@ def test_snapshot_cache_time_travel(benchmark, steps, record_artifact):
     mid = times[len(times) // 2]
     assert cache.snapshot_at(mid).same_as(snapshot_at(doem, mid))
 
-    record_artifact(
-        f"index_hits_snapshot_steps{steps}",
-        f"steps={steps} probes={2 * len(times)} capacity=4\n"
-        f"cache stats: {cache.stats.describe()}")
+    record_artifact(f"index_hits_snapshot_steps{steps}", metrics_json(
+        "bench_index.snapshot",
+        params={"steps": steps, "probes": 2 * len(times), "capacity": 4},
+        cache=cache.stats.as_dict()))

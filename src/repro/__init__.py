@@ -46,6 +46,18 @@ from .errors import (
     TranslationError,
 )
 from .timestamps import NEG_INF, POS_INF, Timestamp, parse_timestamp
+from .obs import (
+    MetricsRegistry,
+    QueryProfile,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    metrics_registry,
+    profile_query,
+    span,
+)
 from .oem import (
     COMPLEX,
     AddArc,
@@ -125,6 +137,10 @@ __all__ = [
     "FrequencyError", "SubscriptionError",
     # time
     "Timestamp", "parse_timestamp", "NEG_INF", "POS_INF",
+    # observability
+    "Tracer", "Span", "get_tracer", "enable_tracing", "disable_tracing",
+    "span", "MetricsRegistry", "metrics_registry", "QueryProfile",
+    "profile_query",
     # OEM
     "OEMDatabase", "Arc", "COMPLEX", "GraphBuilder",
     "CreNode", "UpdNode", "AddArc", "RemArc", "ChangeOp",

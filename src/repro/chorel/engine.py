@@ -15,6 +15,7 @@ from ..lorel.eval import TIMEVARS_KEY, Evaluator
 from ..lorel.parser import parse_query
 from ..lorel.result import QueryResult
 from ..lorel.views import DOEMView
+from ..obs.trace import span
 from ..timestamps import Timestamp, parse_timestamp
 
 __all__ = ["ChorelEngine"]
@@ -40,6 +41,7 @@ class ChorelEngine:
         self.view = DOEMView(doem, names)
         self._evaluator = Evaluator(self.view)
         self._polling_times: dict[int, Timestamp] = dict(polling_times or {})
+        self.last_profile = None
 
     def register_name(self, name: str, node_id: str) -> None:
         """Expose ``node_id`` as a database name for path expressions."""
@@ -59,6 +61,12 @@ class ChorelEngine:
         """Zero the annotation-visit accounting (benchmarks do this)."""
         self.view.annotation_visits = 0
 
+    def reset_stats(self) -> None:
+        """Alias for :meth:`reset_counters` -- clears *all* the engine's
+        counters (subclasses extend ``reset_counters`` to cover their
+        index and pushdown accounting too)."""
+        self.reset_counters()
+
     def set_polling_times(self, times: dict[int, object]) -> None:
         """Set the ``t[i]`` mapping (index -> timestamp), coercing values."""
         self._polling_times = {index: parse_timestamp(when)
@@ -69,15 +77,32 @@ class ChorelEngine:
         return parse_query(text, allow_annotations=True)
 
     def run(self, query: str | Query,
-            bindings: dict[str, str] | None = None) -> QueryResult:
+            bindings: dict[str, str] | None = None, *,
+            profile: bool = False) -> QueryResult:
         """Parse (if needed) and evaluate a query over the DOEM database.
 
         ``bindings`` pre-binds variables to node identifiers before
         evaluation -- the trigger subsystem uses this to hand a rule's
         condition the triggering object (``NEW``, ``PARENT``).
+
+        ``profile=True`` runs the query under the observer
+        (:func:`repro.obs.profile.profile_query`): identical rows come
+        back, and the :class:`~repro.obs.profile.QueryProfile` lands on
+        ``self.last_profile``.
         """
+        if profile:
+            from ..obs.profile import profile_query
+            result, self.last_profile = profile_query(self, query,
+                                                      bindings=bindings)
+            return result
+        with span("chorel.query"):
+            return self._run(query, bindings)
+
+    def _run(self, query: str | Query,
+             bindings: dict[str, str] | None) -> QueryResult:
         if isinstance(query, str):
-            query = self.parse(query)
+            with span("chorel.parse"):
+                query = self.parse(query)
         env = {}
         if self._polling_times:
             env[TIMEVARS_KEY] = dict(self._polling_times)

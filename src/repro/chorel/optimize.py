@@ -28,11 +28,13 @@ Anything outside the recognized shape falls back to the normal engine
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..doem.model import DOEMDatabase
 from ..lore.indexes import PathIndex, TimestampIndex
+from ..obs.metrics import CounterField, registry as metrics_registry
+from ..obs.trace import span
 from ..lorel.ast import (
     And,
     AnnotationExpr,
@@ -83,12 +85,21 @@ class IndexPlan:
                 f"in {lo}{self.low}, {self.high}{hi}")
 
 
-@dataclass
 class EngineStats:
-    """Per-engine pushdown accounting: which path served each query."""
+    """Per-engine pushdown accounting: which path served each query.
 
-    indexed_queries: int = 0
-    fallback_queries: int = 0
+    Registered in the global metrics registry under
+    ``repro.chorel_engine``; the attributes remain the API.
+    """
+
+    _FIELDS = ("indexed_queries", "fallback_queries")
+
+    indexed_queries = CounterField()
+    fallback_queries = CounterField()
+
+    def __init__(self) -> None:
+        self._metrics = metrics_registry().group("repro.chorel_engine",
+                                                 self._FIELDS)
 
     @property
     def total(self) -> int:
@@ -100,7 +111,14 @@ class EngineStats:
         return self.indexed_queries / self.total if self.total else 0.0
 
     def reset(self) -> None:
-        self.indexed_queries = self.fallback_queries = 0
+        self._metrics.reset()
+
+    def as_dict(self) -> dict:
+        """Raw counters plus derived rates, for profiles and artifacts."""
+        return {"indexed_queries": self.indexed_queries,
+                "fallback_queries": self.fallback_queries,
+                "total": self.total,
+                "pushdown_rate": self.pushdown_rate}
 
     def describe(self) -> str:
         return (f"queries={self.total} indexed={self.indexed_queries} "
@@ -148,6 +166,10 @@ class IndexedChorelEngine(ChorelEngine):
         return self.view.annotation_visits + self.index.stats.visited
 
     def reset_counters(self) -> None:
+        """Zero *all* accounting: view scans, index and path-index hit
+        counters, and the pushdown split -- so ``annotation_visits`` (the
+        view + index aggregate) reads 0 afterwards, mirroring the base
+        engine's contract."""
         super().reset_counters()
         self.index.stats.reset()
         self.paths.stats.reset()
@@ -155,19 +177,22 @@ class IndexedChorelEngine(ChorelEngine):
 
     # ------------------------------------------------------------------
 
-    def run(self, query, bindings=None) -> QueryResult:
+    def _run(self, query, bindings) -> QueryResult:
         """Evaluate; use the index when the query shape allows it."""
         if isinstance(query, str):
-            query = self.parse(query)
+            with span("chorel.parse"):
+                query = self.parse(query)
         self.last_plan = None
         if not bindings:
-            plan = self._extract_plan(query)
+            with span("chorel.optimize"):
+                plan = self._extract_plan(query)
             if plan is not None:
                 self.last_plan = plan
                 self.stats.indexed_queries += 1
-                return self._execute_plan(plan)
+                with span("chorel.index_scan", plan=plan.describe()):
+                    return self._execute_plan(plan)
         self.stats.fallback_queries += 1
-        return super().run(query, bindings=bindings)
+        return super()._run(query, bindings)
 
     # ------------------------------------------------------------------
     # Plan extraction

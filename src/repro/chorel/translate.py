@@ -53,6 +53,7 @@ from ..lorel.eval import TIMEVARS_KEY, Evaluator, default_labels
 from ..lorel.pretty import format_query
 from ..lorel.result import ObjectRef, QueryResult, Row
 from ..lorel.views import OEMView
+from ..obs.trace import span
 from ..timestamps import Timestamp, parse_timestamp
 
 __all__ = ["translate_query", "TranslationResult", "TranslatingChorelEngine"]
@@ -400,6 +401,7 @@ class TranslatingChorelEngine:
                                              {entry: self.encoded.oem.root}))
         self._polling_times: dict[int, Timestamp] = dict(polling_times or {})
         self.last_translation: TranslationResult | None = None
+        self.last_profile = None
 
     def register_name(self, name: str, node_id: str) -> None:
         """Expose an entry point under ``name`` (mirrors the native engine)."""
@@ -415,13 +417,28 @@ class TranslatingChorelEngine:
         """Translate Chorel text/AST to Lorel over the encoding."""
         from ..lorel.parser import parse_query
         if isinstance(query, str):
-            query = parse_query(query, allow_annotations=True)
-        translation = translate_query(query, self._normalizer)
+            with span("chorel.parse"):
+                query = parse_query(query, allow_annotations=True)
+        with span("chorel.translate"):
+            translation = translate_query(query, self._normalizer)
         self.last_translation = translation
         return translation
 
-    def run(self, query: str | Query) -> QueryResult:
-        """Translate and evaluate, returning native-comparable rows."""
+    def run(self, query: str | Query, *,
+            profile: bool = False) -> QueryResult:
+        """Translate and evaluate, returning native-comparable rows.
+
+        ``profile=True`` observes the run (identical rows) and leaves the
+        :class:`~repro.obs.profile.QueryProfile` on ``self.last_profile``.
+        """
+        if profile:
+            from ..obs.profile import profile_query
+            result, self.last_profile = profile_query(self, query)
+            return result
+        with span("chorel.query"):
+            return self._run(query)
+
+    def _run(self, query: str | Query) -> QueryResult:
         translation = self.translate(query)
         env = {}
         if self._polling_times:

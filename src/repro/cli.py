@@ -12,7 +12,14 @@ Subcommands (``python -m repro <cmd> --help`` for details):
 * ``timeline STORE NAME NODE`` -- one object's full change history;
 * ``chorel STORE NAME QUERY``  -- run a Chorel query over a stored DOEM
   database (native engine; ``--translate`` shows/uses the Lorel
-  translation instead).
+  translation instead);
+* ``explain QUERY``            -- run a Chorel query under the profiler
+  and print an EXPLAIN-style report (per-phase timings, index/cache hit
+  rates, rows); uses a built-in demo history unless ``--store``/``--db``
+  point at a stored DOEM database;
+* ``profile QUERY``            -- the same observation as JSON (phase
+  timings, counters, and the full span trace), for dashboards and CI
+  artifacts.
 
 Everything prints to stdout; exit code 0 on success, 1 on any
 :class:`~repro.errors.ReproError`.
@@ -93,7 +100,61 @@ def build_parser() -> argparse.ArgumentParser:
     chorel.add_argument("--translate", action="store_true",
                         help="use the Lorel-translation backend and print "
                              "the translated query first")
+
+    for command, summary in (("explain", "profile a Chorel query and print "
+                                         "an EXPLAIN-style report"),
+                             ("profile", "profile a Chorel query and emit "
+                                         "the observation as JSON")):
+        sub = commands.add_parser(command, help=summary)
+        sub.add_argument("text", help="the Chorel query")
+        sub.add_argument("--store", type=Path, default=None,
+                         help="Lore store directory (default: a built-in "
+                              "demo history)")
+        sub.add_argument("--db", default=None,
+                         help="stored DOEM database name (with --store)")
+        sub.add_argument("--db-name", default=None,
+                         help="database name for root paths")
+        sub.add_argument("--backend",
+                         choices=["indexed", "native", "translate"],
+                         default="indexed",
+                         help="engine to profile (default: indexed)")
+        sub.add_argument("--json", type=Path, default=None, dest="json_path",
+                         help="also write the JSON observation here"
+                         if command == "explain" else
+                         "write the JSON here instead of stdout")
     return parser
+
+
+def _demo_doem():
+    """The built-in demo history: an append-only feed plus price churn.
+
+    Thirty days of one ``item`` arc added per day under the root, with
+    every third item's value later updated -- the workload annotation
+    indexes and the snapshot cache are built for, so ``repro explain``
+    has interesting numbers to show out of the box.
+    """
+    from .doem.build import build_doem
+    from .oem.changes import AddArc, CreNode, UpdNode
+    from .oem.history import ChangeSet, OEMHistory
+    from .oem.model import OEMDatabase
+    from .timestamps import parse_timestamp
+
+    db = OEMDatabase(root="root")
+    history = OEMHistory()
+    when = parse_timestamp("1Jan97")
+    for index in range(30):
+        ops = [CreNode(f"i{index}", index),
+               AddArc("root", "item", f"i{index}")]
+        if index >= 3 and index % 3 == 0:
+            ops.append(UpdNode(f"i{index - 3}", 1000 + index))
+        history.append(when, ChangeSet(ops))
+        when = when.plus(days=1)
+    doem = build_doem(db, history)
+    # Warm the snapshot cache so profiles report its hit rates too.
+    from .doem.snapshot import cached_snapshot_at
+    for probe in ("10Jan97", "15Jan97", "15Jan97"):
+        cached_snapshot_at(doem, parse_timestamp(probe))
+    return doem
 
 
 def _load_oem(path: Path):
@@ -168,6 +229,39 @@ def _run(args: argparse.Namespace, out) -> int:
         else:
             result = ChorelEngine(doem, name=db_name).run(args.text)
         print(result if result else "(empty result)", file=out)
+
+    elif args.command in ("explain", "profile"):
+        if args.store is not None:
+            if args.db is None:
+                raise ReproError("--store requires --db NAME")
+            doem = LoreStore(args.store).get_doem(args.db)
+        else:
+            doem = _demo_doem()
+        db_name = args.db_name or doem.graph.root
+        if args.backend == "native":
+            engine = ChorelEngine(doem, name=db_name)
+        elif args.backend == "translate":
+            engine = TranslatingChorelEngine(doem, name=db_name)
+        else:
+            from .chorel.optimize import IndexedChorelEngine
+            engine = IndexedChorelEngine(doem, name=db_name)
+        engine.run(args.text, profile=True)
+        profile = engine.last_profile
+        if args.command == "explain":
+            print(profile.render(), file=out)
+            if args.json_path is not None:
+                args.json_path.write_text(profile.to_json() + "\n",
+                                          encoding="utf-8")
+                print(f"-- JSON observation -> {args.json_path}", file=out)
+        else:
+            if args.json_path is not None:
+                args.json_path.write_text(profile.to_json() + "\n",
+                                          encoding="utf-8")
+                print(f"{profile.backend}: {profile.rows} row(s) in "
+                      f"{profile.total_seconds * 1000:.3f} ms "
+                      f"-> {args.json_path}", file=out)
+            else:
+                print(profile.to_json(), file=out)
 
     else:  # pragma: no cover - argparse enforces the choices
         raise ReproError(f"unknown command {args.command!r}")

@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from ..errors import DiffError
+from ..obs.metrics import registry as metrics_registry
+from ..obs.trace import span
 from ..oem.changes import AddArc, ChangeOp, CreNode, RemArc, UpdNode
 from ..oem.history import ChangeSet
 from ..oem.model import OEMDatabase
@@ -63,7 +65,8 @@ def oem_diff(old_db: OEMDatabase, new_db: OEMDatabase,
     ``id_factory`` takes over identifier generation entirely.
     """
     if matching is None:
-        matching = match_snapshots(old_db, new_db)
+        with span("diff.match"):
+            matching = match_snapshots(old_db, new_db)
     reserved = set(reserved_ids)
 
     counter = [0]
@@ -78,49 +81,53 @@ def oem_diff(old_db: OEMDatabase, new_db: OEMDatabase,
     make_id = id_factory or default_factory
 
     ops: list[ChangeOp] = []
+    with span("diff.infer"):
+        # 1. Created nodes: unmatched on the new side.
+        created: dict[str, str] = {}  # new id -> old-space id
+        for node in new_db.nodes():
+            if not matching.matched_new(node):
+                fresh = make_id()
+                if old_db.has_node(fresh) or fresh in created.values():
+                    raise DiffError(
+                        f"id factory produced a colliding id {fresh!r}")
+                created[node] = fresh
+                ops.append(CreNode(fresh, new_db.value(node)))
 
-    # 1. Created nodes: unmatched on the new side.
-    created: dict[str, str] = {}  # new id -> old-space id
-    for node in new_db.nodes():
-        if not matching.matched_new(node):
-            fresh = make_id()
-            if old_db.has_node(fresh) or fresh in created.values():
-                raise DiffError(f"id factory produced a colliding id {fresh!r}")
-            created[node] = fresh
-            ops.append(CreNode(fresh, new_db.value(node)))
+        def to_old(new_node: str) -> str:
+            if new_node in created:
+                return created[new_node]
+            return matching.new_to_old[new_node]
 
-    def to_old(new_node: str) -> str:
-        if new_node in created:
-            return created[new_node]
-        return matching.new_to_old[new_node]
+        # 2. Updated values on matched nodes.
+        for old_node, new_node in matching.old_to_new.items():
+            if old_db.value(old_node) != new_db.value(new_node):
+                ops.append(UpdNode(old_node, new_db.value(new_node)))
 
-    # 2. Updated values on matched nodes.
-    for old_node, new_node in matching.old_to_new.items():
-        if old_db.value(old_node) != new_db.value(new_node):
-            ops.append(UpdNode(old_node, new_db.value(new_node)))
+        # 3. Arcs present on the new side but absent on the old side.
+        for arc in new_db.arcs():
+            old_source = to_old(arc.source)
+            old_target = to_old(arc.target)
+            if not old_db.has_arc(old_source, arc.label, old_target):
+                ops.append(AddArc(old_source, arc.label, old_target))
 
-    # 3. Arcs present on the new side but absent on the old side.
-    for arc in new_db.arcs():
-        old_source = to_old(arc.source)
-        old_target = to_old(arc.target)
-        if not old_db.has_arc(old_source, arc.label, old_target):
-            ops.append(AddArc(old_source, arc.label, old_target))
-
-    # 4. Arcs on the old side, between surviving endpoints, that are gone.
-    #    Arcs touching unmatched old nodes die with them by unreachability,
-    #    except arcs *from* survivors *to* doomed nodes, which must be
-    #    removed explicitly to cut reachability.
-    for arc in old_db.arcs():
-        if not matching.matched_old(arc.source):
-            continue  # the whole subtree dies with its unmatched parent
-        new_source = matching.old_to_new[arc.source]
-        if matching.matched_old(arc.target):
-            new_target = matching.old_to_new[arc.target]
-            if not new_db.has_arc(new_source, arc.label, new_target):
+        # 4. Arcs on the old side, between surviving endpoints, that are
+        #    gone.  Arcs touching unmatched old nodes die with them by
+        #    unreachability, except arcs *from* survivors *to* doomed
+        #    nodes, which must be removed explicitly to cut reachability.
+        for arc in old_db.arcs():
+            if not matching.matched_old(arc.source):
+                continue  # the whole subtree dies with its unmatched parent
+            new_source = matching.old_to_new[arc.source]
+            if matching.matched_old(arc.target):
+                new_target = matching.old_to_new[arc.target]
+                if not new_db.has_arc(new_source, arc.label, new_target):
+                    ops.append(RemArc(*arc))
+            else:
                 ops.append(RemArc(*arc))
-        else:
-            ops.append(RemArc(*arc))
 
+    registry = metrics_registry()
+    registry.counter("repro.diff.runs").inc()
+    registry.counter("repro.diff.ops").inc(len(ops))
     return ChangeSet(ops)
 
 

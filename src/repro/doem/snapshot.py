@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass
 
+from ..obs.metrics import CounterField, registry as metrics_registry
+from ..obs.trace import span
 from ..oem.model import OEMDatabase
 from ..oem.values import COMPLEX
 from ..timestamps import NEG_INF, POS_INF, Timestamp, parse_timestamp
@@ -35,7 +36,7 @@ from .model import DOEMDatabase
 
 __all__ = ["snapshot_at", "original_snapshot", "current_snapshot",
            "SnapshotCache", "SnapshotCacheStats", "snapshot_cache",
-           "cached_snapshot_at"]
+           "cached_snapshot_at", "peek_snapshot_cache"]
 
 
 def snapshot_at(doem: DOEMDatabase, when: object) -> OEMDatabase:
@@ -48,28 +49,30 @@ def snapshot_at(doem: DOEMDatabase, when: object) -> OEMDatabase:
     absent from the result, exactly as OEM's reachability semantics
     demand.
     """
-    cutoff = parse_timestamp(when)
-    graph = doem.graph
-    result = OEMDatabase(root=graph.root,
-                         root_value=_value_at(doem, graph.root, cutoff))
-    visited = {graph.root}
-    frontier = [graph.root]
-    pending_arcs: list[tuple[str, str, str]] = []
-    while frontier:
-        node = frontier.pop()
-        for label, child in doem.live_children(node, cutoff):
-            if not doem.node_existed_at(child, cutoff):
-                # A live arc to a not-yet-created node cannot arise from a
-                # valid history; guard anyway for hand-built databases.
-                continue
-            if child not in visited:
-                visited.add(child)
-                result.create_node(child, _value_at(doem, child, cutoff))
-                frontier.append(child)
-            pending_arcs.append((node, label, child))
-    for source, label, target in pending_arcs:
-        result.add_arc(source, label, target)
-    return result
+    with span("doem.snapshot"):
+        cutoff = parse_timestamp(when)
+        graph = doem.graph
+        result = OEMDatabase(root=graph.root,
+                             root_value=_value_at(doem, graph.root, cutoff))
+        visited = {graph.root}
+        frontier = [graph.root]
+        pending_arcs: list[tuple[str, str, str]] = []
+        while frontier:
+            node = frontier.pop()
+            for label, child in doem.live_children(node, cutoff):
+                if not doem.node_existed_at(child, cutoff):
+                    # A live arc to a not-yet-created node cannot arise
+                    # from a valid history; guard anyway for hand-built
+                    # databases.
+                    continue
+                if child not in visited:
+                    visited.add(child)
+                    result.create_node(child, _value_at(doem, child, cutoff))
+                    frontier.append(child)
+                pending_arcs.append((node, label, child))
+        for source, label, target in pending_arcs:
+            result.add_arc(source, label, target)
+        return result
 
 
 def _value_at(doem: DOEMDatabase, node_id: str, cutoff: Timestamp) -> object:
@@ -99,22 +102,31 @@ def current_snapshot(doem: DOEMDatabase) -> OEMDatabase:
 # ----------------------------------------------------------------------
 
 
-@dataclass
 class SnapshotCacheStats:
     """Counters describing how a :class:`SnapshotCache` earned its keep.
 
     ``lookups = exact_hits + incremental + full``; ``replayed_sets`` is
     the number of change sets applied on the incremental path (the work a
     full replay from ``O0(D)`` would multiply many times over).
+
+    Counters are registered in the global metrics registry under
+    ``repro.snapshot_cache``; the attributes remain the API.
     """
 
-    lookups: int = 0
-    exact_hits: int = 0
-    incremental: int = 0
-    full: int = 0
-    replayed_sets: int = 0
-    evictions: int = 0
-    invalidations: int = 0
+    _FIELDS = ("lookups", "exact_hits", "incremental", "full",
+               "replayed_sets", "evictions", "invalidations")
+
+    lookups = CounterField()
+    exact_hits = CounterField()
+    incremental = CounterField()
+    full = CounterField()
+    replayed_sets = CounterField()
+    evictions = CounterField()
+    invalidations = CounterField()
+
+    def __init__(self) -> None:
+        self._metrics = metrics_registry().group("repro.snapshot_cache",
+                                                 self._FIELDS)
 
     @property
     def hit_rate(self) -> float:
@@ -124,8 +136,13 @@ class SnapshotCacheStats:
         return (self.exact_hits + self.incremental) / self.lookups
 
     def reset(self) -> None:
-        self.lookups = self.exact_hits = self.incremental = self.full = 0
-        self.replayed_sets = self.evictions = self.invalidations = 0
+        self._metrics.reset()
+
+    def as_dict(self) -> dict:
+        """Raw counters plus the hit rate, for profiles and artifacts."""
+        values = {name: getattr(self, name) for name in self._FIELDS}
+        values["hit_rate"] = self.hit_rate
+        return values
 
     def describe(self) -> str:
         return (f"lookups={self.lookups} exact_hits={self.exact_hits} "
@@ -205,6 +222,10 @@ class SnapshotCache:
 
     def snapshot_at(self, when: object) -> OEMDatabase:
         """``Ot(D)`` via the cache; equal to :func:`snapshot_at`'s answer."""
+        with span("doem.snapshot.cached"):
+            return self._snapshot_at(when)
+
+    def _snapshot_at(self, when: object) -> OEMDatabase:
         cutoff = parse_timestamp(when)
         self._ensure_fresh()
         self.stats.lookups += 1
@@ -226,11 +247,12 @@ class SnapshotCache:
         else:
             self.stats.incremental += 1
             self._checkpoints.move_to_end(base_time)
-            snapshot = self._checkpoints[base_time].copy()
-            for step_time, change_set in self._encoded_history():
-                if base_time < step_time <= cutoff:
-                    change_set.apply_to(snapshot)
-                    self.stats.replayed_sets += 1
+            with span("doem.snapshot.replay"):
+                snapshot = self._checkpoints[base_time].copy()
+                for step_time, change_set in self._encoded_history():
+                    if base_time < step_time <= cutoff:
+                        change_set.apply_to(snapshot)
+                        self.stats.replayed_sets += 1
         self._store(cutoff, snapshot)
         return snapshot.copy()
 
@@ -251,6 +273,15 @@ def snapshot_cache(doem: DOEMDatabase, capacity: int = 8) -> SnapshotCache:
         cache = SnapshotCache(doem, capacity=capacity)
         _CACHES[doem] = cache
     return cache
+
+
+def peek_snapshot_cache(doem: DOEMDatabase) -> SnapshotCache | None:
+    """The database's cache if one exists; never creates one.
+
+    The query profiler uses this to report cache activity without
+    perturbing the cache population it is observing.
+    """
+    return _CACHES.get(doem)
 
 
 def cached_snapshot_at(doem: DOEMDatabase, when: object) -> OEMDatabase:

@@ -21,11 +21,11 @@ quantify the ablation.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..doem.annotations import Add, Annotation, Cre, Rem, Upd
 from ..doem.model import DOEMDatabase
+from ..obs.metrics import CounterField, registry as metrics_registry
 from ..oem.model import Arc, OEMDatabase
 from ..oem.values import COMPLEX, is_atomic_value
 from ..timestamps import NEG_INF, POS_INF, Timestamp, parse_timestamp
@@ -34,7 +34,6 @@ __all__ = ["LabelIndex", "ValueIndex", "AnnotationIndex", "TimestampIndex",
            "PathIndex", "IndexStats"]
 
 
-@dataclass
 class IndexStats:
     """Hit-rate counters shared by the incremental indexes.
 
@@ -46,13 +45,24 @@ class IndexStats:
       naive engine's full annotation scans;
     * ``inserts`` -- incremental maintenance events;
     * ``rebuilds`` -- full from-scratch (re)constructions.
+
+    The counters live in the process-global
+    :class:`~repro.obs.metrics.MetricsRegistry` under ``prefix`` (family
+    sums across instances appear in metrics dumps); the attributes here
+    are thin views, so the original ``stats.lookups += 1`` API is
+    unchanged.
     """
 
-    lookups: int = 0
-    hits: int = 0
-    visited: int = 0
-    inserts: int = 0
-    rebuilds: int = 0
+    _FIELDS = ("lookups", "hits", "visited", "inserts", "rebuilds")
+
+    lookups = CounterField()
+    hits = CounterField()
+    visited = CounterField()
+    inserts = CounterField()
+    rebuilds = CounterField()
+
+    def __init__(self, prefix: str = "repro.index") -> None:
+        self._metrics = metrics_registry().group(prefix, self._FIELDS)
 
     @property
     def misses(self) -> int:
@@ -64,8 +74,14 @@ class IndexStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def reset(self) -> None:
-        self.lookups = self.hits = self.visited = 0
-        self.inserts = self.rebuilds = 0
+        self._metrics.reset()
+
+    def as_dict(self) -> dict:
+        """Raw counters plus derived rates, for profiles and artifacts."""
+        values = {name: getattr(self, name) for name in self._FIELDS}
+        values["misses"] = self.misses
+        values["hit_rate"] = self.hit_rate
+        return values
 
     def describe(self) -> str:
         return (f"lookups={self.lookups} hits={self.hits} "
@@ -411,7 +427,7 @@ class PathIndex:
 
     def __init__(self, source: OEMDatabase | DOEMDatabase) -> None:
         self.source = source
-        self.stats = IndexStats()
+        self.stats = IndexStats(prefix="repro.path_index")
         self._memo: dict[tuple[str, ...], frozenset[str]] = {}
         self._fingerprint: object = None
 

@@ -8,6 +8,7 @@ change queries.
 
 from __future__ import annotations
 
+from ..obs.trace import span
 from ..oem.model import OEMDatabase
 from .ast import Query
 from .eval import Evaluator
@@ -32,6 +33,7 @@ class LorelEngine:
         names = {name or db.root: db.root}
         self.view = OEMView(db, names)
         self._evaluator = Evaluator(self.view)
+        self.last_profile = None
 
     def register_name(self, name: str, node_id: str) -> None:
         """Expose ``node_id`` as a database name for path expressions."""
@@ -41,11 +43,22 @@ class LorelEngine:
         """Parse Lorel text (annotation expressions rejected)."""
         return parse_query(text, allow_annotations=False)
 
-    def run(self, query: str | Query) -> QueryResult:
-        """Parse (if needed) and evaluate a query."""
-        if isinstance(query, str):
-            query = self.parse(query)
-        return self._evaluator.run(query)
+    def run(self, query: str | Query, *,
+            profile: bool = False) -> QueryResult:
+        """Parse (if needed) and evaluate a query.
+
+        ``profile=True`` observes the run (identical rows) and leaves the
+        :class:`~repro.obs.profile.QueryProfile` on ``self.last_profile``.
+        """
+        if profile:
+            from ..obs.profile import profile_query
+            result, self.last_profile = profile_query(self, query)
+            return result
+        with span("lorel.query"):
+            if isinstance(query, str):
+                with span("lorel.parse"):
+                    query = self.parse(query)
+            return self._evaluator.run(query)
 
     def run_ast(self, query: Query) -> QueryResult:
         """Evaluate an already-parsed query AST (may contain annotations;

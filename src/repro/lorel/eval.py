@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import EvaluationError
+from ..obs.trace import span
 from ..oem.values import COMPLEX, compare, like
 from ..timestamps import POS_INF, Timestamp, parse_timestamp
 from .ast import (
@@ -622,6 +623,10 @@ class Evaluator:
         ``env`` may carry ambient bindings -- the QSS engine passes the
         polling-time mapping under :data:`TIMEVARS_KEY`.
         """
+        with span("lorel.eval"):
+            return self._run(query, env)
+
+    def _run(self, query: Query, env: Env | None) -> QueryResult:
         base_env: Env = dict(env) if env else {}
         normalized = self.normalize(query)
         labels = default_labels(normalized)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..doem.model import DOEMDatabase
+from ..obs.metrics import CounterField, registry as metrics_registry
 from ..oem.model import OEMDatabase
 from ..oem.values import like
 from ..timestamps import POS_INF, Timestamp
@@ -150,8 +151,12 @@ class DOEMView(DataView):
     ``annotation_visits`` counts annotations handed to the evaluator by
     the four annotation functions -- the work an annotation index avoids.
     The index-ablation benchmark compares this counter between the naive
-    and indexed engines.
+    and indexed engines.  The counter is registered in the global metrics
+    registry (family ``repro.view``); the attribute stays a plain int
+    view, writable as before.
     """
+
+    annotation_visits = CounterField()
 
     def __init__(self, doem: DOEMDatabase,
                  names: dict[str, str] | None = None) -> None:
@@ -159,7 +164,8 @@ class DOEMView(DataView):
             names = {doem.graph.root: doem.graph.root}
         super().__init__(names)
         self.doem = doem
-        self.annotation_visits = 0
+        self._metrics = metrics_registry().group("repro.view",
+                                                 ("annotation_visits",))
 
     def children(self, node: str, label: str) -> Iterator[str]:
         for _, child in self.doem.live_children(node, POS_INF, label):

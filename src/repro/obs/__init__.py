@@ -1,0 +1,47 @@
+"""repro.obs: unified tracing, metrics, and query profiling.
+
+Three zero-dependency layers every query-serving component threads
+through:
+
+* :mod:`repro.obs.trace` -- hierarchical wall-time spans with a
+  process-global tracer that is a no-op (one boolean check, zero
+  allocation) unless enabled;
+* :mod:`repro.obs.metrics` -- a process-global
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  fixed-bucket histograms; the pre-existing stats classes
+  (``EngineStats``, ``IndexStats``, ``SnapshotCacheStats``) register
+  themselves here while keeping their original attribute APIs;
+* :mod:`repro.obs.profile` -- an EXPLAIN-style per-query profiler
+  (``repro explain`` / ``repro profile`` on the CLI, ``profile=True`` on
+  the engines).
+
+See ``docs/observability.md`` for the operator's guide.
+"""
+
+from .metrics import (
+    Counter,
+    CounterField,
+    Gauge,
+    Histogram,
+    MetricsGroup,
+    MetricsRegistry,
+    registry as metrics_registry,
+)
+from .trace import (
+    Span,
+    TraceCapture,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+)
+from .profile import QueryProfile, profile_query
+
+__all__ = [
+    "Span", "Tracer", "TraceCapture", "get_tracer", "enable_tracing",
+    "disable_tracing", "span",
+    "Counter", "Gauge", "Histogram", "MetricsGroup", "CounterField",
+    "MetricsRegistry", "metrics_registry",
+    "QueryProfile", "profile_query",
+]

@@ -1,0 +1,268 @@
+"""A process-global registry of counters, gauges, and histograms.
+
+The registry unifies the per-component counters PR 1 scattered across the
+codebase (``EngineStats``, ``IndexStats``, ``SnapshotCacheStats``,
+``annotation_visits``): each stats object now owns a
+:class:`MetricsGroup` -- its private counters, registered (weakly) under
+a family prefix -- and exposes the same attribute API as before through
+:class:`CounterField` descriptors.  A registry snapshot sums every live
+instance of a family, so ``repro.index.lookups`` in a metrics dump is the
+total across all indexes in the process, while each index's own stats
+still read and reset independently.
+
+Direct (non-family) instruments cover process-wide series such as the QSS
+server's poll counters and latency histogram.  Everything exports as JSON
+(:meth:`MetricsRegistry.export_json`) or as a Prometheus-style text dump
+(:meth:`MetricsRegistry.render_text`) -- the format the QSS server's
+``metrics_text()`` serves.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import weakref
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsGroup", "CounterField",
+           "MetricsRegistry", "registry"]
+
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+"""Default histogram bucket upper bounds, in seconds."""
+
+
+class Counter:
+    """A monotonically *intended* counter (resettable for benchmarks)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """A fixed-bucket histogram (bucket bounds are upper edges).
+
+    ``observe`` is O(log buckets); the snapshot carries cumulative-style
+    per-bucket counts plus ``sum`` and ``count``, enough to reconstruct
+    mean latency and coarse percentiles.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # + overflow bucket
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def snapshot(self) -> dict:
+        labels = [f"le_{bound:g}" for bound in self.buckets] + ["le_inf"]
+        return {"buckets": dict(zip(labels, self.counts)),
+                "sum": self.total, "count": self.count}
+
+
+class MetricsGroup:
+    """One instance of a counter family (e.g. one index's stats).
+
+    Groups hold plain :class:`Counter` objects (and optionally
+    :class:`Histogram` objects) named ``<prefix>.<field>``.  The registry
+    keeps only a weak reference, so a group dies with the stats object
+    that owns it and stops contributing to registry snapshots.
+    """
+
+    def __init__(self, prefix: str, fields: tuple[str, ...],
+                 histograms: tuple[str, ...] = ()) -> None:
+        self.prefix = prefix
+        self.fields = tuple(fields)
+        self._counters = {name: Counter(f"{prefix}.{name}")
+                          for name in self.fields}
+        self._histograms = {name: Histogram(f"{prefix}.{name}")
+                            for name in histograms}
+
+    def __getitem__(self, field: str) -> Counter:
+        return self._counters[field]
+
+    def histogram(self, field: str) -> Histogram:
+        return self._histograms[field]
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def snapshot(self) -> dict:
+        """Full-name -> value for every instrument in the group."""
+        out: dict = {c.name: c.value for c in self._counters.values()}
+        out.update({h.name: h.snapshot() for h in self._histograms.values()})
+        return out
+
+
+class CounterField:
+    """Descriptor exposing a group counter as a plain int attribute.
+
+    Stats classes declare ``lookups = CounterField()`` and create a
+    ``self._metrics`` group in ``__init__``; reads, ``+=``, and direct
+    assignment then flow through the registered counter, keeping the
+    pre-registry attribute API byte-for-byte compatible.
+    """
+
+    __slots__ = ("_name",)
+
+    def __set_name__(self, owner, name: str) -> None:
+        self._name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj._metrics[self._name].value
+
+    def __set__(self, obj, value) -> None:
+        obj._metrics[self._name].value = value
+
+
+def _merge(a, b):
+    """Sum two snapshot values (numbers, or nested histogram dicts)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        return {key: _merge(a[key], b.get(key, 0)) for key in a}
+    return a + b
+
+
+class MetricsRegistry:
+    """Named instruments plus weakly-held instrument groups."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+        self._groups: dict[str, weakref.WeakSet] = {}
+
+    # -- direct instruments ---------------------------------------------
+
+    def _instrument(self, name: str, factory, kind):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {kind.__name__}")
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        return self._instrument(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
+        return self._instrument(name, lambda: Gauge(name), Gauge)
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        """Get or create the named histogram (buckets fixed on creation)."""
+        return self._instrument(name, lambda: Histogram(name, buckets),
+                                Histogram)
+
+    # -- groups ----------------------------------------------------------
+
+    def group(self, prefix: str, fields: tuple[str, ...],
+              histograms: tuple[str, ...] = ()) -> MetricsGroup:
+        """A fresh family instance, registered weakly under ``prefix``."""
+        instance = MetricsGroup(prefix, fields, histograms)
+        self._groups.setdefault(prefix, weakref.WeakSet()).add(instance)
+        return instance
+
+    def _live_groups(self):
+        for members in self._groups.values():
+            yield from list(members)
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self, prefix: str | None = None) -> dict:
+        """Merged name -> value view: family sums + direct instruments."""
+        merged: dict = {}
+        for group in self._live_groups():
+            for name, value in group.snapshot().items():
+                merged[name] = _merge(merged[name], value) \
+                    if name in merged else value
+        for name, instrument in self._instruments.items():
+            merged[name] = instrument.snapshot() \
+                if isinstance(instrument, Histogram) else instrument.value
+        if prefix is not None:
+            merged = {name: value for name, value in merged.items()
+                      if name.startswith(prefix)}
+        return dict(sorted(merged.items()))
+
+    def export_json(self, prefix: str | None = None,
+                    indent: int | None = 2) -> str:
+        """The snapshot as a JSON document (the benchmark artifact shape)."""
+        return json.dumps(self.snapshot(prefix), indent=indent)
+
+    def render_text(self, prefix: str | None = None) -> str:
+        """A ``/metrics``-style text dump: one ``name value`` line each.
+
+        Histograms expand into ``name_bucket{le="..."}`` lines plus
+        ``name_sum`` and ``name_count``, mirroring the Prometheus text
+        exposition format closely enough to be scrape-friendly.
+        """
+        lines: list[str] = []
+        for name, value in self.snapshot(prefix).items():
+            flat = name.replace(".", "_").replace("-", "_")
+            if isinstance(value, dict):  # histogram
+                for label, count in value["buckets"].items():
+                    edge = label[3:].replace("_", ".") \
+                        if not label.endswith("inf") else "+Inf"
+                    lines.append(f'{flat}_bucket{{le="{edge}"}} {count}')
+                lines.append(f"{flat}_sum {value['sum']:.6f}")
+                lines.append(f"{flat}_count {value['count']}")
+            else:
+                lines.append(f"{flat} {value}")
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Zero every direct instrument and every live group."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+        for group in self._live_groups():
+            group.reset()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY

@@ -9,15 +9,32 @@ clients.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 from ..errors import QSSError
+from ..obs.metrics import registry as metrics_registry
+from ..obs.trace import span
 from ..timestamps import Timestamp, parse_timestamp
 from .managers import DOEMManager, QueryManager, SubscriptionManager, SubscriptionState
 from .subscription import Notification, Subscription
 from .wrapper import Wrapper
 
-__all__ = ["QSSServer"]
+__all__ = ["QSSServer", "SlowPollRecord"]
+
+
+@dataclass(frozen=True)
+class SlowPollRecord:
+    """One slow-query-log entry: a poll that exceeded the threshold."""
+
+    polling_time: Timestamp
+    subscription: str
+    seconds: float
+
+    def __str__(self) -> str:
+        return (f"[{self.polling_time}] SLOW {self.subscription}: "
+                f"{self.seconds * 1000:.3f} ms")
 
 
 class QSSServer:
@@ -30,6 +47,16 @@ class QSSServer:
     ``deliver_empty`` controls whether polls whose filter query returns
     nothing still produce a (empty) notification -- the paper's QSS stays
     silent, the default here too; tests flip it to observe every poll.
+
+    Observability: every poll is wall-timed (``qss.poll_seconds``
+    histogram; ``qss.polls`` / ``qss.notifications`` / ``qss.errors``
+    counters in the global metrics registry) and, when tracing is
+    enabled, produces a ``qss.poll`` span with per-phase children.
+    ``slow_poll_threshold`` (seconds; ``None`` disables) turns on the
+    slow-query log: polls at or above the threshold are appended to
+    ``slow_poll_log`` and counted in ``qss.slow_polls``.
+    :meth:`metrics_text` serves the registry as a ``/metrics``-style
+    text dump.
     """
 
     def __init__(self, start: object = "1Dec96",
@@ -37,9 +64,12 @@ class QSSServer:
                  deliver_empty: bool = False,
                  share_by_polling_query: bool = False,
                  on_error: str = "raise",
-                 compact_keep_polls: int | None = None) -> None:
+                 compact_keep_polls: int | None = None,
+                 slow_poll_threshold: float | None = None) -> None:
         if on_error not in ("raise", "skip"):
             raise QSSError("on_error must be 'raise' or 'skip'")
+        if slow_poll_threshold is not None and slow_poll_threshold < 0:
+            raise QSSError("slow_poll_threshold must be >= 0 (seconds)")
         if compact_keep_polls is not None and compact_keep_polls < 1:
             raise QSSError("compact_keep_polls must be >= 1")
         if compact_keep_polls is not None and share_by_polling_query:
@@ -53,9 +83,14 @@ class QSSServer:
         self.share_by_polling_query = share_by_polling_query
         self.on_error = on_error
         self.compact_keep_polls = compact_keep_polls
+        self.slow_poll_threshold = slow_poll_threshold
         self._subscribers: dict[str, list[Callable[[Notification], None]]] = {}
         self.notification_log: list[Notification] = []
         self.error_log: list[tuple[Timestamp, str, Exception]] = []
+        self.slow_poll_log: list[SlowPollRecord] = []
+        self._metrics = metrics_registry().group(
+            "qss", ("polls", "notifications", "slow_polls", "errors"),
+            histograms=("poll_seconds",))
 
     # ------------------------------------------------------------------
     # Wiring
@@ -118,6 +153,7 @@ class QSSServer:
             try:
                 notification = self._execute_poll(state, poll_time)
             except Exception as error:
+                self._metrics["errors"].inc()
                 if self.on_error == "raise":
                     raise
                 # A failed poll must not wedge the server: log it, keep
@@ -181,35 +217,67 @@ class QSSServer:
     def _execute_poll(self, state: SubscriptionState,
                       poll_time: Timestamp) -> Notification | None:
         subscription = state.subscription
-        result = self.queries.poll(state, poll_time)
-        self.doems.incorporate(subscription.name, poll_time, result)
-        self.subscriptions.record_poll(state, poll_time)
+        started = perf_counter()
+        with span("qss.poll", subscription=subscription.name,
+                  at=str(poll_time)):
+            with span("qss.poll.source"):
+                result = self.queries.poll(state, poll_time)
+            with span("qss.poll.incorporate"):
+                self.doems.incorporate(subscription.name, poll_time, result)
+            self.subscriptions.record_poll(state, poll_time)
 
-        engine = self.doems.filter_engine(state)
-        filtered = engine.run(subscription.filter_query)
-        answer = self._package(subscription.name, filtered)
+            engine = self.doems.filter_engine(state)
+            with span("qss.filter"):
+                filtered = engine.run(subscription.filter_query)
+            with span("qss.package"):
+                answer = self._package(subscription.name, filtered)
 
-        if self.compact_keep_polls is not None and \
-                state.poll_count > self.compact_keep_polls:
-            # Section 6.1 retention policy: keep the last N polling
-            # intervals of history; everything older collapses into the
-            # new original snapshot.  Cutoff = the (N+1)-th most recent
-            # poll, so t[-N] filter lookbacks still work.
-            cutoff = state.polling_times[-(self.compact_keep_polls + 1)]
-            self.doems.compact_before(subscription.name, cutoff)
+            if self.compact_keep_polls is not None and \
+                    state.poll_count > self.compact_keep_polls:
+                # Section 6.1 retention policy: keep the last N polling
+                # intervals of history; everything older collapses into
+                # the new original snapshot.  Cutoff = the (N+1)-th most
+                # recent poll, so t[-N] filter lookbacks still work.
+                cutoff = state.polling_times[-(self.compact_keep_polls + 1)]
+                with span("qss.compact"):
+                    self.doems.compact_before(subscription.name, cutoff)
+        elapsed = perf_counter() - started
+        self._metrics["polls"].inc()
+        self._metrics.histogram("poll_seconds").observe(elapsed)
+        if self.slow_poll_threshold is not None and \
+                elapsed >= self.slow_poll_threshold:
+            self._metrics["slow_polls"].inc()
+            self.slow_poll_log.append(SlowPollRecord(
+                polling_time=poll_time, subscription=subscription.name,
+                seconds=elapsed))
         notification = Notification(
             subscription=subscription.name,
             polling_time=poll_time,
             poll_index=state.poll_count,
             result=filtered,
             answer=answer,
+            elapsed=elapsed,
         )
         if filtered or self.deliver_empty:
+            self._metrics["notifications"].inc()
             self.notification_log.append(notification)
             for deliver in self._subscribers.get(subscription.name, ()):
                 deliver(notification)
             return notification
         return None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def metrics_text(self, prefix: str | None = None) -> str:
+        """A ``/metrics``-style text dump of the global registry.
+
+        Includes this server's ``qss.*`` series plus every ``repro.*``
+        family (index hit rates, snapshot-cache activity, diff volume).
+        ``prefix`` narrows the dump (e.g. ``"qss"``).
+        """
+        return metrics_registry().render_text(prefix)
 
     def _package(self, name: str, filtered) -> "OEMDatabase":
         """Package a filter result as a notification OEM database.

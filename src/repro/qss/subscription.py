@@ -28,13 +28,20 @@ _MAX_LOOKBACK = 64
 
 @dataclass(frozen=True)
 class Notification:
-    """One delivery to a subscriber: the filter-query result at a poll."""
+    """One delivery to a subscriber: the filter-query result at a poll.
+
+    ``elapsed`` is the server-side wall time (seconds) spent executing
+    the poll that produced this notification -- source query, diff
+    incorporation, and filter evaluation included -- so clients can see
+    per-subscription evaluation cost without scraping server metrics.
+    """
 
     subscription: str
     polling_time: Timestamp
     poll_index: int
     result: QueryResult
     answer: OEMDatabase
+    elapsed: float | None = None
 
     def __bool__(self) -> bool:
         return bool(self.result)

@@ -163,6 +163,44 @@ class TestPlanDetails:
         assert indexed.stats.total == 0
         assert indexed.annotation_visits == 0
 
+    def test_reset_clears_every_counter_family(self, engines):
+        """Reset symmetry: the indexed engine zeroes *all* its counter
+        sources -- the view, the annotation index, the path index, and
+        the pushdown split -- not just the base engine's view counter.
+        """
+        _, indexed = engines
+        indexed.run("select guide.<add at T>restaurant")
+        indexed.run("select guide.restaurant where "
+                    "guide.restaurant.price < 20.5")
+        assert indexed.index.stats.lookups > 0
+        assert indexed.index.stats.visited > 0
+        assert indexed.paths.stats.lookups > 0
+        assert indexed.stats.total > 0
+        assert indexed.annotation_visits > 0
+        indexed.reset_counters()
+        assert indexed.annotation_visits == 0
+        assert indexed.view.annotation_visits == 0
+        assert indexed.index.stats.lookups == 0
+        assert indexed.index.stats.visited == 0
+        assert indexed.paths.stats.lookups == 0
+        assert indexed.stats.total == 0
+
+    def test_reset_stats_alias(self, engines):
+        """``reset_stats`` (the registry-era name) is ``reset_counters``
+        on both engines, so either spelling fully resets either engine.
+        """
+        normal, indexed = engines
+        query = "select T from guide.restaurant.price<upd at T>"
+        normal.run(query)
+        indexed.run(query)
+        assert normal.annotation_visits > 0
+        assert indexed.annotation_visits > 0
+        normal.reset_stats()
+        indexed.reset_stats()
+        assert normal.annotation_visits == 0
+        assert indexed.annotation_visits == 0
+        assert indexed.index.stats.visited == 0
+
     def test_bindings_disable_fast_path(self, engines, guide_doem):
         _, indexed = engines
         result = indexed.run("select N from NEW.name N",

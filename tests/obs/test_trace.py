@@ -1,0 +1,191 @@
+"""The tracing layer: spans, the no-op fast path, capture, round trips."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    _NOOP,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    """Every test starts and ends with the global tracer off and empty."""
+    tracer = get_tracer()
+    tracer.enabled = False
+    tracer.clear()
+    yield tracer
+    tracer.enabled = False
+    tracer.clear()
+
+
+class TestDisabledFastPath:
+    def test_disabled_span_is_the_shared_noop(self):
+        """The zero-allocation invariant: a disabled tracer hands out the
+        one module-level no-op object, never a fresh span."""
+        assert span("a") is _NOOP
+        assert span("b", attr=1) is span("a")
+
+    def test_disabled_records_nothing(self):
+        with span("outer"):
+            with span("inner"):
+                pass
+        tracer = get_tracer()
+        assert tracer.roots == []
+        assert tracer._stack == []
+
+    def test_tracer_method_also_noops(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is _NOOP
+        with tracer.span("x"):
+            pass
+        assert tracer.roots == []
+
+    def test_noop_swallows_no_exceptions(self):
+        with pytest.raises(ValueError):
+            with span("doomed"):
+                raise ValueError("propagates")
+
+
+class TestRecording:
+    def test_nesting_builds_a_tree(self):
+        enable_tracing()
+        with span("root", query="q"):
+            with span("parse"):
+                pass
+            with span("eval"):
+                with span("index"):
+                    pass
+        tracer = get_tracer()
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "root"
+        assert root.attrs == {"query": "q"}
+        assert [c.name for c in root.children] == ["parse", "eval"]
+        assert [c.name for c in root.children[1].children] == ["index"]
+        assert tracer._stack == []
+
+    def test_sibling_roots(self):
+        enable_tracing()
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        assert [r.name for r in get_tracer().roots] == ["first", "second"]
+
+    def test_durations_nest(self):
+        enable_tracing()
+        with span("outer"):
+            with span("inner"):
+                time.sleep(0.002)
+        root = get_tracer().roots[0]
+        inner = root.children[0]
+        assert inner.duration >= 0.002
+        assert root.duration >= inner.duration
+        assert root.self_time <= root.duration
+
+    def test_exception_still_closes_the_span(self):
+        enable_tracing()
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("inner"):
+                    raise RuntimeError("boom")
+        tracer = get_tracer()
+        assert tracer._stack == []
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.duration >= 0.0
+
+    def test_walk_and_find(self):
+        enable_tracing()
+        with span("a"):
+            with span("b"):
+                with span("c"):
+                    pass
+            with span("d"):
+                pass
+        root = get_tracer().roots[0]
+        assert [(d, s.name) for d, s in root.walk()] == \
+            [(0, "a"), (1, "b"), (2, "c"), (1, "d")]
+        assert root.find("c").name == "c"
+        assert root.find("missing") is None
+
+    def test_clear(self):
+        enable_tracing()
+        with span("x"):
+            pass
+        get_tracer().clear()
+        assert get_tracer().roots == []
+
+
+class TestCapture:
+    def test_capture_restores_disabled_and_leaves_no_residue(self):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        with tracer.capture() as cap:
+            with span("captured"):
+                pass
+        assert not tracer.enabled
+        assert tracer.roots == []  # one-off profiling leaves nothing behind
+        assert [s.name for s in cap.spans] == ["captured"]
+
+    def test_capture_keeps_spans_when_already_enabled(self):
+        tracer = enable_tracing()
+        with span("before"):
+            pass
+        with tracer.capture() as cap:
+            with span("during"):
+                pass
+        assert tracer.enabled
+        assert [r.name for r in tracer.roots] == ["before", "during"]
+        assert [s.name for s in cap.spans] == ["during"]
+
+    def test_capture_find(self):
+        tracer = get_tracer()
+        with tracer.capture() as cap:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        assert cap.find("inner").name == "inner"
+        assert cap.find("absent") is None
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        enable_tracing()
+        with span("root", kind="test"):
+            with span("child"):
+                time.sleep(0.001)
+        original = get_tracer().roots[0]
+        rebuilt = Span.from_dict(original.to_dict())
+        assert rebuilt.name == original.name
+        assert rebuilt.attrs == original.attrs
+        assert rebuilt.duration == pytest.approx(original.duration)
+        assert [c.name for c in rebuilt.children] == ["child"]
+        # idempotent: a second round trip is byte-identical
+        assert Span.from_dict(rebuilt.to_dict()).to_dict() == \
+            rebuilt.to_dict()
+
+    def test_export_json_parses(self):
+        enable_tracing()
+        with span("a"):
+            with span("b"):
+                pass
+        payload = json.loads(get_tracer().export_json())
+        assert payload[0]["name"] == "a"
+        assert payload[0]["children"][0]["name"] == "b"
+
+    def test_enable_disable_return_the_global(self):
+        assert enable_tracing() is get_tracer()
+        assert get_tracer().enabled
+        assert disable_tracing() is get_tracer()
+        assert not get_tracer().enabled

@@ -144,3 +144,76 @@ class TestHistoryAndChorel:
 
     def test_unknown_store_name(self, doem_store):
         assert run_cli("chorel", str(doem_store), "nope", "select x")[0] == 1
+
+
+DEMO_QUERY = "select T, X from root.<add at T>item X where T > 20Jan97"
+
+
+class TestExplainAndProfile:
+    def test_explain_demo(self):
+        code, text = run_cli("explain", DEMO_QUERY)
+        assert code == 0
+        assert text.startswith(f"EXPLAIN {DEMO_QUERY}")
+        assert "backend: chorel-indexed" in text
+        assert "plan:    index-scan add" in text
+        assert "chorel.index_scan" in text
+        assert "index.hit_rate" in text
+
+    def test_explain_backends(self):
+        for backend, label in (("native", "chorel-native"),
+                               ("translate", "chorel-translate")):
+            code, text = run_cli("explain", DEMO_QUERY,
+                                 "--backend", backend)
+            assert code == 0
+            assert f"backend: {label}" in text
+
+    def test_backends_agree_on_rows(self):
+        import re
+        counts = set()
+        for backend in ("indexed", "native", "translate"):
+            code, text = run_cli("explain", DEMO_QUERY,
+                                 "--backend", backend)
+            assert code == 0
+            counts.add(re.search(r"rows:\s+(\d+)", text).group(1))
+        assert len(counts) == 1
+
+    def test_explain_with_json_sidecar(self, tmp_path):
+        import json
+        trace = tmp_path / "trace.json"
+        code, text = run_cli("explain", DEMO_QUERY, "--json", str(trace))
+        assert code == 0
+        assert f"-- JSON observation -> {trace}" in text
+        payload = json.loads(trace.read_text(encoding="utf-8"))
+        assert payload["backend"] == "chorel-indexed"
+        assert payload["trace"][0]["name"] == "chorel.query"
+
+    def test_profile_stdout_json(self):
+        import json
+        code, text = run_cli("profile", DEMO_QUERY)
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["query"] == DEMO_QUERY
+        assert payload["rows"] > 0
+        assert "chorel.parse" in payload["phases"]
+
+    def test_profile_json_file(self, tmp_path):
+        import json
+        trace = tmp_path / "profile.json"
+        code, text = run_cli("profile", DEMO_QUERY, "--json", str(trace))
+        assert code == 0
+        assert "row(s)" in text
+        assert json.loads(trace.read_text(encoding="utf-8"))["rows"] > 0
+
+    def test_explain_against_store(self, doem_store):
+        code, text = run_cli("explain", "select guide.<add at T>restaurant",
+                             "--store", str(doem_store), "--db", "guidehist")
+        assert code == 0
+        assert "backend: chorel-indexed" in text
+        assert "rows:    1" in text
+
+    def test_store_requires_db(self, doem_store):
+        code, _ = run_cli("explain", DEMO_QUERY, "--store", str(doem_store))
+        assert code == 1
+
+    def test_profile_parse_error(self):
+        assert run_cli("profile", "select ???")[0] == 1
