@@ -1,0 +1,159 @@
+"""Experiment bench-parallel -- the parallel execution layer.
+
+Measures what :mod:`repro.parallel` buys and, more importantly for CI,
+*proves what it preserves*: every timed run is also an equivalence check
+against the serial engine, and the counts land in
+``benchmarks/artifacts/BENCH_parallel.json`` (a metrics-registry JSON
+export).  The CI bench-regression job compares the deterministic
+equivalence counters in that artifact against the committed baseline
+(``benchmarks/baselines/BENCH_parallel_baseline.json``) -- a divergence
+means the parallel layer stopped evaluating the same workload, or
+stopped agreeing with the serial engine.  Wall times are recorded for
+inspection but never compared across machines.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from repro import ChorelEngine, IndexedChorelEngine, ParallelExecutor
+from repro.parallel import WorkerPool
+from tests.test_differential_index import make_world, world_queries
+
+from test_index_ablation import metrics_json
+
+WORLD_SEEDS = (0, 3, 7, 11)
+SHARD_WIDTHS = (1, 2, 4)
+POOL_WIDTH = 4
+
+
+def build_workload():
+    workload = []
+    for seed in WORLD_SEEDS:
+        _, history, doem = make_world(seed, nodes=32, steps=5, set_size=8)
+        workload.append((ChorelEngine(doem, name="root"),
+                         world_queries(history)))
+    return workload
+
+
+def exact_rows(result):
+    return [str(row) for row in result]
+
+
+def test_parallel_bench(benchmark, artifact_dir):
+    """Serial vs. sharded vs. batched, one artifact with the counters."""
+    workload = build_workload()
+
+    started = perf_counter()
+    expected = [[exact_rows(engine.run(query)) for query in queries]
+                for engine, queries in workload]
+    serial_seconds = perf_counter() - started
+
+    pool = WorkerPool(POOL_WIDTH, metrics_prefix="bench.pool")
+    counts = {"sharded_compared": 0, "sharded_mismatches": 0,
+              "batch_compared": 0, "batch_mismatches": 0}
+
+    def sharded_pass():
+        for (engine, queries), rows in zip(workload, expected):
+            for width in SHARD_WIDTHS:
+                with ParallelExecutor(engine, max_workers=width) as executor:
+                    for query, serial_rows in zip(queries, rows):
+                        counts["sharded_compared"] += 1
+                        if exact_rows(executor.run(query)) != serial_rows:
+                            counts["sharded_mismatches"] += 1
+
+    def batch_pass():
+        for (engine, queries), rows in zip(workload, expected):
+            executor = ParallelExecutor(engine, pool=pool)
+            results = executor.run_many(queries)
+            for result, serial_rows in zip(results, rows):
+                counts["batch_compared"] += 1
+                if exact_rows(result) != serial_rows:
+                    counts["batch_mismatches"] += 1
+
+    started = perf_counter()
+    sharded_pass()
+    sharded_seconds = perf_counter() - started
+
+    started = perf_counter()
+    batch_pass()
+    batch_seconds = perf_counter() - started
+
+    # The timed figure CI displays: one batched pass over the workload.
+    benchmark(lambda: [ParallelExecutor(engine, pool=pool).run_many(queries)
+                       for engine, queries in workload])
+
+    assert counts["sharded_mismatches"] == 0
+    assert counts["batch_mismatches"] == 0
+
+    pool_stats = {name.split(".")[-1]: value
+                  for name, value in pool.stats().items()
+                  if isinstance(value, (int, float))}
+    assert pool_stats["submitted"] > 0
+    assert pool_stats["completed"] > 0
+    pool.shutdown()
+
+    artifact = metrics_json(
+        "bench_parallel",
+        params={"worlds": len(workload),
+                "queries": sum(len(q) for _, q in workload),
+                "shard_widths": len(SHARD_WIDTHS),
+                "pool_width": POOL_WIDTH},
+        equivalence=counts,
+        wall={"serial_seconds": round(serial_seconds, 6),
+              "sharded_seconds": round(sharded_seconds, 6),
+              "batch_seconds": round(batch_seconds, 6)},
+        pool=pool_stats)
+    path = artifact_dir / "BENCH_parallel.json"
+    path.write_text(artifact + "\n", encoding="utf-8")
+    print(f"\n===== artifact BENCH_parallel ({path}) =====")
+    print(artifact)
+
+
+@pytest.mark.parametrize("width", SHARD_WIDTHS)
+def test_sharded_run_wall_time(benchmark, width):
+    """Per-width timing of the sharded path (identical rows asserted)."""
+    _, history, doem = make_world(5, nodes=48, steps=6, set_size=10)
+    engine = ChorelEngine(doem, name="root")
+    queries = world_queries(history)
+    expected = [exact_rows(engine.run(query)) for query in queries]
+    with ParallelExecutor(engine, max_workers=width) as executor:
+        got = benchmark(
+            lambda: [exact_rows(executor.run(query)) for query in queries])
+    assert got == expected
+
+
+def test_concurrent_qss_wall_time(benchmark):
+    """A multi-subscription polling cycle through the concurrent server."""
+    from repro import QSSServer, Subscription, Wrapper
+    from tests.parallel.test_qss_concurrent import ScriptedSource, subscription
+
+    def cycle():
+        server = QSSServer(start="1Dec96", deliver_empty=True,
+                           max_poll_workers=4)
+        for i in range(6):
+            server.register_wrapper(f"s{i}", Wrapper(ScriptedSource(),
+                                                     name="guide"))
+            server.subscribe(subscription(f"sub{i}"), f"s{i}")
+        with server:
+            return len(server.run_until("8Dec96"))
+
+    delivered = benchmark(cycle)
+    assert delivered == 6 * 7  # six subscriptions, seven daily polls
+
+
+def test_indexed_engine_parallel_consistency(benchmark):
+    """The indexed engine under run_many keeps its pushdown accounting."""
+    _, history, doem = make_world(9, nodes=32, steps=5, set_size=8)
+    queries = world_queries(history)
+    engine = IndexedChorelEngine(doem, name="root")
+    expected = [exact_rows(engine.run(query)) for query in queries]
+
+    def batch():
+        return engine.run_many(queries, max_workers=POOL_WIDTH)
+
+    results = benchmark(batch)
+    assert [exact_rows(result) for result in results] == expected
+    assert engine.stats.indexed_queries > 0

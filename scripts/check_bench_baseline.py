@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare a benchmark artifact against its committed baseline.
+
+Usage::
+
+    python scripts/check_bench_baseline.py \
+        benchmarks/artifacts/BENCH_parallel.json \
+        benchmarks/baselines/BENCH_parallel_baseline.json
+
+Every key present in the baseline must exist in the artifact with an
+*identical* value -- the baseline deliberately contains only the
+deterministic series (equivalence counters and workload parameters),
+never wall times or machine-dependent pool throughput.  On top of the
+baseline diff, the artifact's pool-utilization counters must show the
+worker pool actually ran (``submitted``/``completed`` > 0) and the
+equivalence sweep found no mismatches.
+
+Exit status: 0 clean, 1 on any divergence (the CI bench-regression job
+gates on it).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def fail(message: str) -> None:
+    print(f"BASELINE CHECK FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) != 3:
+        fail(f"usage: {argv[0]} <artifact.json> <baseline.json>")
+    artifact_path, baseline_path = Path(argv[1]), Path(argv[2])
+    if not artifact_path.exists():
+        fail(f"artifact {artifact_path} not found (did the bench run?)")
+    if not baseline_path.exists():
+        fail(f"baseline {baseline_path} not found")
+    artifact = json.loads(artifact_path.read_text(encoding="utf-8"))
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+
+    diverged = []
+    for key, expected in sorted(baseline.items()):
+        actual = artifact.get(key, "<missing>")
+        if actual != expected:
+            diverged.append(f"  {key}: baseline {expected!r}, got {actual!r}")
+    if diverged:
+        fail("deterministic series diverged from the committed baseline "
+             "(update benchmarks/baselines/ only with an explanation):\n"
+             + "\n".join(diverged))
+
+    for counter in ("bench_parallel.pool.submitted",
+                    "bench_parallel.pool.completed"):
+        if artifact.get(counter, 0) <= 0:
+            fail(f"{counter} is {artifact.get(counter)!r}; the worker pool "
+                 f"never ran")
+    for counter in ("bench_parallel.equivalence.sharded_mismatches",
+                    "bench_parallel.equivalence.batch_mismatches"):
+        if artifact.get(counter, "<missing>") != 0:
+            fail(f"{counter} is {artifact.get(counter)!r}; parallel results "
+                 f"diverged from serial")
+
+    print(f"baseline check OK: {len(baseline)} series match, "
+          f"pool ran {artifact['bench_parallel.pool.completed']} tasks")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -93,6 +93,7 @@ from .doem import (
     snapshot_cache,
 )
 from .lorel import LorelEngine, QueryResult, format_query, parse_query
+from .parallel import ParallelExecutor, WorkerPool, parallel_run, run_many
 from .lorel.update import parse_update, plan_update
 from .chorel import ChorelEngine, TranslatingChorelEngine, translate_query
 from .chorel.optimize import IndexedChorelEngine
@@ -158,6 +159,8 @@ __all__ = [
     "parse_update", "plan_update",
     "ChorelEngine", "TranslatingChorelEngine", "translate_query",
     "IndexedChorelEngine",
+    # parallel execution
+    "ParallelExecutor", "WorkerPool", "parallel_run", "run_many",
     # triggers (Section 7 future work)
     "TriggerManager", "Rule", "Event", "Activation",
     # lore

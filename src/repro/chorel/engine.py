@@ -103,11 +103,30 @@ class ChorelEngine:
         if isinstance(query, str):
             with span("chorel.parse"):
                 query = self.parse(query)
-        env = {}
+        return self._evaluator.run(query, self._base_env(bindings))
+
+    def _base_env(self, bindings: dict[str, str] | None = None) -> dict:
+        """Ambient bindings every evaluation starts from.
+
+        Chorel seeds the ``t[i]`` time-variable table and (for triggers)
+        any pre-bound node variables.
+        """
+        env: dict = {}
         if self._polling_times:
             env[TIMEVARS_KEY] = dict(self._polling_times)
         if bindings:
             from ..lorel.eval import NodeBinding
             for name, node_id in bindings.items():
                 env[name] = NodeBinding(node_id)
-        return self._evaluator.run(query, env)
+        return env
+
+    def run_many(self, queries, *, pool=None,
+                 max_workers: int | None = None) -> list[QueryResult]:
+        """Evaluate a batch of queries concurrently; results in input order.
+
+        Row-for-row equivalent to ``[self.run(q) for q in queries]``, but
+        parsing and index acquisition happen once and the evaluations fan
+        out to a worker pool (see :mod:`repro.parallel`).
+        """
+        from ..parallel.executor import run_many as _run_many
+        return _run_many(self, queries, pool=pool, max_workers=max_workers)

@@ -23,6 +23,7 @@ call.  :func:`cached_snapshot_at` is the drop-in cached counterpart of
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 
@@ -171,6 +172,12 @@ class SnapshotCache:
     watches the database's fingerprint and drops everything when the
     underlying DOEM database changes, so it is always safe to keep one
     around while folding new history in.
+
+    Thread safety: every lookup/maintenance path runs under one reentrant
+    lock, so concurrent ``snapshot_at`` calls from the parallel query
+    executor serialize on the cache (each call still returns its own
+    private copy).  The lock is per cache, not global -- caches of
+    distinct DOEM databases never contend.
     """
 
     def __init__(self, doem: DOEMDatabase, capacity: int = 8) -> None:
@@ -182,6 +189,7 @@ class SnapshotCache:
         self._checkpoints: OrderedDict[Timestamp, OEMDatabase] = OrderedDict()
         self._history = None  # lazily extracted encoded history
         self._fingerprint: object = None
+        self._lock = threading.RLock()
 
     # -- freshness -------------------------------------------------------
 
@@ -203,15 +211,18 @@ class SnapshotCache:
     # -- the cache proper ------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._checkpoints)
+        with self._lock:
+            return len(self._checkpoints)
 
     def checkpoints(self) -> list[Timestamp]:
         """The cached checkpoint times, least- to most-recently used."""
-        return list(self._checkpoints)
+        with self._lock:
+            return list(self._checkpoints)
 
     def clear(self) -> None:
         """Drop every checkpoint (counters are kept)."""
-        self._checkpoints.clear()
+        with self._lock:
+            self._checkpoints.clear()
 
     def _store(self, when: Timestamp, snapshot: OEMDatabase) -> None:
         self._checkpoints[when] = snapshot
@@ -223,7 +234,8 @@ class SnapshotCache:
     def snapshot_at(self, when: object) -> OEMDatabase:
         """``Ot(D)`` via the cache; equal to :func:`snapshot_at`'s answer."""
         with span("doem.snapshot.cached"):
-            return self._snapshot_at(when)
+            with self._lock:
+                return self._snapshot_at(when)
 
     def _snapshot_at(self, when: object) -> OEMDatabase:
         cutoff = parse_timestamp(when)
@@ -264,15 +276,17 @@ class SnapshotCache:
 
 _CACHES: "weakref.WeakKeyDictionary[DOEMDatabase, SnapshotCache]" = \
     weakref.WeakKeyDictionary()
+_CACHES_LOCK = threading.Lock()
 
 
 def snapshot_cache(doem: DOEMDatabase, capacity: int = 8) -> SnapshotCache:
     """The per-database :class:`SnapshotCache` (created on first use)."""
-    cache = _CACHES.get(doem)
-    if cache is None or cache.capacity != capacity:
-        cache = SnapshotCache(doem, capacity=capacity)
-        _CACHES[doem] = cache
-    return cache
+    with _CACHES_LOCK:
+        cache = _CACHES.get(doem)
+        if cache is None or cache.capacity != capacity:
+            cache = SnapshotCache(doem, capacity=capacity)
+            _CACHES[doem] = cache
+        return cache
 
 
 def peek_snapshot_cache(doem: DOEMDatabase) -> SnapshotCache | None:
@@ -281,7 +295,8 @@ def peek_snapshot_cache(doem: DOEMDatabase) -> SnapshotCache | None:
     The query profiler uses this to report cache activity without
     perturbing the cache population it is observing.
     """
-    return _CACHES.get(doem)
+    with _CACHES_LOCK:
+        return _CACHES.get(doem)
 
 
 def cached_snapshot_at(doem: DOEMDatabase, when: object) -> OEMDatabase:

@@ -21,6 +21,7 @@ quantify the ablation.
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Iterable, Iterator
 
 from ..doem.annotations import Add, Annotation, Cre, Rem, Upd
@@ -63,6 +64,11 @@ class IndexStats:
 
     def __init__(self, prefix: str = "repro.index") -> None:
         self._metrics = metrics_registry().group(prefix, self._FIELDS)
+
+    def inc(self, field: str, amount: int = 1) -> None:
+        """Atomically increment one counter (safe from worker threads,
+        unlike the ``stats.field += 1`` read-modify-write)."""
+        self._metrics[field].inc(amount)
 
     @property
     def misses(self) -> int:
@@ -301,12 +307,18 @@ class TimestampIndex(AnnotationIndex):
 
     ``TimestampIndex(doem)`` rebuilds *and* attaches; pass
     ``attach=False`` for a detached snapshot-in-time index.
+
+    Thread safety: maintenance (``rebuild``/``insert``) and lookups
+    (``between``) serialize on one reentrant lock per index, so the
+    parallel query executor may scan while history folding inserts
+    concurrently -- each lookup sees a consistent entry list.
     """
 
     def __init__(self, doem: DOEMDatabase | None = None, *,
                  attach: bool = True) -> None:
         self.stats = IndexStats()
         self._source: DOEMDatabase | None = None
+        self._lock = threading.RLock()
         # (kind, arc label) -> parallel (keys, entries) lists
         self._by_label: dict[tuple[str, str],
                              tuple[list[tuple],
@@ -322,17 +334,18 @@ class TimestampIndex(AnnotationIndex):
     # -- maintenance -----------------------------------------------------
 
     def rebuild(self, doem: DOEMDatabase) -> None:
-        super().rebuild(doem)
-        for kind in ("cre", "upd", "add", "rem"):
-            self._entries.setdefault(kind, [])
-            self._keys.setdefault(kind, [])
-        self._by_label = {}
-        for kind in ("add", "rem"):
-            for entry in self._entries[kind]:
-                keys, entries = self._label_bucket(kind, entry[2].label)
-                keys.append(entry[0])
-                entries.append(entry)
-        self.stats.rebuilds += 1
+        with self._lock:
+            super().rebuild(doem)
+            for kind in ("cre", "upd", "add", "rem"):
+                self._entries.setdefault(kind, [])
+                self._keys.setdefault(kind, [])
+            self._by_label = {}
+            for kind in ("add", "rem"):
+                for entry in self._entries[kind]:
+                    keys, entries = self._label_bucket(kind, entry[2].label)
+                    keys.append(entry[0])
+                    entries.append(entry)
+            self.stats.rebuilds += 1
 
     def _label_bucket(self, kind: str, label: str):
         bucket = self._by_label.get((kind, label))
@@ -366,20 +379,21 @@ class TimestampIndex(AnnotationIndex):
             kind = "rem"
         key = self._order_key(annotation.at)
         entry = (key, annotation.at, subject)
-        keys = self._keys[kind]
-        # Insert after equal keys so arrival order breaks ties, matching
-        # one stable interval scan; `between` output order within a single
-        # timestamp is not part of the contract.
-        position = bisect.bisect_right(keys, key)
-        keys.insert(position, key)
-        self._entries[kind].insert(position, entry)
-        if kind in ("add", "rem"):
-            label_keys, label_entries = self._label_bucket(
-                kind, subject.label)
-            label_position = bisect.bisect_right(label_keys, key)
-            label_keys.insert(label_position, key)
-            label_entries.insert(label_position, entry)
-        self.stats.inserts += 1
+        with self._lock:
+            keys = self._keys[kind]
+            # Insert after equal keys so arrival order breaks ties,
+            # matching one stable interval scan; `between` output order
+            # within a single timestamp is not part of the contract.
+            position = bisect.bisect_right(keys, key)
+            keys.insert(position, key)
+            self._entries[kind].insert(position, entry)
+            if kind in ("add", "rem"):
+                label_keys, label_entries = self._label_bucket(
+                    kind, subject.label)
+                label_position = bisect.bisect_right(label_keys, key)
+                label_keys.insert(label_position, key)
+                label_entries.insert(label_position, entry)
+        self.stats.inc("inserts")
 
     def _on_annotation(self, subject_kind: str, subject: object,
                        annotation: Annotation) -> None:
@@ -398,18 +412,19 @@ class TimestampIndex(AnnotationIndex):
         the label partition (it is ignored for node kinds, whose subjects
         carry no label).
         """
-        if label is not None and kind in ("add", "rem"):
-            keys, items = self._by_label.get((kind, label), ((), ()))
-            result = self._slice(keys, items, low, high,
-                                 include_low, include_high)
-        else:
-            result = super().between(kind, low, high,
-                                     include_low=include_low,
-                                     include_high=include_high)
-        self.stats.lookups += 1
-        self.stats.visited += len(result)
+        with self._lock:
+            if label is not None and kind in ("add", "rem"):
+                keys, items = self._by_label.get((kind, label), ((), ()))
+                result = self._slice(keys, items, low, high,
+                                     include_low, include_high)
+            else:
+                result = super().between(kind, low, high,
+                                         include_low=include_low,
+                                         include_high=include_high)
+        self.stats.inc("lookups")
+        self.stats.inc("visited", len(result))
         if result:
-            self.stats.hits += 1
+            self.stats.inc("hits")
         return result
 
 
@@ -423,6 +438,10 @@ class PathIndex:
     breadth-first layer per label) and memoized; the memo is dropped
     whenever the underlying database's fingerprint changes, so results
     stay exact across incremental history folding.
+
+    Lookups serialize on one reentrant lock per index (memoization
+    mutates on reads), so concurrent hit verification from the parallel
+    executor's workers is safe.
     """
 
     def __init__(self, source: OEMDatabase | DOEMDatabase) -> None:
@@ -430,6 +449,7 @@ class PathIndex:
         self.stats = IndexStats(prefix="repro.path_index")
         self._memo: dict[tuple[str, ...], frozenset[str]] = {}
         self._fingerprint: object = None
+        self._lock = threading.RLock()
 
     # -- source adaptation ----------------------------------------------
 
@@ -461,27 +481,28 @@ class PathIndex:
     def nodes(self, labels: Iterable[str]) -> frozenset[str]:
         """Nodes reachable from the root via the exact label path."""
         path = tuple(labels)
-        self._ensure_fresh()
-        self.stats.lookups += 1
-        cached = self._memo.get(path)
-        if cached is not None:
-            self.stats.hits += 1
-            return cached
-        # Reuse the longest memoized prefix, then extend layer by layer.
-        prefix_len = len(path)
-        while prefix_len > 0 and path[:prefix_len] not in self._memo:
-            prefix_len -= 1
-        frontier = self._memo[path[:prefix_len]] if prefix_len \
-            else frozenset((self._root(),))
-        self._memo.setdefault((), frozenset((self._root(),)))
-        for position in range(prefix_len, len(path)):
-            layer: set[str] = set()
-            for node in frontier:
-                layer.update(self._children(node, path[position]))
-            self.stats.visited += len(layer)
-            frontier = frozenset(layer)
-            self._memo[path[:position + 1]] = frontier
-        return frontier
+        with self._lock:
+            self._ensure_fresh()
+            self.stats.inc("lookups")
+            cached = self._memo.get(path)
+            if cached is not None:
+                self.stats.inc("hits")
+                return cached
+            # Reuse the longest memoized prefix, then extend layer by layer.
+            prefix_len = len(path)
+            while prefix_len > 0 and path[:prefix_len] not in self._memo:
+                prefix_len -= 1
+            frontier = self._memo[path[:prefix_len]] if prefix_len \
+                else frozenset((self._root(),))
+            self._memo.setdefault((), frozenset((self._root(),)))
+            for position in range(prefix_len, len(path)):
+                layer: set[str] = set()
+                for node in frontier:
+                    layer.update(self._children(node, path[position]))
+                self.stats.inc("visited", len(layer))
+                frontier = frozenset(layer)
+                self._memo[path[:position + 1]] = frontier
+            return frontier
 
     def contains(self, node: str, labels: Iterable[str]) -> bool:
         """Is ``node`` reachable from the root via the label path?"""

@@ -626,32 +626,68 @@ class Evaluator:
         with span("lorel.eval"):
             return self._run(query, env)
 
-    def _run(self, query: Query, env: Env | None) -> QueryResult:
+    def prepare(self, query: Query,
+                env: Env | None = None) -> tuple[Query, dict[str, str], Env]:
+        """Normalize a query for staged evaluation.
+
+        Returns ``(normalized query, result labels, base environment)``
+        -- the inputs :meth:`from_envs`, :meth:`satisfies`, and
+        :meth:`make_row` consume.  The parallel execution layer
+        (:mod:`repro.parallel`) prepares once on the coordinating thread
+        and fans the enumeration out over shards of the first from-item's
+        bindings.
+        """
         base_env: Env = dict(env) if env else {}
         normalized = self.normalize(query)
-        labels = default_labels(normalized)
+        return normalized, default_labels(normalized), base_env
 
-        def from_envs(index: int, env: Env) -> Iterator[Env]:
-            if index == len(normalized.from_items):
-                yield env
-                return
-            item = normalized.from_items[index]
-            for binding, extended in self.eval_path(item.path, env):
-                scoped = dict(extended)
-                if item.var:
-                    if item.var in scoped:
-                        previous = scoped[item.var]
-                        if previous != binding:
-                            continue
-                    scoped[item.var] = binding
-                yield from from_envs(index + 1, scoped)
+    def bind_from_item(self, item: FromItem, env: Env) -> Iterator[Env]:
+        """Environments extending ``env`` with one from-item's bindings."""
+        for binding, extended in self.eval_path(item.path, env):
+            scoped = dict(extended)
+            if item.var:
+                if item.var in scoped:
+                    previous = scoped[item.var]
+                    if previous != binding:
+                        continue
+                scoped[item.var] = binding
+            yield scoped
 
+    def from_envs(self, normalized: Query, index: int,
+                  env: Env) -> Iterator[Env]:
+        """Environments satisfying the from clause from ``index`` onward.
+
+        Enumeration order is deterministic (data order per item, items
+        left to right), which is what makes sharded evaluation
+        order-identical to serial evaluation: a contiguous partition of
+        the ``index = 0`` bindings, evaluated shard by shard, replays
+        exactly this stream.
+        """
+        if index == len(normalized.from_items):
+            yield env
+            return
+        item = normalized.from_items[index]
+        for scoped in self.bind_from_item(item, env):
+            yield from self.from_envs(normalized, index + 1, scoped)
+
+    def satisfies(self, normalized: Query, env: Env) -> bool:
+        """Does the environment satisfy the normalized where clause?"""
+        if normalized.where is None:
+            return True
+        return next(self.solve(normalized.where, env), None) is not None
+
+    def make_row(self, normalized: Query, env: Env,
+                 labels: dict[str, str]) -> Row:
+        """Build the result row one satisfying environment emits."""
+        return self._make_row(normalized.select, env, labels)
+
+    def _run(self, query: Query, env: Env | None) -> QueryResult:
+        normalized, labels, base_env = self.prepare(query, env)
         result = QueryResult()
-        for env_candidate in from_envs(0, base_env):
-            if normalized.where is not None:
-                if next(self.solve(normalized.where, env_candidate), None) is None:
-                    continue
-            result.add(self._make_row(normalized.select, env_candidate, labels))
+        for env_candidate in self.from_envs(normalized, 0, base_env):
+            if not self.satisfies(normalized, env_candidate):
+                continue
+            result.add(self.make_row(normalized, env_candidate, labels))
         return result
 
     def _make_row(self, select: tuple[SelectItem, ...], env: Env,

@@ -189,22 +189,24 @@ class DOEMView(DataView):
 
     def cre_fun(self, node: str) -> list[Timestamp]:
         times = self.doem.cre_times(node)
-        self.annotation_visits += len(times)
+        # Atomic inc: evaluator workers of the parallel executor share
+        # this view, and `+= n` through the descriptor is a racy RMW.
+        self._metrics["annotation_visits"].inc(len(times))
         return times
 
     def upd_fun(self, node: str) -> list[tuple[Timestamp, object, object]]:
         triples = self.doem.upd_triples(node)
-        self.annotation_visits += len(triples)
+        self._metrics["annotation_visits"].inc(len(triples))
         return triples
 
     def add_fun(self, node: str, label: str) -> list[tuple[Timestamp, str]]:
         pairs = self.doem.add_pairs(node, label)
-        self.annotation_visits += len(pairs)
+        self._metrics["annotation_visits"].inc(len(pairs))
         return pairs
 
     def rem_fun(self, node: str, label: str) -> list[tuple[Timestamp, str]]:
         pairs = self.doem.rem_pairs(node, label)
-        self.annotation_visits += len(pairs)
+        self._metrics["annotation_visits"].inc(len(pairs))
         return pairs
 
     def children_at(self, node: str, label: str,

@@ -15,12 +15,23 @@ server's poll counters and latency histogram.  Everything exports as JSON
 (:meth:`MetricsRegistry.export_json`) or as a Prometheus-style text dump
 (:meth:`MetricsRegistry.render_text`) -- the format the QSS server's
 ``metrics_text()`` serves.
+
+Thread safety: instrument mutation (``Counter.inc``, ``Gauge.set``,
+``Histogram.observe``, ``reset``) and registry mutation (instrument and
+group creation, snapshots, resets) are guarded by locks, so the parallel
+query executor and the concurrent QSS poll loop (:mod:`repro.parallel`)
+can record metrics from worker threads without corrupting state.  The
+:class:`CounterField` attribute views remain plain read/assign
+descriptors -- ``stats.lookups += 1`` through a descriptor is a
+read-modify-write and is *not* atomic across threads; hot paths that
+need atomic increments call ``group["field"].inc()`` directly.
 """
 
 from __future__ import annotations
 
 import bisect
 import json
+import threading
 import weakref
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsGroup", "CounterField",
@@ -31,35 +42,52 @@ DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 
 
 class Counter:
-    """A monotonically *intended* counter (resettable for benchmarks)."""
+    """A monotonically *intended* counter (resettable for benchmarks).
 
-    __slots__ = ("name", "value")
+    ``inc`` and ``reset`` are atomic under the instance lock; direct
+    assignment to ``value`` (the :class:`CounterField` compatibility
+    path) is a plain store.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
     """A point-in-time value (set, not accumulated)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def set(self, value) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+
+    def set_max(self, value) -> None:
+        """Raise the gauge to ``value`` if larger (high-water marks)."""
+        with self._lock:
+            if value > self.value:
+                self.value = value
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Histogram:
@@ -67,10 +95,12 @@ class Histogram:
 
     ``observe`` is O(log buckets); the snapshot carries cumulative-style
     per-bucket counts plus ``sum`` and ``count``, enough to reconstruct
-    mean latency and coarse percentiles.
+    mean latency and coarse percentiles.  ``observe``/``reset``/
+    ``snapshot`` are atomic under the instance lock, so concurrent
+    observers never leave ``count`` out of step with the bucket counts.
     """
 
-    __slots__ = ("name", "buckets", "counts", "total", "count")
+    __slots__ = ("name", "buckets", "counts", "total", "count", "_lock")
 
     def __init__(self, name: str, buckets=DEFAULT_BUCKETS) -> None:
         self.name = name
@@ -78,21 +108,25 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)  # + overflow bucket
         self.total = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.total += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.total += value
+            self.count += 1
 
     def reset(self) -> None:
-        self.counts = [0] * (len(self.buckets) + 1)
-        self.total = 0.0
-        self.count = 0
+        with self._lock:
+            self.counts = [0] * (len(self.buckets) + 1)
+            self.total = 0.0
+            self.count = 0
 
     def snapshot(self) -> dict:
         labels = [f"le_{bound:g}" for bound in self.buckets] + ["le_inf"]
-        return {"buckets": dict(zip(labels, self.counts)),
-                "sum": self.total, "count": self.count}
+        with self._lock:
+            return {"buckets": dict(zip(labels, self.counts)),
+                    "sum": self.total, "count": self.count}
 
 
 class MetricsGroup:
@@ -163,25 +197,33 @@ def _merge(a, b):
 
 
 class MetricsRegistry:
-    """Named instruments plus weakly-held instrument groups."""
+    """Named instruments plus weakly-held instrument groups.
+
+    Registry mutation (instrument/group creation, snapshot, reset) is
+    serialized by an internal lock; returned instruments carry their own
+    locks, so reads and increments after lookup proceed without holding
+    the registry lock.
+    """
 
     def __init__(self) -> None:
         self._instruments: dict[str, object] = {}
         self._groups: dict[str, weakref.WeakSet] = {}
+        self._lock = threading.RLock()
 
     # -- direct instruments ---------------------------------------------
 
     def _instrument(self, name: str, factory, kind):
-        existing = self._instruments.get(name)
-        if existing is not None:
-            if not isinstance(existing, kind):
-                raise TypeError(
-                    f"metric {name!r} is a {type(existing).__name__}, "
-                    f"not a {kind.__name__}")
-            return existing
-        instrument = factory()
-        self._instruments[name] = instrument
-        return instrument
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"metric {name!r} is a {type(existing).__name__}, "
+                        f"not a {kind.__name__}")
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
 
     def counter(self, name: str) -> Counter:
         """Get or create the named counter."""
@@ -202,12 +244,15 @@ class MetricsRegistry:
               histograms: tuple[str, ...] = ()) -> MetricsGroup:
         """A fresh family instance, registered weakly under ``prefix``."""
         instance = MetricsGroup(prefix, fields, histograms)
-        self._groups.setdefault(prefix, weakref.WeakSet()).add(instance)
+        with self._lock:
+            self._groups.setdefault(prefix, weakref.WeakSet()).add(instance)
         return instance
 
     def _live_groups(self):
-        for members in self._groups.values():
-            yield from list(members)
+        with self._lock:
+            members = [list(group) for group in self._groups.values()]
+        for group in members:
+            yield from group
 
     # -- export ----------------------------------------------------------
 
@@ -218,7 +263,9 @@ class MetricsRegistry:
             for name, value in group.snapshot().items():
                 merged[name] = _merge(merged[name], value) \
                     if name in merged else value
-        for name, instrument in self._instruments.items():
+        with self._lock:
+            instruments = dict(self._instruments)
+        for name, instrument in instruments.items():
             merged[name] = instrument.snapshot() \
                 if isinstance(instrument, Histogram) else instrument.value
         if prefix is not None:
@@ -254,7 +301,9 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every direct instrument and every live group."""
-        for instrument in self._instruments.values():
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
             instrument.reset()
         for group in self._live_groups():
             group.reset()

@@ -24,6 +24,7 @@ to collect the spans of a single query without leaving tracing enabled.
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from time import perf_counter
 
@@ -150,12 +151,27 @@ class TraceCapture:
 
 
 class Tracer:
-    """A span collector.  ``enabled`` gates all recording."""
+    """A span collector.  ``enabled`` gates all recording.
+
+    The open-span stack is **thread-local**: spans opened on a worker
+    thread nest among themselves and land in ``roots`` as their own
+    trees, never splicing into another thread's hierarchy.  ``roots`` is
+    appended to under the GIL's list-append atomicity, so concurrent
+    workers (the parallel query executor, the QSS poll pool) can trace
+    safely; ``clear`` drops the calling thread's open spans only.
+    """
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attrs):
         """A context manager timing ``name`` (no-op when disabled)."""

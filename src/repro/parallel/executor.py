@@ -1,0 +1,268 @@
+"""Sharded and batched query execution over the Lorel/Chorel engines.
+
+Two orthogonal parallelism axes, both with **deterministic merges**:
+
+* :meth:`ParallelExecutor.run` -- *intra-query* sharding.  The first
+  from-item of the normalized query is bound serially (one step from the
+  query root), the resulting environments are cut into contiguous shards
+  (:mod:`repro.parallel.sharding`), worker threads evaluate the remaining
+  from-items / where / select per shard, and shard row-lists concatenate
+  in shard order -- replaying the serial enumeration exactly, so results
+  are row- and order-identical to ``engine.run`` for any shard count (the
+  property test in ``tests/parallel`` proves it on randomized histories).
+
+* :meth:`ParallelExecutor.run_many` -- *inter-query* batching
+  (``engine.run_many(queries)``).  The batch shares one acquisition of
+  the engine's supporting structures -- queries are parsed once on the
+  coordinating thread, the attached :class:`~repro.lore.indexes.PathIndex`
+  freshness check and root expansion are pinned once instead of raced by
+  every worker, and the attached :class:`~repro.lore.indexes.TimestampIndex`
+  serves all workers -- then each query evaluates on a worker, and
+  results return in input order.
+
+Index pushdown is preserved: a query the
+:class:`~repro.chorel.optimize.IndexedChorelEngine` can serve from its
+annotation index is answered by the index scan (already O(log n +
+answers); slicing it thinner would only add overhead), with the engine's
+pushdown accounting intact.
+
+The executor never mutates the underlying database; conversely, callers
+must not fold new history in *during* a parallel run -- the thread-safety
+contract (``docs/parallel.md``) makes index/cache/metrics state safe, but
+raw OEM/DOEM graph reads are unsynchronized snapshots-in-time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..lorel.result import QueryResult, Row
+from ..obs.metrics import registry as metrics_registry
+from ..obs.trace import span
+from .pool import WorkerPool, default_pool
+from .sharding import chunk_evenly, shard_count
+
+__all__ = ["ParallelExecutor", "parallel_run", "run_many"]
+
+_metrics_group = None
+
+
+def _parallel_metrics():
+    # The registry holds groups weakly; keep one strong module-level
+    # reference so repro.parallel counters accumulate across executors
+    # (including the ephemeral ones parallel_run/run_many create).
+    global _metrics_group
+    if _metrics_group is None:
+        _metrics_group = metrics_registry().group(
+            "repro.parallel",
+            ("queries", "sharded_queries", "serial_queries", "shards",
+             "batches", "batch_queries", "indexed_queries"))
+    return _metrics_group
+
+
+class ParallelExecutor:
+    """Parallel execution wrapper around one Lorel/Chorel engine.
+
+    ``pool`` shares an existing :class:`~repro.parallel.pool.WorkerPool`;
+    ``max_workers`` creates a private pool instead (shut down by
+    :meth:`close` / the context manager); with neither, the process-wide
+    default pool is used.  ``min_shard_size`` tunes how many first-step
+    bindings a shard must carry before sharding is worth it.
+    """
+
+    def __init__(self, engine, *, pool: WorkerPool | None = None,
+                 max_workers: int | None = None,
+                 min_shard_size: int = 1) -> None:
+        if min_shard_size < 1:
+            raise ValueError("min_shard_size must be >= 1")
+        self.engine = engine
+        self.min_shard_size = min_shard_size
+        if pool is not None:
+            self.pool = pool
+            self._owns_pool = False
+        elif max_workers is not None:
+            self.pool = WorkerPool(max_workers)
+            self._owns_pool = True
+        else:
+            self.pool = default_pool()
+            self._owns_pool = False
+        self._metrics = _parallel_metrics()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down a privately owned pool (shared pools are left alone)."""
+        if self._owns_pool:
+            self.pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- single queries --------------------------------------------------
+
+    def run(self, query) -> QueryResult:
+        """Evaluate one query with intra-query sharding.
+
+        Row- and order-identical to ``engine.run(query)``.
+        """
+        engine = self.engine
+        if isinstance(query, str):
+            query = engine.parse(query)
+        self._metrics["queries"].inc()
+        extract = getattr(engine, "_extract_plan", None)
+        if extract is not None and extract(query) is not None:
+            # The annotation-index scan is already sublinear; let the
+            # engine serve it (and keep its pushdown accounting).
+            self._metrics["indexed_queries"].inc()
+            return engine.run(query)
+        with span("parallel.query"):
+            result = self._run_sharded(query)
+        if extract is not None:
+            # Mirror the serial engine's pushdown split for this query.
+            engine.stats.fallback_queries += 1
+            engine.last_plan = None
+        return result
+
+    def _run_sharded(self, parsed) -> QueryResult:
+        evaluator = self.engine._evaluator
+        normalized, labels, base_env = evaluator.prepare(
+            parsed, self._ambient_env())
+        if not normalized.from_items:
+            self._metrics["serial_queries"].inc()
+            rows = self._eval_envs(evaluator, normalized, labels,
+                                   [base_env], 0)
+            return _merge([rows])
+        first = normalized.from_items[0]
+        with span("parallel.bind_first"):
+            first_envs = list(evaluator.bind_from_item(first, base_env))
+        shards = shard_count(len(first_envs), self.pool.max_workers,
+                             min_shard_size=self.min_shard_size)
+        if shards <= 1:
+            self._metrics["serial_queries"].inc()
+            rows = self._eval_envs(evaluator, normalized, labels,
+                                   first_envs, 1)
+            return _merge([rows])
+        self._metrics["sharded_queries"].inc()
+        self._metrics["shards"].inc(shards)
+        chunks = chunk_evenly(first_envs, shards)
+        with span("parallel.fanout", shards=shards):
+            row_lists = self.pool.map_ordered(
+                lambda chunk: self._eval_envs(evaluator, normalized, labels,
+                                              chunk, 1),
+                chunks)
+        return _merge(row_lists)
+
+    @staticmethod
+    def _eval_envs(evaluator, normalized, labels,
+                   envs: Sequence[dict], index: int) -> list[Row]:
+        """One shard's work: finish the from clause and emit rows."""
+        rows: list[Row] = []
+        for env in envs:
+            for final_env in evaluator.from_envs(normalized, index, env):
+                if evaluator.satisfies(normalized, final_env):
+                    rows.append(evaluator.make_row(normalized, final_env,
+                                                   labels))
+        return rows
+
+    # -- batches ---------------------------------------------------------
+
+    def run_many(self, queries: Iterable) -> list[QueryResult]:
+        """Evaluate a batch of queries concurrently; results in input order.
+
+        Equivalent to ``[engine.run(q) for q in queries]`` row for row.
+        Parsing and index acquisition happen once, on the calling thread;
+        each query then evaluates on a pool worker.
+        """
+        engine = self.engine
+        with span("parallel.batch"):
+            parsed = [engine.parse(query) if isinstance(query, str)
+                      else query for query in queries]
+            self._metrics["batches"].inc()
+            self._metrics["batch_queries"].inc(len(parsed))
+            if not parsed:
+                return []
+            self._acquire_shared()
+            outcomes = self.pool.map_ordered(self._run_one, parsed)
+        results: list[QueryResult] = []
+        indexed = fallback = 0
+        for result, mode in outcomes:
+            results.append(result)
+            if mode == "indexed":
+                indexed += 1
+            elif mode == "fallback":
+                fallback += 1
+        stats = getattr(engine, "stats", None)
+        if stats is not None and indexed + fallback:
+            # Pushdown accounting is applied here, on the calling thread,
+            # so worker outcomes never race the CounterField descriptors.
+            stats.indexed_queries += indexed
+            stats.fallback_queries += fallback
+            self._metrics["indexed_queries"].inc(indexed)
+        return results
+
+    def _run_one(self, parsed):
+        """Evaluate one batch member (runs on a pool worker)."""
+        engine = self.engine
+        extract = getattr(engine, "_extract_plan", None)
+        if extract is not None:
+            plan = extract(parsed)
+            if plan is not None:
+                return engine._execute_plan(plan), "indexed"
+        evaluator = engine._evaluator
+        normalized, labels, base_env = evaluator.prepare(
+            parsed, self._ambient_env())
+        result = QueryResult()
+        for env in evaluator.from_envs(normalized, 0, base_env):
+            if evaluator.satisfies(normalized, env):
+                result.add(evaluator.make_row(normalized, env, labels))
+        return result, ("fallback" if extract is not None else "plain")
+
+    # -- shared context --------------------------------------------------
+
+    def _ambient_env(self) -> dict:
+        """The engine's ambient bindings (polling times for Chorel)."""
+        base_env = getattr(self.engine, "_base_env", None)
+        return base_env() if base_env is not None else {}
+
+    def _acquire_shared(self) -> None:
+        """Pin shared structures once before a batch fans out.
+
+        The path index's fingerprint check (and its root-layer memo) runs
+        here on the calling thread, so workers hit a warm, stable memo
+        instead of all paying -- and serializing on -- the first-touch
+        rebuild.  The timestamp index is attached to the database and
+        needs no per-batch refresh.
+        """
+        paths = getattr(self.engine, "paths", None)
+        if paths is not None:
+            with span("parallel.acquire"):
+                paths.nodes(())
+
+
+def _merge(row_lists: Iterable[list[Row]]) -> QueryResult:
+    """Concatenate shard row-lists in shard order (set semantics apply)."""
+    result = QueryResult()
+    for rows in row_lists:
+        for row in rows:
+            result.add(row)
+    return result
+
+
+def parallel_run(engine, query, *, pool: WorkerPool | None = None,
+                 max_workers: int | None = None,
+                 min_shard_size: int = 1) -> QueryResult:
+    """One-shot sharded evaluation: ``engine.run(query)``, in parallel."""
+    with ParallelExecutor(engine, pool=pool, max_workers=max_workers,
+                          min_shard_size=min_shard_size) as executor:
+        return executor.run(query)
+
+
+def run_many(engine, queries, *, pool: WorkerPool | None = None,
+             max_workers: int | None = None) -> list[QueryResult]:
+    """One-shot batched evaluation; results in input order."""
+    with ParallelExecutor(engine, pool=pool,
+                          max_workers=max_workers) as executor:
+        return executor.run_many(queries)

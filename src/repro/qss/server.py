@@ -9,6 +9,8 @@ clients.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable
@@ -21,7 +23,17 @@ from .managers import DOEMManager, QueryManager, SubscriptionManager, Subscripti
 from .subscription import Notification, Subscription
 from .wrapper import Wrapper
 
-__all__ = ["QSSServer", "SlowPollRecord"]
+__all__ = ["QSSServer", "SlowPollRecord", "PollTimeout"]
+
+
+class PollTimeout(QSSError):
+    """A source poll exceeded the server's ``poll_timeout`` budget.
+
+    Recorded in ``error_log`` (never raised through ``run_until``): a
+    timeout is a deadline policy protecting the polling cycle, not a
+    defect in the subscription, so the schedule advances and the other
+    subscriptions in the batch are notified normally.
+    """
 
 
 @dataclass(frozen=True)
@@ -57,6 +69,24 @@ class QSSServer:
     ``slow_poll_log`` and counted in ``qss.slow_polls``.
     :meth:`metrics_text` serves the registry as a ``/metrics``-style
     text dump.
+
+    Concurrency: with ``max_poll_workers > 1``, polls that fall due at
+    the same simulated timestamp are fanned out to a bounded worker pool
+    (metrics family ``qss.pool``).  Only the *source* phase (wrapper
+    advance + polling query) runs on workers, serialized per wrapper by a
+    lock; incorporation, filter evaluation, packaging, and notification
+    delivery stay on the calling thread in ``(time, name)`` order, so
+    notification order and DOEM contents are identical to the serial
+    loop.  ``poll_timeout`` (seconds; ``None`` disables) bounds each
+    batch's source phase: a subscription whose source poll has not
+    finished by the deadline is recorded in ``error_log`` as a
+    :class:`PollTimeout` (counter ``qss.timeouts``), its schedule
+    advances, and the rest of the batch is notified normally -- one
+    hung or crashing subscription cannot stall the cycle.  A timed-out
+    poll's worker may linger until the source returns; it only touches
+    the wrapper (under the wrapper lock) and its result is discarded,
+    and while it lingers the subscription's subsequent polls are skipped
+    (also as timeouts) rather than stacking more zombies onto the pool.
     """
 
     def __init__(self, start: object = "1Dec96",
@@ -65,7 +95,9 @@ class QSSServer:
                  share_by_polling_query: bool = False,
                  on_error: str = "raise",
                  compact_keep_polls: int | None = None,
-                 slow_poll_threshold: float | None = None) -> None:
+                 slow_poll_threshold: float | None = None,
+                 max_poll_workers: int = 1,
+                 poll_timeout: float | None = None) -> None:
         if on_error not in ("raise", "skip"):
             raise QSSError("on_error must be 'raise' or 'skip'")
         if slow_poll_threshold is not None and slow_poll_threshold < 0:
@@ -75,6 +107,13 @@ class QSSServer:
         if compact_keep_polls is not None and share_by_polling_query:
             raise QSSError("automatic compaction and DOEM sharing cannot "
                            "combine; compact shared DOEMs explicitly")
+        if max_poll_workers < 1:
+            raise QSSError("max_poll_workers must be >= 1")
+        if poll_timeout is not None and poll_timeout <= 0:
+            raise QSSError("poll_timeout must be > 0 (seconds)")
+        if poll_timeout is not None and max_poll_workers == 1:
+            raise QSSError("poll_timeout needs max_poll_workers > 1 "
+                           "(the serial loop cannot abandon a poll)")
         self.clock: Timestamp = parse_timestamp(start)
         self.subscriptions = SubscriptionManager()
         self.queries = QueryManager()
@@ -84,13 +123,21 @@ class QSSServer:
         self.on_error = on_error
         self.compact_keep_polls = compact_keep_polls
         self.slow_poll_threshold = slow_poll_threshold
+        self.max_poll_workers = max_poll_workers
+        self.poll_timeout = poll_timeout
         self._subscribers: dict[str, list[Callable[[Notification], None]]] = {}
         self.notification_log: list[Notification] = []
         self.error_log: list[tuple[Timestamp, str, Exception]] = []
         self.slow_poll_log: list[SlowPollRecord] = []
         self._metrics = metrics_registry().group(
-            "qss", ("polls", "notifications", "slow_polls", "errors"),
+            "qss", ("polls", "notifications", "slow_polls", "errors",
+                    "timeouts"),
             histograms=("poll_seconds",))
+        self._poll_pool = None
+        self._wrapper_locks: dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        # name -> the Future of a timed-out poll that may still be running.
+        self._inflight: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -149,26 +196,97 @@ class QSSServer:
             if not due:
                 break
             due.sort(key=lambda entry: (entry[0], entry[1].subscription.name))
+            if self.max_poll_workers > 1:
+                # All polls due at the earliest timestamp form one batch.
+                poll_time = due[0][0]
+                batch = [state for when_due, state in due
+                         if when_due == poll_time]
+                produced.extend(self._execute_poll_batch(batch, poll_time))
+                continue
             poll_time, state = due[0]
             try:
                 notification = self._execute_poll(state, poll_time)
             except Exception as error:
-                self._metrics["errors"].inc()
-                if self.on_error == "raise":
-                    raise
-                # A failed poll must not wedge the server: log it, keep
-                # the schedule moving (the poll still "happened"), and
-                # leave the DOEM database untouched for the next attempt.
-                self.error_log.append(
-                    (poll_time, state.subscription.name, error))
-                if not state.polling_times or \
-                        state.polling_times[-1] != poll_time:
-                    self.subscriptions.record_poll(state, poll_time)
+                self._record_poll_failure(state, poll_time, error)
                 continue
             if notification is not None:
                 produced.append(notification)
 
         self.clock = deadline
+        return produced
+
+    def _record_poll_failure(self, state: SubscriptionState,
+                             poll_time: Timestamp,
+                             error: Exception) -> None:
+        """Count, log (or re-raise), and reschedule a failed poll.
+
+        A failed poll must not wedge the server: log it, keep the
+        schedule moving (the poll still "happened"), and leave the DOEM
+        database untouched for the next attempt.  Timeouts never
+        re-raise -- they are deadline policy, not subscription defects.
+        """
+        self._metrics["errors"].inc()
+        if isinstance(error, PollTimeout):
+            self._metrics["timeouts"].inc()
+        elif self.on_error == "raise":
+            raise error
+        self.error_log.append((poll_time, state.subscription.name, error))
+        if not state.polling_times or state.polling_times[-1] != poll_time:
+            self.subscriptions.record_poll(state, poll_time)
+
+    def _execute_poll_batch(self, batch: list[SubscriptionState],
+                            poll_time: Timestamp) -> list[Notification]:
+        """Poll one batch concurrently; finish serially in name order.
+
+        Workers run only the source phase (:meth:`_poll_source`); each
+        result is then incorporated/filtered/packaged on this thread in
+        the batch's (name-sorted) order, so everything downstream of the
+        source is byte-identical to the serial loop.
+        """
+        pool = self._pool()
+        futures = {}
+        for state in batch:
+            name = state.subscription.name
+            lingering = self._inflight.get(name)
+            if lingering is not None:
+                if not lingering.done():
+                    # A previous timed-out poll is still occupying a
+                    # worker; submitting another would just stack zombies
+                    # until they exhaust the pool and starve healthy
+                    # subscriptions.  Skip this round instead.
+                    self._record_poll_failure(state, poll_time, PollTimeout(
+                        f"poll of {name!r} at {poll_time} skipped: a "
+                        f"previous timed-out poll is still in flight"))
+                    continue
+                del self._inflight[name]
+            futures[name] = pool.submit(self._poll_source_timed,
+                                        state, poll_time)
+        done, not_done = futures_wait(list(futures.values()),
+                                      timeout=self.poll_timeout) \
+            if futures else (set(), set())
+        produced: list[Notification] = []
+        for state in batch:
+            future = futures.get(state.subscription.name)
+            if future is None:
+                continue  # skipped above: still in flight
+            if future in not_done:
+                future.cancel()
+                self._inflight[state.subscription.name] = future
+                self._record_poll_failure(state, poll_time, PollTimeout(
+                    f"poll of {state.subscription.name!r} at {poll_time} "
+                    f"exceeded {self.poll_timeout:g}s"))
+                continue
+            try:
+                result, source_seconds = future.result()
+                with span("qss.poll", subscription=state.subscription.name,
+                          at=str(poll_time)):
+                    notification = self._finish_poll(state, poll_time,
+                                                     result, source_seconds)
+            except Exception as error:
+                self._record_poll_failure(state, poll_time, error)
+                continue
+            if notification is not None:
+                produced.append(notification)
         return produced
 
     # ------------------------------------------------------------------
@@ -217,31 +335,64 @@ class QSSServer:
     def _execute_poll(self, state: SubscriptionState,
                       poll_time: Timestamp) -> Notification | None:
         subscription = state.subscription
-        started = perf_counter()
         with span("qss.poll", subscription=subscription.name,
                   at=str(poll_time)):
+            started = perf_counter()
             with span("qss.poll.source"):
-                result = self.queries.poll(state, poll_time)
-            with span("qss.poll.incorporate"):
-                self.doems.incorporate(subscription.name, poll_time, result)
-            self.subscriptions.record_poll(state, poll_time)
+                result = self._poll_source(state, poll_time)
+            source_seconds = perf_counter() - started
+            return self._finish_poll(state, poll_time, result, source_seconds)
 
-            engine = self.doems.filter_engine(state)
-            with span("qss.filter"):
-                filtered = engine.run(subscription.filter_query)
-            with span("qss.package"):
-                answer = self._package(subscription.name, filtered)
+    def _poll_source(self, state: SubscriptionState,
+                     poll_time: Timestamp) -> "OEMDatabase":
+        """The source phase: advance the wrapper and run the polling query.
 
-            if self.compact_keep_polls is not None and \
-                    state.poll_count > self.compact_keep_polls:
-                # Section 6.1 retention policy: keep the last N polling
-                # intervals of history; everything older collapses into
-                # the new original snapshot.  Cutoff = the (N+1)-th most
-                # recent poll, so t[-N] filter lookbacks still work.
-                cutoff = state.polling_times[-(self.compact_keep_polls + 1)]
-                with span("qss.compact"):
-                    self.doems.compact_before(subscription.name, cutoff)
-        elapsed = perf_counter() - started
+        Serialized per wrapper, so concurrent batch polls (and serial
+        polls racing a lingering timed-out worker) never interleave on
+        one source.  Polls of the same wrapper at the same simulated
+        timestamp commute: the second ``advance`` to an already-reached
+        time is a no-op and polling queries are read-only.
+        """
+        with self._wrapper_lock(state.wrapper_name):
+            return self.queries.poll(state, poll_time)
+
+    def _poll_source_timed(self, state: SubscriptionState,
+                           poll_time: Timestamp):
+        """Worker-side wrapper of :meth:`_poll_source` (batch path)."""
+        started = perf_counter()
+        with span("qss.poll.source", subscription=state.subscription.name,
+                  at=str(poll_time)):
+            result = self._poll_source(state, poll_time)
+        return result, perf_counter() - started
+
+    def _finish_poll(self, state: SubscriptionState, poll_time: Timestamp,
+                     result: "OEMDatabase",
+                     source_seconds: float) -> Notification | None:
+        """Everything after the source returns: incorporate, filter,
+        package, compact, account, deliver.  Always runs on the thread
+        driving the polling loop, in deterministic poll order."""
+        subscription = state.subscription
+        started = perf_counter()
+        with span("qss.poll.incorporate"):
+            self.doems.incorporate(subscription.name, poll_time, result)
+        self.subscriptions.record_poll(state, poll_time)
+
+        engine = self.doems.filter_engine(state)
+        with span("qss.filter"):
+            filtered = engine.run(subscription.filter_query)
+        with span("qss.package"):
+            answer = self._package(subscription.name, filtered)
+
+        if self.compact_keep_polls is not None and \
+                state.poll_count > self.compact_keep_polls:
+            # Section 6.1 retention policy: keep the last N polling
+            # intervals of history; everything older collapses into
+            # the new original snapshot.  Cutoff = the (N+1)-th most
+            # recent poll, so t[-N] filter lookbacks still work.
+            cutoff = state.polling_times[-(self.compact_keep_polls + 1)]
+            with span("qss.compact"):
+                self.doems.compact_before(subscription.name, cutoff)
+        elapsed = source_seconds + (perf_counter() - started)
         self._metrics["polls"].inc()
         self._metrics.histogram("poll_seconds").observe(elapsed)
         if self.slow_poll_threshold is not None and \
@@ -265,6 +416,47 @@ class QSSServer:
                 deliver(notification)
             return notification
         return None
+
+    # ------------------------------------------------------------------
+    # Concurrency plumbing
+    # ------------------------------------------------------------------
+
+    def _pool(self):
+        """The lazy poll pool (``qss.pool`` metrics family)."""
+        if self._poll_pool is None:
+            from ..parallel.pool import WorkerPool
+            self._poll_pool = WorkerPool(self.max_poll_workers,
+                                         metrics_prefix="qss.pool",
+                                         thread_name_prefix="qss-poll")
+        return self._poll_pool
+
+    def _wrapper_lock(self, wrapper_name: str) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._wrapper_locks.get(wrapper_name)
+            if lock is None:
+                lock = self._wrapper_locks[wrapper_name] = threading.Lock()
+            return lock
+
+    @property
+    def poll_pool(self):
+        """The poll :class:`~repro.parallel.pool.WorkerPool`, if created."""
+        return self._poll_pool
+
+    def close(self) -> None:
+        """Release the poll pool (no-op for a serial server).
+
+        Does not wait for lingering timed-out polls -- a source that
+        never returns must not be able to hang shutdown either.
+        """
+        if self._poll_pool is not None:
+            self._poll_pool.shutdown(wait=False, cancel_pending=True)
+            self._poll_pool = None
+
+    def __enter__(self) -> "QSSServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Observability

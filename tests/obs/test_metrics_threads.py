@@ -1,0 +1,127 @@
+"""Thread-safety stress tests for the metrics registry.
+
+These hammer the exact operations the parallel executor and concurrent
+QSS poll loop perform from worker threads.  Before the instrument locks
+landed, the counter increments below lost updates reliably (a ``+=``
+read-modify-write under contention); the totals here must be exact, not
+approximate.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 2
+ROUNDS = 20_000
+
+
+def hammer(workers, target):
+    threads = [threading.Thread(target=target, args=(i,))
+               for i in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestCounterContention:
+    def test_two_threads_lose_no_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("stress.hits")
+
+        def work(_):
+            for _ in range(ROUNDS):
+                counter.inc()
+
+        hammer(THREADS, work)
+        assert counter.value == THREADS * ROUNDS
+
+    def test_group_counters_under_contention(self):
+        registry = MetricsRegistry()
+        group = registry.group("stress.group", ("a", "b"))
+
+        def work(index):
+            field = "a" if index % 2 == 0 else "b"
+            for _ in range(ROUNDS):
+                group[field].inc(2)
+
+        hammer(2, work)
+        assert group["a"].value == 2 * ROUNDS
+        assert group["b"].value == 2 * ROUNDS
+
+
+class TestHistogramContention:
+    def test_observe_keeps_count_and_buckets_consistent(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("stress.latency")
+
+        def work(index):
+            value = 0.002 if index % 2 == 0 else 0.7
+            for _ in range(ROUNDS // 4):
+                histogram.observe(value)
+
+        hammer(2, work)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 2 * (ROUNDS // 4)
+        assert sum(snapshot["buckets"].values()) == snapshot["count"]
+
+
+class TestGaugeContention:
+    def test_set_max_keeps_high_water(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("stress.peak")
+
+        def work(index):
+            for value in range(ROUNDS // 10):
+                gauge.set_max(value * 10 + index)
+
+        hammer(2, work)
+        assert gauge.value == (ROUNDS // 10 - 1) * 10 + 1
+
+
+class TestRegistryContention:
+    def test_concurrent_instrument_creation_is_single(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(4)
+
+        def work(_):
+            barrier.wait(timeout=5)
+            seen.append(registry.counter("stress.shared"))
+
+        hammer(4, work)
+        assert len({id(counter) for counter in seen}) == 1
+
+    def test_snapshot_during_mutation(self):
+        """Snapshots race group creation and increments without crashing
+        (RuntimeError: dict changed size) and report consistent types."""
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        groups = []
+
+        def churn(_):
+            while not stop.is_set():
+                group = registry.group("stress.churn", ("x",))
+                group["x"].inc()
+                groups.append(group)
+                if len(groups) > 300:
+                    break
+
+        def snap(_):
+            while not stop.is_set():
+                snapshot = registry.snapshot()
+                value = snapshot.get("stress.churn.x")
+                assert value is None or isinstance(value, int)
+                if len(groups) > 300:
+                    break
+
+        threads = [threading.Thread(target=churn, args=(0,)),
+                   threading.Thread(target=snap, args=(1,))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        stop.set()
+        assert registry.snapshot()["stress.churn.x"] == len(groups)
