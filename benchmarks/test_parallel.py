@@ -19,6 +19,7 @@ from time import perf_counter
 import pytest
 
 from repro import ChorelEngine, IndexedChorelEngine, ParallelExecutor
+from repro import metrics_registry
 from repro.parallel import WorkerPool
 from tests.test_differential_index import make_world, world_queries
 
@@ -42,9 +43,26 @@ def exact_rows(result):
     return [str(row) for row in result]
 
 
+def plan_counters():
+    """The ``repro.plan`` counter family, flattened to plain numbers.
+
+    The ``compile_seconds`` histogram contributes only its observation
+    *count* -- the one deterministic part of a latency series.
+    """
+    values = {}
+    for name, value in metrics_registry().snapshot("repro.plan").items():
+        short = name.removeprefix("repro.plan.")
+        if isinstance(value, dict):  # histogram snapshot
+            values[f"{short}.count"] = value["count"]
+        else:
+            values[short] = value
+    return values
+
+
 def test_parallel_bench(benchmark, artifact_dir):
     """Serial vs. sharded vs. batched, one artifact with the counters."""
     workload = build_workload()
+    plan_before = plan_counters()
 
     started = perf_counter()
     expected = [[exact_rows(engine.run(query)) for query in queries]
@@ -81,6 +99,12 @@ def test_parallel_bench(benchmark, artifact_dir):
     batch_pass()
     batch_seconds = perf_counter() - started
 
+    # Planner counters across the serial + sharded + batch passes --
+    # captured *before* the pytest-benchmark call below, whose rep count
+    # varies by machine and would make the deltas non-deterministic.
+    plan_deltas = {name: value - plan_before.get(name, 0)
+                   for name, value in plan_counters().items()}
+
     # The timed figure CI displays: one batched pass over the workload.
     benchmark(lambda: [ParallelExecutor(engine, pool=pool).run_many(queries)
                        for engine, queries in workload])
@@ -105,6 +129,7 @@ def test_parallel_bench(benchmark, artifact_dir):
         wall={"serial_seconds": round(serial_seconds, 6),
               "sharded_seconds": round(sharded_seconds, 6),
               "batch_seconds": round(batch_seconds, 6)},
+        plan=plan_deltas,
         pool=pool_stats)
     path = artifact_dir / "BENCH_parallel.json"
     path.write_text(artifact + "\n", encoding="utf-8")

@@ -63,6 +63,20 @@ def main(argv: list[str]) -> None:
             fail(f"{counter} is {artifact.get(counter)!r}; parallel results "
                  f"diverged from serial")
 
+    # The planner must actually be in the loop: every query compiles
+    # through repro.plan, and at least one rewrite rule does work on
+    # this workload.
+    if artifact.get("bench_parallel.plan.compiled", 0) <= 0:
+        fail("bench_parallel.plan.compiled is "
+             f"{artifact.get('bench_parallel.plan.compiled')!r}; queries "
+             f"bypassed the plan pipeline")
+    rules_fired = sum(value for name, value in artifact.items()
+                      if name.startswith("bench_parallel.plan.rules_fired.")
+                      and isinstance(value, (int, float)))
+    if rules_fired <= 0:
+        fail("no bench_parallel.plan.rules_fired.* counter moved; the "
+             "rewrite passes went inert")
+
     print(f"baseline check OK: {len(baseline)} series match, "
           f"pool ran {artifact['bench_parallel.pool.completed']} tasks")
 

@@ -97,6 +97,14 @@ from .parallel import ParallelExecutor, WorkerPool, parallel_run, run_many
 from .lorel.update import parse_update, plan_update
 from .chorel import ChorelEngine, TranslatingChorelEngine, translate_query
 from .chorel.optimize import IndexedChorelEngine
+from .plan import (
+    CompiledPlan,
+    EngineStats,
+    IndexPlan,
+    PassManager,
+    compile_query,
+    execute_plan,
+)
 from .triggers import Activation, Event, Rule, TriggerManager
 from .lore import (
     AnnotationIndex,
@@ -159,6 +167,8 @@ __all__ = [
     "parse_update", "plan_update",
     "ChorelEngine", "TranslatingChorelEngine", "translate_query",
     "IndexedChorelEngine",
+    "CompiledPlan", "EngineStats", "IndexPlan", "PassManager",
+    "compile_query", "execute_plan",
     # parallel execution
     "ParallelExecutor", "WorkerPool", "parallel_run", "run_many",
     # triggers (Section 7 future work)

@@ -5,6 +5,11 @@ expressions in path steps are served by the DOEM database's
 ``creFun``/``updFun``/``addFun``/``remFun`` accessors, plain steps see the
 current snapshot, and the virtual ``<at T>`` annotations of Section 4.2.2
 re-root navigation and value access at an arbitrary time.
+
+Since the planner refactor the engine is a facade over
+:mod:`repro.plan`: ``run`` = :meth:`ChorelEngine.compile` +
+:meth:`ChorelEngine.execute`, with the pre-planner evaluator reachable
+via ``use_planner=False`` as the differential oracle.
 """
 
 from __future__ import annotations
@@ -16,6 +21,14 @@ from ..lorel.parser import parse_query
 from ..lorel.result import QueryResult
 from ..lorel.views import DOEMView
 from ..obs.trace import span
+from ..plan import (
+    CompileContext,
+    CompiledPlan,
+    ExecutionContext,
+    compile_query,
+    execute_plan,
+    insert_exchange,
+)
 from ..timestamps import Timestamp, parse_timestamp
 
 __all__ = ["ChorelEngine"]
@@ -32,16 +45,22 @@ class ChorelEngine:
     ``polling_times`` (optional, mutable via :meth:`set_polling_times`)
     provides values for the special time variables ``t[0]``, ``t[-1]``,
     ... used by QSS filter queries.
+
+    ``use_planner=False`` routes ``run`` through the legacy single-pass
+    evaluator (the differential oracle; identical rows, identical order).
     """
 
     def __init__(self, doem: DOEMDatabase, name: str | None = None,
-                 polling_times: dict[int, Timestamp] | None = None) -> None:
+                 polling_times: dict[int, Timestamp] | None = None, *,
+                 use_planner: bool = True) -> None:
         self.doem = doem
         names = {name or doem.graph.root: doem.graph.root}
         self.view = DOEMView(doem, names)
         self._evaluator = Evaluator(self.view)
         self._polling_times: dict[int, Timestamp] = dict(polling_times or {})
+        self.use_planner = use_planner
         self.last_profile = None
+        self.last_compiled: CompiledPlan | None = None
 
     def register_name(self, name: str, node_id: str) -> None:
         """Expose ``node_id`` as a database name for path expressions."""
@@ -76,10 +95,77 @@ class ChorelEngine:
         """Parse Chorel text (annotation expressions allowed)."""
         return parse_query(text, allow_annotations=True)
 
+    # -- planner pipeline ------------------------------------------------
+
+    def compile(self, query: str | Query,
+                bindings: dict[str, str] | None = None) -> CompiledPlan:
+        """Compile a query to an optimized logical plan (``plan.compile``).
+
+        ``bindings`` (trigger pre-bindings) disable index selection --
+        the index scan cannot honor pre-bound range variables -- and feed
+        the predicate-reorder purity check.
+        """
+        if isinstance(query, str):
+            query = self.parse(query)
+        compiled = self._compile(query, bindings)
+        self.last_compiled = compiled
+        return compiled
+
+    def _compile(self, query: Query,
+                 bindings: dict[str, str] | None = None) -> CompiledPlan:
+        """Compile without touching ``last_compiled`` (worker-thread safe)."""
+        context = self._compile_context(bindings)
+        return compile_query(query, self._evaluator, context=context)
+
+    def _compile_context(self, bindings) -> CompileContext:
+        return CompileContext(
+            evaluator=self._evaluator,
+            view=self.view,
+            root_node=self.doem.graph.root,
+            polling_times=dict(self._polling_times),
+            has_index=False,
+            allow_index=not bindings,
+            bound_names=frozenset(bindings or ()),
+        )
+
+    def execute(self, compiled: CompiledPlan,
+                bindings: dict[str, str] | None = None, *, pool=None,
+                min_shard_size: int = 1,
+                parallel_metrics=None) -> QueryResult:
+        """Run a compiled plan through the physical operators.
+
+        ``pool`` (set by the parallel executor) shards the plan behind an
+        ``Exchange`` operator when it has a from clause to shard along.
+        """
+        root = compiled.root
+        ctx = self._execution_context(bindings, pool=pool,
+                                      min_shard_size=min_shard_size,
+                                      parallel_metrics=parallel_metrics)
+        if pool is not None:
+            exchanged = insert_exchange(root)
+            if exchanged is not None:
+                return execute_plan(exchanged, ctx)
+            if parallel_metrics is not None:
+                parallel_metrics["serial_queries"].inc()
+            return execute_plan(root, ctx)
+        with span("lorel.eval"):
+            return execute_plan(root, ctx)
+
+    def _execution_context(self, bindings=None, *, pool=None,
+                           min_shard_size: int = 1,
+                           parallel_metrics=None) -> ExecutionContext:
+        return ExecutionContext(evaluator=self._evaluator,
+                                base_env=self._base_env(bindings),
+                                doem=self.doem, pool=pool,
+                                min_shard_size=min_shard_size,
+                                parallel_metrics=parallel_metrics)
+
+    # -- entry points ----------------------------------------------------
+
     def run(self, query: str | Query,
             bindings: dict[str, str] | None = None, *,
             profile: bool = False) -> QueryResult:
-        """Parse (if needed) and evaluate a query over the DOEM database.
+        """Parse (if needed), compile, optimize, and execute a query.
 
         ``bindings`` pre-binds variables to node identifiers before
         evaluation -- the trigger subsystem uses this to hand a rule's
@@ -103,7 +189,10 @@ class ChorelEngine:
         if isinstance(query, str):
             with span("chorel.parse"):
                 query = self.parse(query)
-        return self._evaluator.run(query, self._base_env(bindings))
+        if not self.use_planner:
+            return self._evaluator.run(query, self._base_env(bindings))
+        compiled = self.compile(query, bindings)
+        return self.execute(compiled, bindings)
 
     def _base_env(self, bindings: dict[str, str] | None = None) -> dict:
         """Ambient bindings every evaluation starts from.

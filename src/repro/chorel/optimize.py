@@ -2,128 +2,34 @@
 
 "Designing indexes on annotations (based on their types and timestamps)
 and studying the use of such indexes to achieve a more efficient
-translation of Chorel queries" -- this module is that study's
-implementation half.  :class:`IndexedChorelEngine` recognizes the
-standing-query shape QSS filter queries take::
+translation of Chorel queries" -- :class:`IndexedChorelEngine` is that
+study's implementation half.  Since the planner refactor the engine is a
+thin facade: recognition of the index-servable shape lives in the
+``annotation-literal-pushdown`` / ``index-selection`` rewrite passes
+(:mod:`repro.plan.rules`), and the index-scan kernel -- a timestamp-range
+scan with backward path verification -- is the ``AnnotationFilter``
+physical operator (:func:`repro.plan.physical.execute_index_plan`).
 
-    select <path ending in one annotation> [ , T ... ]
-    where T > t1 [and T <= t2 ...]
-
-and serves it from a timestamp-ordered
-:class:`~repro.lore.indexes.AnnotationIndex` instead of a full
-evaluation:
-
-1. the where clause's comparisons on the annotation's time variable fold
-   into one interval; the index returns exactly the annotations inside it
-   (O(log n + answers));
-2. each hit is *verified* against the query's path by walking **backward**
-   from the subject to the root through live arcs -- the step the naive
-   forward evaluation spends all its time discovering;
-3. rows are assembled with the same labels and set semantics as the
-   normal engine, so results are interchangeable (a tested invariant).
-
-Anything outside the recognized shape falls back to the normal engine
-(``engine.last_plan`` says which path served a query).
+What remains here is the engine facade (index/path-index ownership, the
+``chorel.optimize`` / ``chorel.index_scan`` spans, and the pushdown
+accounting) plus deprecation shims: :class:`~repro.plan.stats.IndexPlan`
+and :class:`~repro.plan.stats.EngineStats` moved to the plan layer but
+remain importable from here, and ``_extract_plan`` / ``_execute_plan``
+keep their pre-planner signatures.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
-
 from ..doem.model import DOEMDatabase
+from ..lorel.result import QueryResult
 from ..lore.indexes import PathIndex, TimestampIndex
-from ..obs.metrics import CounterField, registry as metrics_registry
 from ..obs.trace import span
-from ..lorel.ast import (
-    And,
-    AnnotationExpr,
-    Comparison,
-    Condition,
-    Literal,
-    PathExpr,
-    Query,
-    SelectItem,
-    TimeVar,
-    VarRef,
-)
-from ..lorel.result import ObjectRef, QueryResult, Row
-from ..oem.model import Arc
-from ..timestamps import NEG_INF, POS_INF, Timestamp, parse_timestamp
+from ..plan import CompileContext, CompiledPlan, execute_index_plan
+# Deprecation shims: these classes now live in the plan layer.
+from ..plan.stats import EngineStats, IndexPlan
 from .engine import ChorelEngine
 
 __all__ = ["IndexedChorelEngine", "IndexPlan", "EngineStats"]
-
-_TIME_LABELS = {"cre": "create-time", "add": "add-time",
-                "rem": "remove-time", "upd": "update-time"}
-
-
-@dataclass
-class IndexPlan:
-    """A recognized index-servable query."""
-
-    kind: str                     # cre | upd | add | rem
-    labels: tuple[str, ...]       # plain labels of the path, in order
-    root_name: str                # the database name the path starts at
-    at_var: str
-    from_var: Optional[str]      # upd only
-    to_var: Optional[str]        # upd only
-    object_var: Optional[str] = None  # explicit range variable, if any
-    low: Timestamp = NEG_INF
-    high: Timestamp = POS_INF
-    include_low: bool = False
-    include_high: bool = True
-    select: tuple[SelectItem, ...] = ()
-    object_label: str = "answer"
-
-    def describe(self) -> str:
-        """Human-readable plan summary (for logs and tests)."""
-        lo = "[" if self.include_low else "("
-        hi = "]" if self.include_high else ")"
-        return (f"index-scan {self.kind} over "
-                f"{'.'.join((self.root_name,) + self.labels)} "
-                f"in {lo}{self.low}, {self.high}{hi}")
-
-
-class EngineStats:
-    """Per-engine pushdown accounting: which path served each query.
-
-    Registered in the global metrics registry under
-    ``repro.chorel_engine``; the attributes remain the API.
-    """
-
-    _FIELDS = ("indexed_queries", "fallback_queries")
-
-    indexed_queries = CounterField()
-    fallback_queries = CounterField()
-
-    def __init__(self) -> None:
-        self._metrics = metrics_registry().group("repro.chorel_engine",
-                                                 self._FIELDS)
-
-    @property
-    def total(self) -> int:
-        return self.indexed_queries + self.fallback_queries
-
-    @property
-    def pushdown_rate(self) -> float:
-        """Fraction of queries served by an index plan."""
-        return self.indexed_queries / self.total if self.total else 0.0
-
-    def reset(self) -> None:
-        self._metrics.reset()
-
-    def as_dict(self) -> dict:
-        """Raw counters plus derived rates, for profiles and artifacts."""
-        return {"indexed_queries": self.indexed_queries,
-                "fallback_queries": self.fallback_queries,
-                "total": self.total,
-                "pushdown_rate": self.pushdown_rate}
-
-    def describe(self) -> str:
-        return (f"queries={self.total} indexed={self.indexed_queries} "
-                f"fallback={self.fallback_queries} "
-                f"pushdown_rate={self.pushdown_rate:.2f}")
 
 
 class IndexedChorelEngine(ChorelEngine):
@@ -175,249 +81,70 @@ class IndexedChorelEngine(ChorelEngine):
         self.paths.stats.reset()
         self.stats.reset()
 
+    # -- planner pipeline ------------------------------------------------
+
+    def _compile_context(self, bindings) -> CompileContext:
+        context = super()._compile_context(bindings)
+        context.has_index = True
+        return context
+
+    def _execution_context(self, bindings=None, **parallel):
+        context = super()._execution_context(bindings, **parallel)
+        context.index = self.index
+        context.paths = self.paths
+        return context
+
+    def execute(self, compiled: CompiledPlan,
+                bindings: dict[str, str] | None = None,
+                **parallel) -> QueryResult:
+        if compiled.is_indexed:
+            return execute_index_plan(compiled.index_plan,
+                                      self._execution_context(bindings))
+        return super().execute(compiled, bindings, **parallel)
+
     # ------------------------------------------------------------------
 
     def _run(self, query, bindings) -> QueryResult:
-        """Evaluate; use the index when the query shape allows it."""
+        """Evaluate; use the index when the planner selects it."""
         if isinstance(query, str):
             with span("chorel.parse"):
                 query = self.parse(query)
         self.last_plan = None
-        if not bindings:
-            with span("chorel.optimize"):
-                plan = self._extract_plan(query)
-            if plan is not None:
-                self.last_plan = plan
-                self.stats.indexed_queries += 1
-                with span("chorel.index_scan", plan=plan.describe()):
-                    return self._execute_plan(plan)
+        if bindings:
+            # The index scan cannot honor pre-bound range variables.
+            self.stats.fallback_queries += 1
+            if not self.use_planner:
+                return self._evaluator.run(query, self._base_env(bindings))
+            return self.execute(self.compile(query, bindings), bindings)
+        with span("chorel.optimize"):
+            compiled = self._compile(query)
+        self.last_compiled = compiled
+        plan = compiled.index_plan
+        if plan is not None:
+            self.last_plan = plan
+            self.stats.indexed_queries += 1
+            with span("chorel.index_scan", plan=plan.describe()):
+                return execute_index_plan(plan, self._execution_context())
         self.stats.fallback_queries += 1
-        return super()._run(query, bindings)
+        if not self.use_planner:
+            return self._evaluator.run(query, self._base_env(None))
+        return self.execute(compiled)
 
-    # ------------------------------------------------------------------
-    # Plan extraction
-    # ------------------------------------------------------------------
+    # -- pre-planner compatibility shims --------------------------------
 
-    def _extract_plan(self, query: Query) -> IndexPlan | None:
-        path, final_var = self._single_path(query)
-        if path is None:
-            return None
-        if self.view.resolve_name(path.start) != self.doem.graph.root:
-            return None  # non-root entry points keep the general engine
+    def _extract_plan(self, query) -> IndexPlan | None:
+        """The index plan the optimizer would choose, or ``None``.
 
-        labels: list[str] = []
-        annotation: AnnotationExpr | None = None
-        for position, step in enumerate(path.steps):
-            is_last = position == len(path.steps) - 1
-            if step.is_wildcard or step.is_pattern or step.label == "" \
-                    or step.is_alternation or step.repetition is not None:
-                return None
-            if step.arc_annotation is not None:
-                if not is_last or step.node_annotation is not None:
-                    return None
-                annotation = step.arc_annotation
-            if step.node_annotation is not None:
-                if not is_last:
-                    return None
-                annotation = step.node_annotation
-            labels.append(step.label)
-        if annotation is None or annotation.kind == "at":
-            return None
-        # Anonymous annotations (<add>) index-scan the full time axis.
-        at_var = annotation.at_var or "__anon_T"
-
-        plan = IndexPlan(
-            kind=annotation.kind,
-            labels=tuple(labels),
-            root_name=path.start,
-            at_var=at_var,
-            from_var=annotation.from_var,
-            to_var=annotation.to_var,
-            select=query.select,
-            object_label=labels[-1],
-        )
-        if final_var is not None:
-            plan.object_var = final_var
-
-        if annotation.at_literal is not None:
-            # A pinned time (<add at 5Jan97>) is the degenerate interval
-            # [t, t] -- the naive engine's equality filter, pushed down.
-            pinned = self._literal_time(annotation.at_literal
-                                        if isinstance(annotation.at_literal,
-                                                      TimeVar)
-                                        else Literal(annotation.at_literal))
-            if pinned is None:
-                return None
-            plan.low = plan.high = pinned
-            plan.include_low = plan.include_high = True
-
-        if query.where is not None:
-            if not self._fold_interval(query.where, plan):
-                return None
-        if not self._select_supported(plan, final_var):
-            return None
-        return plan
-
-    def _single_path(self, query: Query):
-        """The query's one path expression, or (None, None)."""
-        if len(query.from_items) == 1 and not any(
-                isinstance(item.expr, PathExpr) and item.expr.steps
-                for item in query.select):
-            item = query.from_items[0]
-            if item.path.steps:
-                return item.path, item.var
-            return None, None
-        if not query.from_items and len(query.select) == 1 and \
-                isinstance(query.select[0].expr, PathExpr) and \
-                query.select[0].expr.steps:
-            return query.select[0].expr, None
-        return None, None
-
-    def _fold_interval(self, condition: Condition, plan: IndexPlan) -> bool:
-        """Fold a conjunction of T-vs-literal comparisons into the plan."""
-        if isinstance(condition, And):
-            return self._fold_interval(condition.left, plan) and \
-                self._fold_interval(condition.right, plan)
-        if not isinstance(condition, Comparison):
-            return False
-        left, op, right = condition.left, condition.op, condition.right
-        if isinstance(right, VarRef) and right.name == plan.at_var:
-            left, right = right, left
-            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
-        if not (isinstance(left, VarRef) and left.name == plan.at_var):
-            return False
-        when = self._literal_time(right)
-        if when is None:
-            return False
-        if op in ("=", "=="):
-            # An equality is the intersection of >= and <=.
-            if when > plan.low or (when == plan.low and not plan.include_low):
-                plan.low, plan.include_low = when, True
-            if when < plan.high or (when == plan.high
-                                    and not plan.include_high):
-                plan.high, plan.include_high = when, True
-        elif op == ">":
-            if when >= plan.low:
-                plan.low, plan.include_low = when, False
-        elif op == ">=":
-            if when > plan.low:
-                plan.low, plan.include_low = when, True
-        elif op == "<":
-            if when <= plan.high:
-                plan.high, plan.include_high = when, False
-        elif op == "<=":
-            if when < plan.high:
-                plan.high, plan.include_high = when, True
-        else:
-            return False
-        return True
-
-    def _literal_time(self, expr) -> Timestamp | None:
-        if isinstance(expr, Literal):
-            try:
-                return parse_timestamp(expr.value)
-            except Exception:
-                return None
-        if isinstance(expr, TimeVar):
-            times = self._polling_times
-            if expr.index in times:
-                return times[expr.index]
-        return None
-
-    def _select_supported(self, plan: IndexPlan, final_var) -> bool:
-        """Only the subject object and annotation variables may be selected."""
-        allowed = {plan.at_var, plan.from_var, plan.to_var} - {None}
-        object_var = getattr(plan, "object_var", None)
-        for item in plan.select:
-            expr = item.expr
-            if isinstance(expr, PathExpr) and expr.steps:
-                continue  # the hoisted subject path itself
-            if isinstance(expr, PathExpr):
-                expr = VarRef(expr.start)
-            if isinstance(expr, VarRef) and (
-                    expr.name in allowed or expr.name == object_var):
-                continue
-            return False
-        return True
-
-    # ------------------------------------------------------------------
-    # Plan execution
-    # ------------------------------------------------------------------
+        Deprecated: compile instead (``engine.compile(q).index_plan``).
+        """
+        if isinstance(query, str):
+            query = self.parse(query)
+        return self._compile(query).index_plan
 
     def _execute_plan(self, plan: IndexPlan) -> QueryResult:
-        # Arc-annotation plans narrow the scan to the final step's label
-        # via the index's label partition; node kinds scan the kind list.
-        label = plan.labels[-1] if plan.kind in ("add", "rem") else None
-        hits = self.index.between(plan.kind, plan.low, plan.high,
-                                  include_low=plan.include_low,
-                                  include_high=plan.include_high,
-                                  label=label)
-        result = QueryResult()
-        for when, subject in hits:
-            row = self._verify_and_build(plan, when, subject)
-            if row is not None:
-                result.add(row)
-        return result
+        """Execute an index plan directly (no accounting).
 
-    def _verify_and_build(self, plan: IndexPlan, when: Timestamp,
-                          subject) -> Row | None:
-        graph = self.doem.graph
-        if plan.kind in ("add", "rem"):
-            arc: Arc = subject
-            if arc.label != plan.labels[-1]:
-                return None
-            if not self._connects_backward(arc.source, plan.labels[:-1]):
-                return None
-            return self._build_row(plan, when, arc.target, None)
-        # cre / upd: subject is a node; the final arc must be live now.
-        node = subject
-        final_label = plan.labels[-1]
-        for in_arc in graph.in_arcs(node):
-            if in_arc.label != final_label:
-                continue
-            if not self.doem.arc_live_at(*in_arc, POS_INF):
-                continue
-            if self._connects_backward(in_arc.source, plan.labels[:-1]):
-                if plan.kind == "upd":
-                    triple = self._upd_triple_at(node, when)
-                    if triple is None:
-                        return None
-                    return self._build_row(plan, when, node, triple)
-                return self._build_row(plan, when, node, None)
-        return None
-
-    def _connects_backward(self, node: str, labels: tuple[str, ...]) -> bool:
-        """Is there a live path root -labels-> node?
-
-        Served by the memoized :class:`PathIndex`: one forward expansion
-        per distinct label prefix instead of a backward BFS per hit.
+        Deprecated: the ``AnnotationFilter`` operator
+        (:func:`repro.plan.physical.execute_index_plan`) is the kernel.
         """
-        return self.paths.contains(node, labels)
-
-    def _upd_triple_at(self, node: str, when: Timestamp):
-        for at, old, new in self.doem.upd_triples(node):
-            if at == when:
-                return (old, new)
-        return None
-
-    def _build_row(self, plan: IndexPlan, when: Timestamp, node: str,
-                   upd_values) -> Row:
-        object_var = getattr(plan, "object_var", None)
-        items: list[tuple[str, object]] = []
-        for item in plan.select:
-            expr = item.expr
-            if isinstance(expr, PathExpr) and expr.steps:
-                label = item.label or plan.object_label
-                items.append((label, ObjectRef(node)))
-                continue
-            name = expr.start if isinstance(expr, PathExpr) else expr.name
-            if name == object_var:
-                items.append((item.label or plan.object_label,
-                              ObjectRef(node)))
-            elif name == plan.at_var:
-                items.append((item.label or _TIME_LABELS[plan.kind], when))
-            elif name == plan.from_var:
-                items.append((item.label or "old-value", upd_values[0]))
-            elif name == plan.to_var:
-                items.append((item.label or "new-value", upd_values[1]))
-        return Row(tuple(items))
+        return execute_index_plan(plan, self._execution_context())

@@ -391,7 +391,8 @@ class TranslatingChorelEngine:
     """
 
     def __init__(self, doem: DOEMDatabase, name: str | None = None,
-                 polling_times: dict[int, Timestamp] | None = None) -> None:
+                 polling_times: dict[int, Timestamp] | None = None, *,
+                 use_planner: bool = True) -> None:
         self.doem = doem
         self.encoded: EncodedDOEM = encode_doem(doem)
         entry = name or doem.graph.root
@@ -400,8 +401,10 @@ class TranslatingChorelEngine:
         self._normalizer = Evaluator(OEMView(self.encoded.oem,
                                              {entry: self.encoded.oem.root}))
         self._polling_times: dict[int, Timestamp] = dict(polling_times or {})
+        self.use_planner = use_planner
         self.last_translation: TranslationResult | None = None
         self.last_profile = None
+        self.last_compiled = None
 
     def register_name(self, name: str, node_id: str) -> None:
         """Expose an entry point under ``name`` (mirrors the native engine)."""
@@ -439,11 +442,75 @@ class TranslatingChorelEngine:
             return self._run(query)
 
     def _run(self, query: str | Query) -> QueryResult:
+        if not self.use_planner:
+            translation = self.translate(query)
+            raw = self.lorel._evaluator.run(translation.query,
+                                            self._base_env())
+            return self._postprocess(raw, translation)
+        compiled = self.compile(query)
+        return self.execute(compiled)
+
+    # -- planner pipeline ------------------------------------------------
+
+    def parse(self, text: str):
+        """Parse Chorel text (annotation expressions allowed)."""
+        from ..lorel.parser import parse_query
+        return parse_query(text, allow_annotations=True)
+
+    def compile(self, query: str | Query):
+        """Translate to Lorel, then compile the translation.
+
+        The compiled plan is the *Lorel* plan over the OEM encoding; the
+        translation result rides along for row post-processing and for
+        EXPLAIN (``plan: translate-to-lorel ...``).
+        """
+        compiled = self._compile(query)
+        self.last_compiled = compiled
+        return compiled
+
+    def _compile(self, query: str | Query):
+        """Compile without touching ``last_compiled`` (worker-thread safe)."""
+        from ..plan import CompileContext, compile_query
         translation = self.translate(query)
-        env = {}
+        evaluator = self.lorel._evaluator
+        context = CompileContext(evaluator=evaluator, view=self.lorel.view,
+                                 polling_times=dict(self._polling_times))
+        compiled = compile_query(translation.query, evaluator,
+                                 context=context)
+        compiled.translation = translation
+        return compiled
+
+    def execute(self, compiled, *, pool=None, min_shard_size: int = 1,
+                parallel_metrics=None) -> QueryResult:
+        """Run a compiled translation through the physical operators."""
+        from ..plan import ExecutionContext, execute_plan, insert_exchange
+        ctx = ExecutionContext(evaluator=self.lorel._evaluator,
+                               base_env=self._base_env(), pool=pool,
+                               min_shard_size=min_shard_size,
+                               parallel_metrics=parallel_metrics)
+        root = compiled.root
+        if pool is not None:
+            exchanged = insert_exchange(root)
+            if exchanged is not None:
+                raw = execute_plan(exchanged, ctx)
+            else:
+                if parallel_metrics is not None:
+                    parallel_metrics["serial_queries"].inc()
+                raw = execute_plan(root, ctx)
+        else:
+            with span("lorel.eval"):
+                raw = execute_plan(root, ctx)
+        return self._postprocess(raw, compiled.translation)
+
+    def _base_env(self) -> dict:
+        env: dict = {}
         if self._polling_times:
             env[TIMEVARS_KEY] = dict(self._polling_times)
-        raw = self.lorel._evaluator.run(translation.query, env)
+        return env
+
+    def _postprocess(self, raw: QueryResult,
+                     translation: TranslationResult) -> QueryResult:
+        """Unwrap auxiliary atoms so rows match the native engine's."""
         result = QueryResult()
         for row in raw:
             items = []
@@ -455,3 +522,9 @@ class TranslatingChorelEngine:
                     items.append((label, value))
             result.add(Row(tuple(items)))
         return result
+
+    def run_many(self, queries, *, pool=None,
+                 max_workers: int | None = None) -> list[QueryResult]:
+        """Evaluate a batch of queries concurrently; results in input order."""
+        from ..parallel.executor import run_many as _run_many
+        return _run_many(self, queries, pool=pool, max_workers=max_workers)

@@ -65,11 +65,15 @@ class AnnotationExpr:
         return AnnotationExpr("upd", at_var, from_var, to_var, self.at_literal)
 
     def __str__(self) -> str:
+        operand = self.at_literal if self.at_literal is not None \
+            else self.at_var
+        if self.kind == "at":
+            # The virtual annotation's kind *is* the "at": <at 5Jan97>,
+            # never <at at 5Jan97> (which the parser rightly rejects).
+            return f"<at {operand}>"
         parts = [self.kind]
-        if self.at_literal is not None:
-            parts.append(f"at {self.at_literal}")
-        elif self.at_var:
-            parts.append(f"at {self.at_var}")
+        if operand is not None:
+            parts.append(f"at {operand}")
         if self.from_var:
             parts.append(f"from {self.from_var}")
         if self.to_var:

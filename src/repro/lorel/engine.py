@@ -4,12 +4,26 @@ This is the library's stand-in for the Lore system's query processor
 [MAG+97]: the substrate Chorel is implemented on.  It deliberately rejects
 Chorel annotation syntax -- use :class:`repro.chorel.ChorelEngine` for
 change queries.
+
+Like every engine in the library, it is a thin facade over the staged
+planner: ``run`` = :meth:`LorelEngine.compile` (normalize, lower,
+optimize) + :meth:`LorelEngine.execute` (physical operators).  The
+pre-planner evaluator remains reachable with ``use_planner=False`` as the
+differential oracle.
 """
 
 from __future__ import annotations
 
 from ..obs.trace import span
 from ..oem.model import OEMDatabase
+from ..plan import (
+    CompileContext,
+    CompiledPlan,
+    ExecutionContext,
+    compile_query,
+    execute_plan,
+    insert_exchange,
+)
 from .ast import Query
 from .eval import Evaluator
 from .parser import parse_query
@@ -26,14 +40,21 @@ class LorelEngine:
     path expressions; by default the root's node id doubles as the name
     (the Guide examples use a root named ``guide``).  Additional entry
     points may be registered with :meth:`register_name`.
+
+    ``use_planner=False`` routes ``run`` through the legacy single-pass
+    evaluator instead of the compile/execute pipeline (the differential
+    oracle; identical rows, in identical order).
     """
 
-    def __init__(self, db: OEMDatabase, name: str | None = None) -> None:
+    def __init__(self, db: OEMDatabase, name: str | None = None, *,
+                 use_planner: bool = True) -> None:
         self.db = db
         names = {name or db.root: db.root}
         self.view = OEMView(db, names)
         self._evaluator = Evaluator(self.view)
+        self.use_planner = use_planner
         self.last_profile = None
+        self.last_compiled: CompiledPlan | None = None
 
     def register_name(self, name: str, node_id: str) -> None:
         """Expose ``node_id`` as a database name for path expressions."""
@@ -43,9 +64,49 @@ class LorelEngine:
         """Parse Lorel text (annotation expressions rejected)."""
         return parse_query(text, allow_annotations=False)
 
+    # -- planner pipeline ------------------------------------------------
+
+    def compile(self, query: str | Query) -> CompiledPlan:
+        """Compile a query to an optimized logical plan (``plan.compile``)."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        compiled = self._compile(query)
+        self.last_compiled = compiled
+        return compiled
+
+    def _compile(self, query: Query) -> CompiledPlan:
+        """Compile without touching ``last_compiled`` (worker-thread safe)."""
+        context = CompileContext(evaluator=self._evaluator, view=self.view)
+        return compile_query(query, self._evaluator, context=context)
+
+    def execute(self, compiled: CompiledPlan, *, pool=None,
+                min_shard_size: int = 1,
+                parallel_metrics=None) -> QueryResult:
+        """Run a compiled plan through the physical operators.
+
+        ``pool`` (set by the parallel executor) shards the plan behind an
+        ``Exchange`` operator when it has a from clause to shard along.
+        """
+        root = compiled.root
+        ctx = ExecutionContext(evaluator=self._evaluator,
+                               base_env=self._base_env(), pool=pool,
+                               min_shard_size=min_shard_size,
+                               parallel_metrics=parallel_metrics)
+        if pool is not None:
+            exchanged = insert_exchange(root)
+            if exchanged is not None:
+                return execute_plan(exchanged, ctx)
+            if parallel_metrics is not None:
+                parallel_metrics["serial_queries"].inc()
+            return execute_plan(root, ctx)
+        with span("lorel.eval"):
+            return execute_plan(root, ctx)
+
+    # -- entry points ----------------------------------------------------
+
     def run(self, query: str | Query, *,
             profile: bool = False) -> QueryResult:
-        """Parse (if needed) and evaluate a query.
+        """Parse (if needed), compile, optimize, and execute a query.
 
         ``profile=True`` observes the run (identical rows) and leaves the
         :class:`~repro.obs.profile.QueryProfile` on ``self.last_profile``.
@@ -58,7 +119,10 @@ class LorelEngine:
             if isinstance(query, str):
                 with span("lorel.parse"):
                     query = self.parse(query)
-            return self._evaluator.run(query)
+            if not self.use_planner:
+                return self._evaluator.run(query)
+            compiled = self.compile(query)
+            return self.execute(compiled)
 
     def run_ast(self, query: Query) -> QueryResult:
         """Evaluate an already-parsed query AST (may contain annotations;

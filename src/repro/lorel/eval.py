@@ -22,6 +22,16 @@ semantics of Section 4.2.1 operationally:
 
 Environments bind variables to :class:`Binding` values: an object (node id
 plus optional virtual-annotation time context) or a scalar.
+
+The staged public API (:meth:`Evaluator.prepare`,
+:meth:`Evaluator.bind_from_item`, :meth:`Evaluator.from_envs`,
+:meth:`Evaluator.satisfies`, :meth:`Evaluator.make_row` /
+:meth:`Evaluator.project_row`) doubles as the kernel set of the query
+planner's physical operators (:mod:`repro.plan.physical`): ``PathExpand``
+wraps ``bind_from_item``, ``Predicate`` wraps ``solve``, ``Project``
+wraps ``project_row``.  :meth:`Evaluator.run` remains the single-pass
+legacy path -- engines keep it reachable via ``use_planner=False`` as the
+differential oracle the equivalence suites compare against.
 """
 
 from __future__ import annotations
@@ -680,6 +690,17 @@ class Evaluator:
                  labels: dict[str, str]) -> Row:
         """Build the result row one satisfying environment emits."""
         return self._make_row(normalized.select, env, labels)
+
+    def project_row(self, select: tuple[SelectItem, ...], env: Env,
+                    labels: dict[str, str]) -> Row:
+        """Build a row from a bare select list and one environment.
+
+        This is the ``Project`` operator's kernel: the planner's physical
+        layer (:mod:`repro.plan.physical`) carries the select list on the
+        plan node rather than threading the whole normalized query
+        through execution.
+        """
+        return self._make_row(select, env, labels)
 
     def _run(self, query: Query, env: Env | None) -> QueryResult:
         normalized, labels, base_env = self.prepare(query, env)

@@ -33,6 +33,7 @@ class QueryProfile:
     rows: int
     spans: list[Span] = field(default_factory=list)
     counters: dict[str, object] = field(default_factory=dict)
+    plan_tree: str | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -47,13 +48,37 @@ class QueryProfile:
                 totals[node.name] = totals.get(node.name, 0.0) + node.duration
         return totals
 
+    @property
+    def compile_seconds(self) -> float:
+        """Planning cost: parse-to-plan time, separate from execution.
+
+        ``chorel.optimize`` encloses the indexed engine's ``plan.compile``
+        span, so it is preferred when present (counting both would double
+        bill); the translate backend adds its ``chorel.translate`` phase.
+        """
+        phases = self.phase_times()
+        seconds = phases.get("chorel.translate", 0.0)
+        if "chorel.optimize" in phases:
+            return seconds + phases["chorel.optimize"]
+        return seconds + phases.get("plan.compile", 0.0)
+
+    @property
+    def execute_seconds(self) -> float:
+        """Execution cost: operator/index-scan time, separate from planning."""
+        phases = self.phase_times()
+        return phases.get("chorel.index_scan", 0.0) + \
+            phases.get("lorel.eval", 0.0)
+
     def to_dict(self) -> dict:
         return {
             "query": self.query,
             "backend": self.backend,
             "plan": self.plan,
+            "plan_tree": self.plan_tree,
             "rows": self.rows,
             "total_seconds": self.total_seconds,
+            "compile_seconds": self.compile_seconds,
+            "execute_seconds": self.execute_seconds,
             "phases": self.phase_times(),
             "counters": dict(self.counters),
             "trace": [root.to_dict() for root in self.spans],
@@ -68,8 +93,13 @@ class QueryProfile:
                  f"backend: {self.backend}",
                  f"plan:    {self.plan or '(full evaluation)'}",
                  f"rows:    {self.rows}",
-                 f"total:   {self.total_seconds * 1000:.3f} ms",
-                 "phase timings:"]
+                 f"total:   {self.total_seconds * 1000:.3f} ms "
+                 f"(compile {self.compile_seconds * 1000:.3f} ms, "
+                 f"execute {self.execute_seconds * 1000:.3f} ms)"]
+        if self.plan_tree:
+            lines.append("optimized plan:")
+            lines.extend("  " + line for line in self.plan_tree.splitlines())
+        lines.append("phase timings:")
         if not self.spans:
             lines.append("  (tracing produced no spans)")
         for root in self.spans:
@@ -158,6 +188,8 @@ def profile_query(engine, query, **run_kwargs):
     if plan_text is None and translation is not None:
         plan_text = "translate-to-lorel: " + " ".join(
             translation.text().split())
+    compiled = getattr(engine, "last_compiled", None)
+    plan_tree = compiled.explain() if compiled is not None else None
 
     profile = QueryProfile(
         query=query if isinstance(query, str) else str(query),
@@ -166,5 +198,6 @@ def profile_query(engine, query, **run_kwargs):
         rows=len(result),
         spans=capture.spans,
         counters=counters,
+        plan_tree=plan_tree,
     )
     return result, profile

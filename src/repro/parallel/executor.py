@@ -2,14 +2,17 @@
 
 Two orthogonal parallelism axes, both with **deterministic merges**:
 
-* :meth:`ParallelExecutor.run` -- *intra-query* sharding.  The first
-  from-item of the normalized query is bound serially (one step from the
-  query root), the resulting environments are cut into contiguous shards
-  (:mod:`repro.parallel.sharding`), worker threads evaluate the remaining
-  from-items / where / select per shard, and shard row-lists concatenate
-  in shard order -- replaying the serial enumeration exactly, so results
-  are row- and order-identical to ``engine.run`` for any shard count (the
-  property test in ``tests/parallel`` proves it on randomized histories).
+* :meth:`ParallelExecutor.run` -- *intra-query* sharding, expressed in
+  the plan algebra: the query is compiled through the engine's normal
+  pipeline (:meth:`engine.compile`), and execution inserts an
+  ``Exchange`` operator (:func:`repro.plan.physical.insert_exchange`)
+  at the first from-item.  The Exchange binds its source serially, cuts
+  the environments into contiguous shards
+  (:mod:`repro.parallel.sharding`), runs the remaining plan stages per
+  shard on worker threads, and concatenates in shard order -- replaying
+  the serial enumeration exactly, so results are row- and
+  order-identical to ``engine.run`` for any shard count (the property
+  test in ``tests/parallel`` proves it on randomized histories).
 
 * :meth:`ParallelExecutor.run_many` -- *inter-query* batching
   (``engine.run_many(queries)``).  The batch shares one acquisition of
@@ -17,12 +20,11 @@ Two orthogonal parallelism axes, both with **deterministic merges**:
   coordinating thread, the attached :class:`~repro.lore.indexes.PathIndex`
   freshness check and root expansion are pinned once instead of raced by
   every worker, and the attached :class:`~repro.lore.indexes.TimestampIndex`
-  serves all workers -- then each query evaluates on a worker, and
-  results return in input order.
+  serves all workers -- then each query compiles and executes on a
+  worker, and results return in input order.
 
-Index pushdown is preserved: a query the
-:class:`~repro.chorel.optimize.IndexedChorelEngine` can serve from its
-annotation index is answered by the index scan (already O(log n +
+Index pushdown is preserved: a query the planner lowers to an
+``AnnotationFilter`` is answered by the index scan (already O(log n +
 answers); slicing it thinner would only add overhead), with the engine's
 pushdown accounting intact.
 
@@ -34,13 +36,12 @@ raw OEM/DOEM graph reads are unsynchronized snapshots-in-time.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
-from ..lorel.result import QueryResult, Row
+from ..lorel.result import QueryResult
 from ..obs.metrics import registry as metrics_registry
 from ..obs.trace import span
 from .pool import WorkerPool, default_pool
-from .sharding import chunk_evenly, shard_count
 
 __all__ = ["ParallelExecutor", "parallel_run", "run_many"]
 
@@ -112,60 +113,21 @@ class ParallelExecutor:
         if isinstance(query, str):
             query = engine.parse(query)
         self._metrics["queries"].inc()
-        extract = getattr(engine, "_extract_plan", None)
-        if extract is not None and extract(query) is not None:
+        compiled = engine._compile(query)
+        if compiled.is_indexed:
             # The annotation-index scan is already sublinear; let the
             # engine serve it (and keep its pushdown accounting).
             self._metrics["indexed_queries"].inc()
             return engine.run(query)
         with span("parallel.query"):
-            result = self._run_sharded(query)
-        if extract is not None:
+            result = engine.execute(compiled, pool=self.pool,
+                                    min_shard_size=self.min_shard_size,
+                                    parallel_metrics=self._metrics)
+        if getattr(engine, "stats", None) is not None:
             # Mirror the serial engine's pushdown split for this query.
             engine.stats.fallback_queries += 1
             engine.last_plan = None
         return result
-
-    def _run_sharded(self, parsed) -> QueryResult:
-        evaluator = self.engine._evaluator
-        normalized, labels, base_env = evaluator.prepare(
-            parsed, self._ambient_env())
-        if not normalized.from_items:
-            self._metrics["serial_queries"].inc()
-            rows = self._eval_envs(evaluator, normalized, labels,
-                                   [base_env], 0)
-            return _merge([rows])
-        first = normalized.from_items[0]
-        with span("parallel.bind_first"):
-            first_envs = list(evaluator.bind_from_item(first, base_env))
-        shards = shard_count(len(first_envs), self.pool.max_workers,
-                             min_shard_size=self.min_shard_size)
-        if shards <= 1:
-            self._metrics["serial_queries"].inc()
-            rows = self._eval_envs(evaluator, normalized, labels,
-                                   first_envs, 1)
-            return _merge([rows])
-        self._metrics["sharded_queries"].inc()
-        self._metrics["shards"].inc(shards)
-        chunks = chunk_evenly(first_envs, shards)
-        with span("parallel.fanout", shards=shards):
-            row_lists = self.pool.map_ordered(
-                lambda chunk: self._eval_envs(evaluator, normalized, labels,
-                                              chunk, 1),
-                chunks)
-        return _merge(row_lists)
-
-    @staticmethod
-    def _eval_envs(evaluator, normalized, labels,
-                   envs: Sequence[dict], index: int) -> list[Row]:
-        """One shard's work: finish the from clause and emit rows."""
-        rows: list[Row] = []
-        for env in envs:
-            for final_env in evaluator.from_envs(normalized, index, env):
-                if evaluator.satisfies(normalized, final_env):
-                    rows.append(evaluator.make_row(normalized, final_env,
-                                                   labels))
-        return rows
 
     # -- batches ---------------------------------------------------------
 
@@ -174,7 +136,7 @@ class ParallelExecutor:
 
         Equivalent to ``[engine.run(q) for q in queries]`` row for row.
         Parsing and index acquisition happen once, on the calling thread;
-        each query then evaluates on a pool worker.
+        each query then compiles and executes on a pool worker.
         """
         engine = self.engine
         with span("parallel.batch"):
@@ -204,28 +166,16 @@ class ParallelExecutor:
         return results
 
     def _run_one(self, parsed):
-        """Evaluate one batch member (runs on a pool worker)."""
+        """Compile + execute one batch member (runs on a pool worker)."""
         engine = self.engine
-        extract = getattr(engine, "_extract_plan", None)
-        if extract is not None:
-            plan = extract(parsed)
-            if plan is not None:
-                return engine._execute_plan(plan), "indexed"
-        evaluator = engine._evaluator
-        normalized, labels, base_env = evaluator.prepare(
-            parsed, self._ambient_env())
-        result = QueryResult()
-        for env in evaluator.from_envs(normalized, 0, base_env):
-            if evaluator.satisfies(normalized, env):
-                result.add(evaluator.make_row(normalized, env, labels))
-        return result, ("fallback" if extract is not None else "plain")
+        compiled = engine._compile(parsed)
+        result = engine.execute(compiled)
+        if compiled.is_indexed:
+            return result, "indexed"
+        has_pushdown = getattr(engine, "stats", None) is not None
+        return result, ("fallback" if has_pushdown else "plain")
 
     # -- shared context --------------------------------------------------
-
-    def _ambient_env(self) -> dict:
-        """The engine's ambient bindings (polling times for Chorel)."""
-        base_env = getattr(self.engine, "_base_env", None)
-        return base_env() if base_env is not None else {}
 
     def _acquire_shared(self) -> None:
         """Pin shared structures once before a batch fans out.
@@ -240,15 +190,6 @@ class ParallelExecutor:
         if paths is not None:
             with span("parallel.acquire"):
                 paths.nodes(())
-
-
-def _merge(row_lists: Iterable[list[Row]]) -> QueryResult:
-    """Concatenate shard row-lists in shard order (set semantics apply)."""
-    result = QueryResult()
-    for rows in row_lists:
-        for row in rows:
-            result.add(row)
-    return result
 
 
 def parallel_run(engine, query, *, pool: WorkerPool | None = None,

@@ -1,0 +1,80 @@
+"""repro.plan -- the staged query planner all four engines share.
+
+Three stages (see ``docs/query-planner.md``):
+
+1. **Logical IR** (:mod:`repro.plan.ir`): ``Scan`` / ``PathExpand`` /
+   ``AnnotationFilter`` / ``Predicate`` / ``Project`` / ``Exchange``,
+   lowered from the normalized Lorel/Chorel AST
+   (:mod:`repro.plan.lowering`).
+2. **Rewrite passes** (:mod:`repro.plan.rules`): a rule-based
+   :class:`PassManager` running virtual-``<at T>`` expansion,
+   annotation-literal pushdown, index selection, and predicate
+   reordering -- each with its own trace span and fired counter.
+3. **Physical operators** (:mod:`repro.plan.physical`): an
+   iterator/operator model whose kernels are the evaluator's staged
+   methods, plus the annotation-index scan and the sharding
+   ``Exchange``.
+
+Engines call :func:`compile_query` then :func:`execute_plan`; the
+:class:`CompiledPlan` in between is what ``repro explain`` renders.
+"""
+
+from .compiler import CompiledPlan, compile_query
+from .ir import (
+    AnnotationFilter,
+    Exchange,
+    LogicalNode,
+    PathExpand,
+    Predicate,
+    Project,
+    Scan,
+    render,
+)
+from .lowering import lower
+from .physical import (
+    ExecutionContext,
+    execute_index_plan,
+    execute_plan,
+    insert_exchange,
+)
+from .rules import (
+    AnnotationLiteralPushdown,
+    CompileContext,
+    IndexSelection,
+    PassManager,
+    PassReport,
+    PredicateReorder,
+    RewriteRule,
+    VirtualAtExpansion,
+    default_rules,
+)
+from .stats import EngineStats, IndexPlan
+
+__all__ = [
+    "AnnotationFilter",
+    "AnnotationLiteralPushdown",
+    "CompileContext",
+    "CompiledPlan",
+    "EngineStats",
+    "Exchange",
+    "ExecutionContext",
+    "IndexPlan",
+    "IndexSelection",
+    "LogicalNode",
+    "PassManager",
+    "PassReport",
+    "PathExpand",
+    "Predicate",
+    "PredicateReorder",
+    "Project",
+    "RewriteRule",
+    "Scan",
+    "VirtualAtExpansion",
+    "compile_query",
+    "default_rules",
+    "execute_index_plan",
+    "execute_plan",
+    "insert_exchange",
+    "lower",
+    "render",
+]

@@ -1,0 +1,156 @@
+"""The logical plan IR: a small algebra lowered from the Lorel/Chorel AST.
+
+Six node kinds cover every query the engines accept:
+
+* :class:`Scan` -- the ambient environment (database names, polling
+  times, trigger pre-bindings); the leaf every chain starts from.
+* :class:`PathExpand` -- one normalized from-item: extend each incoming
+  environment with every data-ordered binding of the item's path.
+* :class:`Predicate` -- the where clause: keep the environments with at
+  least one solution.
+* :class:`Project` -- the select clause: emit one labeled row per
+  surviving environment (set semantics apply downstream).
+* :class:`AnnotationFilter` -- the index-selection rewrite's terminal
+  node: answer the whole query from a timestamp-index scan described by
+  an :class:`~repro.plan.stats.IndexPlan`.
+* :class:`Exchange` -- the parallel boundary: materialize the source
+  chain's environments, cut them into contiguous shards, and run the
+  detached ``stages`` on pool workers, concatenating in shard order (the
+  merge discipline that keeps sharded results order-identical to serial).
+
+Nodes are frozen dataclasses; rewrite passes build new trees rather than
+mutating.  ``render(root)`` is the EXPLAIN tree dump -- deterministic for
+a given query, which is what the golden files in ``tests/plan/goldens``
+pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lorel.ast import Condition, FromItem, Literal, SelectItem, TimeVar, VarRef
+from .stats import IndexPlan
+
+__all__ = ["LogicalNode", "Scan", "PathExpand", "Predicate", "Project",
+           "AnnotationFilter", "Exchange", "render"]
+
+
+class LogicalNode:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> tuple["LogicalNode", ...]:
+        return ()
+
+    def describe(self) -> str:  # pragma: no cover - subclasses override
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Scan(LogicalNode):
+    """The ambient environment: where every evaluation chain starts."""
+
+    def describe(self) -> str:
+        return "Scan"
+
+
+@dataclass(frozen=True)
+class PathExpand(LogicalNode):
+    """Extend each incoming environment along one from-item's path.
+
+    ``child`` is ``None`` when the node rides inside an
+    :class:`Exchange` as a detached shard stage.
+    """
+
+    item: FromItem
+    child: Optional[LogicalNode] = None
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        return f"PathExpand {self.item}"
+
+
+@dataclass(frozen=True)
+class Predicate(LogicalNode):
+    """Keep environments with at least one solution to the condition."""
+
+    condition: Condition
+    child: Optional[LogicalNode] = None
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        return f"Predicate {self.condition}"
+
+
+@dataclass(frozen=True)
+class Project(LogicalNode):
+    """Emit one labeled row per surviving environment."""
+
+    select: tuple[SelectItem, ...]
+    labels: dict = field(default_factory=dict)
+    child: LogicalNode = None  # type: ignore[assignment]
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        shown = []
+        for item in self.select:
+            expr = item.expr
+            if isinstance(expr, VarRef):
+                shown.append(item.label or self.labels.get(expr.name,
+                                                           expr.name))
+            elif isinstance(expr, Literal):
+                shown.append(item.label or "value")
+            elif isinstance(expr, TimeVar):
+                shown.append(item.label or "time")
+            else:
+                shown.append(item.label or str(expr))
+        return "Project [" + ", ".join(shown) + "]"
+
+
+@dataclass(frozen=True)
+class AnnotationFilter(LogicalNode):
+    """Answer the whole query from an annotation-index scan.
+
+    Index selection replaces the entire ``Project`` chain with this
+    terminal node: the :class:`~repro.plan.stats.IndexPlan` carries the
+    interval, the path to verify backward, and the select list.
+    """
+
+    plan: IndexPlan
+
+    def describe(self) -> str:
+        return f"AnnotationFilter {self.plan.describe()}"
+
+
+@dataclass(frozen=True)
+class Exchange(LogicalNode):
+    """The parallel boundary between serial binding and sharded stages.
+
+    ``child`` is the source chain (the first :class:`PathExpand` over
+    :class:`Scan`), bound serially on the coordinating thread; ``stages``
+    are detached :class:`PathExpand`/:class:`Predicate` nodes each shard
+    applies in order on a pool worker.
+    """
+
+    child: LogicalNode
+    stages: tuple[LogicalNode, ...] = ()
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,) + self.stages
+
+    def describe(self) -> str:
+        return f"Exchange stages={len(self.stages)}"
+
+
+def render(root: LogicalNode, indent: str = "") -> str:
+    """The indented EXPLAIN tree for a (sub)plan, one node per line."""
+    lines = [f"{indent}{root.describe()}"]
+    for child in root.children():
+        lines.append(render(child, indent + "  "))
+    return "\n".join(lines)

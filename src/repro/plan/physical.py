@@ -1,0 +1,279 @@
+"""Physical operators: the iterator execution model over logical plans.
+
+Execution is environment-streaming: each logical node maps to a small
+iterator that consumes environments from its child and yields extended /
+filtered environments, composed exactly like the legacy evaluator's
+``from_envs`` recursion -- nested generators replay the same depth-first,
+data-ordered enumeration, which is what keeps planned results row- and
+order-identical to the legacy path (the differential suite in
+``tests/plan`` proves it).
+
+The operators delegate single-binding work to the evaluator's staged API
+(:meth:`~repro.lorel.eval.Evaluator.bind_from_item`,
+:meth:`~repro.lorel.eval.Evaluator.solve`,
+:meth:`~repro.lorel.eval.Evaluator.project_row`) -- those staging steps
+*are* the physical kernels; this module is the plumbing between them.
+
+Two operators do more than plumb:
+
+* :func:`execute_index_plan` -- the ``AnnotationFilter`` kernel: a
+  timestamp-index range scan with backward path verification (absorbed
+  from the pre-planner ``IndexedChorelEngine``).
+* the ``Exchange`` operator -- binds its source chain serially,
+  shards the environments contiguously, runs the detached stages on
+  pool workers, and concatenates in shard order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..lorel.ast import PathExpr
+from ..lorel.result import ObjectRef, QueryResult, Row
+from ..obs.trace import span
+from ..timestamps import POS_INF, Timestamp
+from .ir import (
+    AnnotationFilter,
+    Exchange,
+    LogicalNode,
+    PathExpand,
+    Predicate,
+    Project,
+    Scan,
+)
+from .stats import TIME_LABELS, IndexPlan
+
+__all__ = ["ExecutionContext", "execute_plan", "execute_index_plan",
+           "insert_exchange", "iter_envs"]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything the operators need from the engine at execution time.
+
+    ``index``/``paths``/``doem`` are only set by the indexed engine (the
+    ``AnnotationFilter`` kernel needs them); ``pool`` and the parallel
+    knobs are only set when the :class:`~repro.parallel.executor.
+    ParallelExecutor` drives execution.
+    """
+
+    evaluator: object
+    base_env: dict = field(default_factory=dict)
+    index: object = None
+    paths: object = None
+    doem: object = None
+    pool: object = None
+    min_shard_size: int = 1
+    parallel_metrics: object = None
+
+
+# ---------------------------------------------------------------------------
+# Environment-streaming operators
+# ---------------------------------------------------------------------------
+
+def iter_envs(node: LogicalNode, ctx: ExecutionContext) -> Iterator[dict]:
+    """The environment stream a logical (sub)chain produces."""
+    if isinstance(node, Scan):
+        yield dict(ctx.base_env)
+    elif isinstance(node, PathExpand):
+        for env in iter_envs(node.child, ctx):
+            yield from ctx.evaluator.bind_from_item(node.item, env)
+    elif isinstance(node, Predicate):
+        evaluator = ctx.evaluator
+        for env in iter_envs(node.child, ctx):
+            if next(evaluator.solve(node.condition, env), None) is not None:
+                yield env
+    elif isinstance(node, Exchange):
+        yield from _exchange_envs(node, ctx)
+    else:  # pragma: no cover - lowering only builds the nodes above
+        raise TypeError(f"cannot stream environments from {node!r}")
+
+
+def _apply_stages(stages, envs: Iterator[dict],
+                  ctx: ExecutionContext) -> Iterator[dict]:
+    """Run detached Exchange stages over an environment stream, in order."""
+    for stage in stages:
+        envs = _apply_stage(stage, envs, ctx)
+    return envs
+
+
+def _apply_stage(stage, envs, ctx):
+    if isinstance(stage, PathExpand):
+        def expand(source=envs, item=stage.item):
+            for env in source:
+                yield from ctx.evaluator.bind_from_item(item, env)
+        return expand()
+    if isinstance(stage, Predicate):
+        def keep(source=envs, condition=stage.condition):
+            evaluator = ctx.evaluator
+            for env in source:
+                if next(evaluator.solve(condition, env), None) is not None:
+                    yield env
+        return keep()
+    raise TypeError(f"unsupported exchange stage {stage!r}")
+
+
+def _exchange_envs(node: Exchange, ctx: ExecutionContext) -> Iterator[dict]:
+    """Bind the source serially, shard, fan out, merge in shard order."""
+    from ..parallel.sharding import chunk_evenly, shard_count
+
+    with span("parallel.bind_first"):
+        first_envs = list(iter_envs(node.child, ctx))
+    metrics = ctx.parallel_metrics
+    workers = ctx.pool.max_workers if ctx.pool is not None else 1
+    shards = shard_count(len(first_envs), workers,
+                         min_shard_size=ctx.min_shard_size)
+    if ctx.pool is None or shards <= 1:
+        if metrics is not None:
+            metrics["serial_queries"].inc()
+        yield from _apply_stages(node.stages, iter(first_envs), ctx)
+        return
+    if metrics is not None:
+        metrics["sharded_queries"].inc()
+        metrics["shards"].inc(shards)
+    chunks = chunk_evenly(first_envs, shards)
+    with span("parallel.fanout", shards=shards):
+        env_lists = ctx.pool.map_ordered(
+            lambda chunk: list(_apply_stages(node.stages, iter(chunk), ctx)),
+            chunks)
+    for envs in env_lists:
+        yield from envs
+
+
+def insert_exchange(root: LogicalNode) -> Optional[LogicalNode]:
+    """Rewrite a chain for sharded execution, or ``None`` if unshardable.
+
+    The innermost ``PathExpand`` (the first from-item) plus the ``Scan``
+    become the Exchange's serially-bound source; everything above it
+    (later expansions, the predicate) becomes the detached shard stages.
+    Plans without a from clause -- or already-indexed plans -- stay
+    serial.
+    """
+    if not isinstance(root, Project):
+        return None
+    chain: list[LogicalNode] = []
+    node = root.child
+    while isinstance(node, (Predicate, PathExpand)):
+        chain.append(node)
+        node = node.child
+    if not isinstance(node, Scan):
+        return None
+    expands = [n for n in chain if isinstance(n, PathExpand)]
+    if not expands:
+        return None
+    first = expands[-1]  # innermost = the first from-item
+    source = PathExpand(item=first.item, child=Scan())
+    stages = tuple(
+        PathExpand(item=n.item) if isinstance(n, PathExpand)
+        else Predicate(condition=n.condition)
+        for n in reversed(chain[:-1]))  # application order, minus the source
+    exchange = Exchange(child=source, stages=stages)
+    return Project(select=root.select, labels=root.labels, child=exchange)
+
+
+# ---------------------------------------------------------------------------
+# Plan execution
+# ---------------------------------------------------------------------------
+
+def execute_plan(root: LogicalNode, ctx: ExecutionContext) -> QueryResult:
+    """Run a logical plan to a :class:`~repro.lorel.result.QueryResult`."""
+    if isinstance(root, AnnotationFilter):
+        return execute_index_plan(root.plan, ctx)
+    if not isinstance(root, Project):
+        raise TypeError(f"plan root must be Project or AnnotationFilter, "
+                        f"got {type(root).__name__}")
+    evaluator = ctx.evaluator
+    result = QueryResult()
+    for env in iter_envs(root.child, ctx):
+        result.add(evaluator.project_row(root.select, env, root.labels))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The AnnotationFilter kernel (timestamp-index scan + backward verify)
+# ---------------------------------------------------------------------------
+
+def execute_index_plan(plan: IndexPlan, ctx: ExecutionContext) -> QueryResult:
+    """Serve an index-servable query entirely from the annotation index."""
+    # Arc-annotation plans narrow the scan to the final step's label via
+    # the index's label partition; node kinds scan the kind list.
+    label = plan.labels[-1] if plan.kind in ("add", "rem") else None
+    hits = ctx.index.between(plan.kind, plan.low, plan.high,
+                             include_low=plan.include_low,
+                             include_high=plan.include_high,
+                             label=label)
+    result = QueryResult()
+    for when, subject in hits:
+        row = _verify_and_build(plan, when, subject, ctx)
+        if row is not None:
+            result.add(row)
+    return result
+
+
+def _verify_and_build(plan: IndexPlan, when: Timestamp, subject,
+                      ctx: ExecutionContext) -> Row | None:
+    graph = ctx.doem.graph
+    if plan.kind in ("add", "rem"):
+        arc = subject
+        if arc.label != plan.labels[-1]:
+            return None
+        if not _connects_backward(arc.source, plan.labels[:-1], ctx):
+            return None
+        return _build_row(plan, when, arc.target, None)
+    # cre / upd: subject is a node; the final arc must be live now.
+    node = subject
+    final_label = plan.labels[-1]
+    for in_arc in graph.in_arcs(node):
+        if in_arc.label != final_label:
+            continue
+        if not ctx.doem.arc_live_at(*in_arc, POS_INF):
+            continue
+        if _connects_backward(in_arc.source, plan.labels[:-1], ctx):
+            if plan.kind == "upd":
+                triple = _upd_triple_at(node, when, ctx)
+                if triple is None:
+                    return None
+                return _build_row(plan, when, node, triple)
+            return _build_row(plan, when, node, None)
+    return None
+
+
+def _connects_backward(node: str, labels: tuple[str, ...],
+                       ctx: ExecutionContext) -> bool:
+    """Is there a live path root -labels-> node?
+
+    Served by the memoized :class:`~repro.lore.indexes.PathIndex`: one
+    forward expansion per distinct label prefix instead of a backward
+    BFS per hit.
+    """
+    return ctx.paths.contains(node, labels)
+
+
+def _upd_triple_at(node: str, when: Timestamp, ctx: ExecutionContext):
+    for at, old, new in ctx.doem.upd_triples(node):
+        if at == when:
+            return (old, new)
+    return None
+
+
+def _build_row(plan: IndexPlan, when: Timestamp, node: str,
+               upd_values) -> Row:
+    object_var = getattr(plan, "object_var", None)
+    items: list[tuple[str, object]] = []
+    for item in plan.select:
+        expr = item.expr
+        if isinstance(expr, PathExpr) and expr.steps:
+            label = item.label or plan.object_label
+            items.append((label, ObjectRef(node)))
+            continue
+        name = expr.start if isinstance(expr, PathExpr) else expr.name
+        if name == object_var:
+            items.append((item.label or plan.object_label, ObjectRef(node)))
+        elif name == plan.at_var:
+            items.append((item.label or TIME_LABELS[plan.kind], when))
+        elif name == plan.from_var:
+            items.append((item.label or "old-value", upd_values[0]))
+        elif name == plan.to_var:
+            items.append((item.label or "new-value", upd_values[1]))
+    return Row(tuple(items))

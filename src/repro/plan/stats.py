@@ -1,0 +1,91 @@
+"""Plan-layer accounting types: the index plan and the pushdown stats.
+
+These used to live in :mod:`repro.chorel.optimize`, below the engine that
+consumed them -- a layering inversion once the planner needed them too.
+:class:`IndexPlan` is the physical description of an annotation-index
+scan (the ``AnnotationFilter`` operator carries one); :class:`EngineStats`
+is the per-engine indexed-vs-fallback split.  ``repro.chorel.optimize``
+re-exports both, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lorel.ast import SelectItem
+from ..obs.metrics import CounterField, registry as metrics_registry
+from ..timestamps import NEG_INF, POS_INF, Timestamp
+
+__all__ = ["IndexPlan", "EngineStats", "TIME_LABELS"]
+
+TIME_LABELS = {"cre": "create-time", "add": "add-time",
+               "rem": "remove-time", "upd": "update-time"}
+
+
+@dataclass
+class IndexPlan:
+    """A recognized index-servable query."""
+
+    kind: str                     # cre | upd | add | rem
+    labels: tuple[str, ...]       # plain labels of the path, in order
+    root_name: str                # the database name the path starts at
+    at_var: str
+    from_var: Optional[str]      # upd only
+    to_var: Optional[str]        # upd only
+    object_var: Optional[str] = None  # explicit range variable, if any
+    low: Timestamp = NEG_INF
+    high: Timestamp = POS_INF
+    include_low: bool = False
+    include_high: bool = True
+    select: tuple[SelectItem, ...] = ()
+    object_label: str = "answer"
+
+    def describe(self) -> str:
+        """Human-readable plan summary (for logs and tests)."""
+        lo = "[" if self.include_low else "("
+        hi = "]" if self.include_high else ")"
+        return (f"index-scan {self.kind} over "
+                f"{'.'.join((self.root_name,) + self.labels)} "
+                f"in {lo}{self.low}, {self.high}{hi}")
+
+
+class EngineStats:
+    """Per-engine pushdown accounting: which path served each query.
+
+    Registered in the global metrics registry under
+    ``repro.chorel_engine``; the attributes remain the API.
+    """
+
+    _FIELDS = ("indexed_queries", "fallback_queries")
+
+    indexed_queries = CounterField()
+    fallback_queries = CounterField()
+
+    def __init__(self) -> None:
+        self._metrics = metrics_registry().group("repro.chorel_engine",
+                                                 self._FIELDS)
+
+    @property
+    def total(self) -> int:
+        return self.indexed_queries + self.fallback_queries
+
+    @property
+    def pushdown_rate(self) -> float:
+        """Fraction of queries served by an index plan."""
+        return self.indexed_queries / self.total if self.total else 0.0
+
+    def reset(self) -> None:
+        self._metrics.reset()
+
+    def as_dict(self) -> dict:
+        """Raw counters plus derived rates, for profiles and artifacts."""
+        return {"indexed_queries": self.indexed_queries,
+                "fallback_queries": self.fallback_queries,
+                "total": self.total,
+                "pushdown_rate": self.pushdown_rate}
+
+    def describe(self) -> str:
+        return (f"queries={self.total} indexed={self.indexed_queries} "
+                f"fallback={self.fallback_queries} "
+                f"pushdown_rate={self.pushdown_rate:.2f}")

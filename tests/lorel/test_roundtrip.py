@@ -1,0 +1,208 @@
+"""Parser <-> pretty-printer round trips.
+
+Two layers:
+
+* **Corpus**: every query text this repo already trusts -- the indexable
+  and fallback pushdown corpora, the differential harness's templates,
+  and both halves of the translation goldens -- must survive
+  ``parse(format_query(parse(text))) == parse(text)`` (and the same
+  through ``str``), so the pretty-printer never prints something the
+  parser reads back differently.
+
+* **Property**: a hypothesis generator builds random ASTs directly (the
+  printable fragment: left-nested conjunctions, explicit variables,
+  annotated steps, closures, timestamps from a parsed pool) and asserts
+  the *exact* identity ``parse(format_query(q)) == q`` -- no
+  normalization slack at all.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import format_query, parse_query, parse_timestamp
+from repro.lorel.ast import (
+    And,
+    AnnotationExpr,
+    Comparison,
+    ExistsCond,
+    FromItem,
+    LikeCond,
+    Literal,
+    Not,
+    Or,
+    PathExpr,
+    PathStep,
+    Query,
+    SelectItem,
+    TimeVar,
+    VarRef,
+)
+from tests.chorel.test_optimize import FALLBACK, INDEXABLE
+from tests.test_differential_index import QUERY_TEMPLATES
+
+CHOREL_GOLDENS = Path(__file__).resolve().parent.parent / "chorel" / "goldens"
+
+
+def golden_corpus() -> list[str]:
+    """Both halves of every translation golden: Chorel in, Lorel out."""
+    queries: list[str] = []
+    for path in sorted(CHOREL_GOLDENS.glob("*.txt")):
+        text = path.read_text(encoding="utf-8")
+        chorel_part, _, lorel_part = text.partition("Lorel translation:")
+        queries.append(chorel_part.replace("Chorel:", "").strip())
+        queries.append(lorel_part.strip())
+    return [query for query in queries if query]
+
+
+CORPUS = (
+    list(INDEXABLE)
+    + list(FALLBACK)
+    + [template.format(low="1Jan97", mid="5Jan97", high="8Jan97",
+                       label="item")
+       for template in QUERY_TEMPLATES]
+    + golden_corpus()
+)
+
+
+@pytest.mark.parametrize("text", CORPUS)
+def test_corpus_round_trips(text):
+    parsed = parse_query(text)
+    assert parse_query(format_query(parsed)) == parsed
+    assert parse_query(str(parsed)) == parsed
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random ASTs print-and-parse to themselves, exactly.
+# ---------------------------------------------------------------------------
+
+LABELS = st.sampled_from(
+    ["restaurant", "price", "name", "comment", "parking", "item", "link"])
+VARS = st.sampled_from(["R", "N", "P", "X1", "Y2", "Z"])
+TIME_VARS = st.sampled_from(["T", "U", "T2"])
+VALUE_VARS = st.sampled_from(["OV", "NV", "V1"])
+DB_NAMES = st.sampled_from(["guide", "root", "db1"])
+TIMESTAMPS = st.sampled_from(
+    [parse_timestamp(text) for text in
+     ["1Jan97", "5Jan97", "8Jan97", "20Jan97", "3Feb98"]])
+SAFE_STRINGS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz 0123456789", min_size=0, max_size=8)
+LIKE_PATTERNS = st.sampled_from(["%a%", "Jan%", "_b_", "%lot%"])
+
+
+@st.composite
+def annotations(draw, kinds):
+    kind = draw(st.sampled_from(kinds))
+    at_var = at_literal = None
+    slot = draw(st.integers(min_value=0, max_value=2))
+    if slot == 1:
+        at_var = draw(TIME_VARS)
+    elif slot == 2:
+        at_literal = draw(TIMESTAMPS)
+    if kind == "at" and slot == 0:
+        at_var = draw(TIME_VARS)  # a bare <at> is not printable syntax
+    from_var = to_var = None
+    if kind == "upd":
+        if draw(st.booleans()):
+            from_var = draw(VALUE_VARS)
+        if draw(st.booleans()):
+            to_var = draw(VALUE_VARS)
+    return AnnotationExpr(kind, at_var=at_var, from_var=from_var,
+                          to_var=to_var, at_literal=at_literal)
+
+
+@st.composite
+def path_steps(draw):
+    shape = draw(st.integers(min_value=0, max_value=9))
+    if shape == 0:
+        return PathStep("#")
+    label = draw(LABELS)
+    if shape == 1:
+        return PathStep(label, repetition=draw(st.sampled_from(["*", "+"])))
+    arc = node = None
+    if shape in (2, 3):
+        arc = draw(annotations(("add", "rem", "at")))
+    if shape in (3, 4):
+        node = draw(annotations(("cre", "upd", "at")))
+    return PathStep(label, arc_annotation=arc, node_annotation=node)
+
+
+@st.composite
+def path_exprs(draw, max_steps=3):
+    start = draw(st.one_of(DB_NAMES, VARS))
+    steps = tuple(draw(st.lists(path_steps(), min_size=1,
+                                max_size=max_steps)))
+    return PathExpr(start, steps)
+
+
+OPERANDS = st.one_of(
+    VARS.map(VarRef),
+    TIME_VARS.map(VarRef),
+    st.integers(min_value=-999, max_value=999).map(Literal),
+    SAFE_STRINGS.map(Literal),
+    st.booleans().map(Literal),
+    TIMESTAMPS.map(Literal),
+    st.integers(min_value=-2, max_value=2).map(TimeVar),
+    path_exprs(max_steps=2),
+)
+
+COMPARISONS = st.builds(
+    Comparison, OPERANDS,
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]), OPERANDS)
+
+LIKES = st.builds(LikeCond, st.one_of(VARS.map(VarRef), path_exprs(2)),
+                  LIKE_PATTERNS)
+
+
+def conditions(depth=2):
+    atom = st.one_of(COMPARISONS, LIKES)
+    if depth <= 0:
+        return atom
+    inner = conditions(depth - 1)
+    compound = st.one_of(
+        atom,
+        st.builds(Or, inner, inner),
+        st.builds(Not, inner),
+        st.builds(ExistsCond, VARS, path_exprs(2), inner),
+    )
+    # `and` chains must be left-nested: the parser is left-associative
+    # and the printer adds no parentheses around conjuncts.
+    return st.lists(compound, min_size=1, max_size=3).map(_fold_and)
+
+
+def _fold_and(conjuncts):
+    folded = conjuncts[0]
+    for part in conjuncts[1:]:
+        folded = And(folded, part)
+    return folded
+
+
+SELECT_ITEMS = st.builds(
+    SelectItem,
+    st.one_of(VARS.map(VarRef), TIME_VARS.map(VarRef), path_exprs()),
+    st.one_of(st.none(), LABELS))
+
+FROM_ITEMS = st.builds(FromItem, path_exprs(),
+                       st.one_of(st.none(), VARS))
+
+QUERIES = st.builds(
+    Query,
+    st.lists(SELECT_ITEMS, min_size=1, max_size=3).map(tuple),
+    st.lists(FROM_ITEMS, min_size=0, max_size=3).map(tuple),
+    st.one_of(st.none(), conditions()))
+
+
+@given(query=QUERIES)
+@settings(max_examples=300, deadline=None)
+def test_random_ast_round_trips_exactly(query):
+    assert parse_query(format_query(query)) == query
+
+
+@given(query=QUERIES)
+@settings(max_examples=100, deadline=None)
+def test_single_line_rendering_round_trips_exactly(query):
+    assert parse_query(str(query)) == query

@@ -1,0 +1,86 @@
+"""Golden-file tests for the optimizer's EXPLAIN output.
+
+One golden per planner behavior worth pinning -- index selection over a
+bounded interval, the ``<upd ... from ... to ...>`` row shape, the
+degenerate literal-pin interval, predicate reordering, the wildcard
+fallback that must *not* select the index, and virtual ``<at t[0]>``
+expansion against the polling table.  A rule change that alters the
+optimized tree or the pass-firing report shows up as a reviewable diff,
+not a silent plan shift.
+
+To update a golden intentionally, delete it and re-run with
+``REGEN_GOLDENS=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import ChorelEngine, IndexedChorelEngine, build_doem
+from tests.conftest import make_guide_db, make_guide_history
+
+GOLDENS = Path(__file__).resolve().parent / "goldens"
+
+# name -> (query, polling_times)
+CASES = {
+    "indexed_add_interval": (
+        "select guide.<add at T>restaurant where T < 4Jan97", None),
+    "indexed_upd_from_to": (
+        "select T, OV, NV from guide.restaurant.price"
+        "<upd at T from OV to NV> where T >= 1Jan97", None),
+    "literal_pin": (
+        "select guide.<add at 5Jan97>restaurant", None),
+    "predicate_reorder": (
+        'select N from guide.restaurant R, R.name N '
+        'where guide.restaurant.price < 20.5 and N = "Janta"', None),
+    "wildcard_fallback": (
+        "select guide.#.comment<cre at T>", None),
+    "virtual_at_polling": (
+        "select guide.<add at t[0]>restaurant", {0: "5Jan97"}),
+}
+
+
+@pytest.fixture(scope="module")
+def doem():
+    return build_doem(make_guide_db(), make_guide_history())
+
+
+def explain(name: str, doem) -> str:
+    query, polling = CASES[name]
+    engine = IndexedChorelEngine(doem, name="guide")
+    if polling:
+        engine.set_polling_times(polling)
+    compiled = engine.compile(query)
+    return f"query:\n{query}\n\nexplain:\n{compiled.explain()}\n"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_explain_matches_golden(name, doem):
+    actual = explain(name, doem)
+    path = GOLDENS / f"{name}.txt"
+    if os.environ.get("REGEN_GOLDENS") and not path.exists():
+        path.write_text(actual, encoding="utf-8")
+    expected = path.read_text(encoding="utf-8")
+    assert actual == expected, \
+        f"plan drift for <{name}>; diff against {path}"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_queries_still_evaluate(name, doem):
+    """The pinned plans are executable, and agree with the naive engine."""
+    query, polling = CASES[name]
+    naive = ChorelEngine(doem, name="guide")
+    indexed = IndexedChorelEngine(doem, name="guide")
+    if polling:
+        naive.set_polling_times(polling)
+        indexed.set_polling_times(polling)
+    assert sorted(map(str, indexed.run(query))) == \
+        sorted(map(str, naive.run(query)))
+
+
+def test_every_case_has_a_golden():
+    assert {path.stem for path in GOLDENS.glob("*.txt")} == set(CASES), \
+        "keep one golden file per pinned planner behavior"

@@ -1,0 +1,84 @@
+"""``profile=True`` separates compile time from execute time.
+
+The bugfix under test: profiles used to report only a total; now the
+:class:`~repro.obs.profile.QueryProfile` splits planning cost
+(``compile_seconds``: the ``plan.compile`` span, or ``chorel.optimize``
+which encloses it on the indexed engine, plus ``chorel.translate``) from
+operator cost (``execute_seconds``: ``lorel.eval`` +
+``chorel.index_scan``) -- in ``to_dict``/JSON and in the rendered
+report -- and attaches the optimized plan tree.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    ChorelEngine,
+    IndexedChorelEngine,
+    LorelEngine,
+    TranslatingChorelEngine,
+)
+from tests.conftest import make_guide_db
+
+
+@pytest.mark.parametrize("engine_cls", [
+    ChorelEngine, IndexedChorelEngine, TranslatingChorelEngine])
+def test_profile_splits_compile_and_execute(engine_cls, guide_doem):
+    engine = engine_cls(guide_doem, name="guide")
+    engine.run("select guide.<add at T>restaurant where T < 4Jan97",
+               profile=True)
+    profile = engine.last_profile
+    data = profile.to_dict()
+    assert data["compile_seconds"] > 0.0
+    assert data["execute_seconds"] > 0.0
+    assert data["compile_seconds"] + data["execute_seconds"] \
+        <= data["total_seconds"]
+
+
+def test_lorel_profile_split():
+    engine = LorelEngine(make_guide_db(), name="guide")
+    engine.run("select guide.restaurant", profile=True)
+    data = engine.last_profile.to_dict()
+    assert data["compile_seconds"] > 0.0
+    assert data["execute_seconds"] > 0.0
+
+
+def test_profile_carries_plan_tree(guide_doem):
+    engine = IndexedChorelEngine(guide_doem, name="guide")
+    engine.run("select guide.<add at 5Jan97>restaurant", profile=True)
+    profile = engine.last_profile
+    assert profile.plan_tree is not None
+    assert profile.plan_tree.startswith("AnnotationFilter ")
+    assert "passes:" in profile.plan_tree
+
+
+def test_render_includes_plan_tree_and_split(guide_doem):
+    engine = IndexedChorelEngine(guide_doem, name="guide")
+    engine.run("select guide.<add at 5Jan97>restaurant", profile=True)
+    report = engine.last_profile.render()
+    assert "optimized plan:" in report
+    assert "compile " in report and "execute " in report
+    assert "annotation-literal-pushdown" in report
+
+
+def test_legacy_mode_has_no_plan_tree(guide_doem):
+    engine = ChorelEngine(guide_doem, name="guide", use_planner=False)
+    engine.run("select guide.restaurant", profile=True)
+    assert engine.last_profile.plan_tree is None
+
+
+def test_profile_json_round_trips(guide_doem):
+    engine = IndexedChorelEngine(guide_doem, name="guide")
+    engine.run("select guide.<add>restaurant", profile=True)
+    data = json.loads(engine.last_profile.to_json())
+    for key in ("compile_seconds", "execute_seconds", "plan_tree"):
+        assert key in data
+
+
+def test_profiled_rows_equal_unprofiled(guide_doem):
+    engine = IndexedChorelEngine(guide_doem, name="guide")
+    query = "select guide.<add at T>restaurant where T < 4Jan97"
+    plain = list(map(str, engine.run(query)))
+    profiled = list(map(str, engine.run(query, profile=True)))
+    assert profiled == plain
