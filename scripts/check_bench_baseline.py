@@ -9,11 +9,21 @@ Usage::
 
 Every key present in the baseline must exist in the artifact with an
 *identical* value -- the baseline deliberately contains only the
-deterministic series (equivalence counters and workload parameters),
-never wall times or machine-dependent pool throughput.  On top of the
-baseline diff, the artifact's pool-utilization counters must show the
-worker pool actually ran (``submitted``/``completed`` > 0) and the
-equivalence sweep found no mismatches.
+deterministic series (equivalence counters, workload parameters, and
+planner counters), never wall times or machine-dependent pool
+throughput.  On top of the baseline diff:
+
+* the artifact's pool-utilization counters must show the worker pool
+  actually ran (``submitted``/``completed`` > 0);
+* the equivalence sweeps must report zero mismatches;
+* every query must have compiled through ``repro.plan``, and **each** of
+  the four rewrite rules must have fired at least once -- a single inert
+  ``plan.rules_fired.*`` counter fails the check;
+* on a machine with two or more cores (``wall.cpus``), the
+  process-sharded pass must beat the serial pass outright:
+  ``wall.ratio`` (sharded seconds / serial seconds) must be < 1.0.
+  Single-core machines record the ratio but are not gated -- there is
+  nothing for the shards to overlap on.
 
 Exit status: 0 clean, 1 on any divergence (the CI bench-regression job
 gates on it).
@@ -58,27 +68,42 @@ def main(argv: list[str]) -> None:
             fail(f"{counter} is {artifact.get(counter)!r}; the worker pool "
                  f"never ran")
     for counter in ("bench_parallel.equivalence.sharded_mismatches",
-                    "bench_parallel.equivalence.batch_mismatches"):
+                    "bench_parallel.equivalence.batch_mismatches",
+                    "bench_parallel.equivalence.rules_mismatches"):
         if artifact.get(counter, "<missing>") != 0:
             fail(f"{counter} is {artifact.get(counter)!r}; parallel results "
                  f"diverged from serial")
 
     # The planner must actually be in the loop: every query compiles
-    # through repro.plan, and at least one rewrite rule does work on
-    # this workload.
+    # through repro.plan, and every rewrite rule does work on this
+    # workload -- one inert pass is a regression, not a detail.
     if artifact.get("bench_parallel.plan.compiled", 0) <= 0:
         fail("bench_parallel.plan.compiled is "
              f"{artifact.get('bench_parallel.plan.compiled')!r}; queries "
              f"bypassed the plan pipeline")
-    rules_fired = sum(value for name, value in artifact.items()
-                      if name.startswith("bench_parallel.plan.rules_fired.")
-                      and isinstance(value, (int, float)))
-    if rules_fired <= 0:
-        fail("no bench_parallel.plan.rules_fired.* counter moved; the "
-             "rewrite passes went inert")
+    for rule in ("virtual-at-expansion", "annotation-literal-pushdown",
+                 "index-selection", "predicate-reorder"):
+        counter = f"bench_parallel.plan.rules_fired.{rule}"
+        if artifact.get(counter, 0) <= 0:
+            fail(f"{counter} is {artifact.get(counter, '<missing>')!r}; "
+                 f"the {rule} pass went inert on the probe workload")
 
+    # Sharding must *pay* where it can: with >= 2 cores the process-pool
+    # pass has real parallelism available, so sharded must beat serial.
+    ratio = artifact.get("bench_parallel.wall.ratio")
+    cpus = artifact.get("bench_parallel.wall.cpus", 1)
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        fail(f"bench_parallel.wall.ratio is {ratio!r}; the bench did not "
+             f"record the sharded/serial wall-clock ratio")
+    if cpus >= 2 and ratio >= 1.0:
+        fail(f"sharded/serial ratio {ratio} >= 1.0 on a {cpus}-core "
+             f"machine; process-pool sharding stopped paying for itself")
+
+    note = (f"sharded/serial ratio {ratio} on {cpus} cpu(s)"
+            + ("" if cpus >= 2 else " [not gated: single core]"))
     print(f"baseline check OK: {len(baseline)} series match, "
-          f"pool ran {artifact['bench_parallel.pool.completed']} tasks")
+          f"pool ran {artifact['bench_parallel.pool.completed']} tasks, "
+          + note)
 
 
 if __name__ == "__main__":

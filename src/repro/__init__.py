@@ -130,6 +130,9 @@ from .sources import (
     RestaurantGuideSource,
     Source,
     StaticSource,
+    large_database,
+    large_history,
+    large_world,
     random_change_set,
     random_database,
     random_history,
@@ -185,5 +188,6 @@ __all__ = [
     # sources
     "Source", "StaticSource", "RestaurantGuideSource", "LibrarySource",
     "random_database", "random_change_set", "random_history",
+    "large_database", "large_history", "large_world",
     "__version__",
 ]

@@ -48,17 +48,27 @@ class ChorelEngine:
 
     ``use_planner=False`` routes ``run`` through the legacy single-pass
     evaluator (the differential oracle; identical rows, identical order).
+
+    ``batch_size`` selects the physical execution model: positive widths
+    run the batched operators (the default,
+    :data:`repro.plan.batch.DEFAULT_BATCH_SIZE` rows per batch), ``0``
+    the per-environment iterator model.  Rows and order are identical
+    either way.
     """
 
     def __init__(self, doem: DOEMDatabase, name: str | None = None,
                  polling_times: dict[int, Timestamp] | None = None, *,
-                 use_planner: bool = True) -> None:
+                 use_planner: bool = True,
+                 batch_size: int | None = None) -> None:
         self.doem = doem
         names = {name or doem.graph.root: doem.graph.root}
         self.view = DOEMView(doem, names)
         self._evaluator = Evaluator(self.view)
         self._polling_times: dict[int, Timestamp] = dict(polling_times or {})
         self.use_planner = use_planner
+        from ..plan.batch import DEFAULT_BATCH_SIZE
+        self.batch_size = DEFAULT_BATCH_SIZE if batch_size is None \
+            else batch_size
         self.last_profile = None
         self.last_compiled: CompiledPlan | None = None
 
@@ -158,7 +168,8 @@ class ChorelEngine:
                                 base_env=self._base_env(bindings),
                                 doem=self.doem, pool=pool,
                                 min_shard_size=min_shard_size,
-                                parallel_metrics=parallel_metrics)
+                                parallel_metrics=parallel_metrics,
+                                batch_size=self.batch_size)
 
     # -- entry points ----------------------------------------------------
 

@@ -392,11 +392,14 @@ class TranslatingChorelEngine:
 
     def __init__(self, doem: DOEMDatabase, name: str | None = None,
                  polling_times: dict[int, Timestamp] | None = None, *,
-                 use_planner: bool = True) -> None:
+                 use_planner: bool = True,
+                 batch_size: int | None = None) -> None:
         self.doem = doem
         self.encoded: EncodedDOEM = encode_doem(doem)
         entry = name or doem.graph.root
-        self.lorel = LorelEngine(self.encoded.oem, name=entry)
+        self.lorel = LorelEngine(self.encoded.oem, name=entry,
+                                 batch_size=batch_size)
+        self.batch_size = self.lorel.batch_size
         # The native normalizer is reused so both backends agree.
         self._normalizer = Evaluator(OEMView(self.encoded.oem,
                                              {entry: self.encoded.oem.root}))
@@ -487,7 +490,8 @@ class TranslatingChorelEngine:
         ctx = ExecutionContext(evaluator=self.lorel._evaluator,
                                base_env=self._base_env(), pool=pool,
                                min_shard_size=min_shard_size,
-                               parallel_metrics=parallel_metrics)
+                               parallel_metrics=parallel_metrics,
+                               batch_size=self.batch_size)
         root = compiled.root
         if pool is not None:
             exchanged = insert_exchange(root)

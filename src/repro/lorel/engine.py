@@ -44,15 +44,25 @@ class LorelEngine:
     ``use_planner=False`` routes ``run`` through the legacy single-pass
     evaluator instead of the compile/execute pipeline (the differential
     oracle; identical rows, in identical order).
+
+    ``batch_size`` selects the physical execution model: positive widths
+    run the batched operators (the default,
+    :data:`repro.plan.batch.DEFAULT_BATCH_SIZE` rows per batch), ``0``
+    the per-environment iterator model.  Rows and order are identical
+    either way.
     """
 
     def __init__(self, db: OEMDatabase, name: str | None = None, *,
-                 use_planner: bool = True) -> None:
+                 use_planner: bool = True,
+                 batch_size: int | None = None) -> None:
         self.db = db
         names = {name or db.root: db.root}
         self.view = OEMView(db, names)
         self._evaluator = Evaluator(self.view)
         self.use_planner = use_planner
+        from ..plan.batch import DEFAULT_BATCH_SIZE
+        self.batch_size = DEFAULT_BATCH_SIZE if batch_size is None \
+            else batch_size
         self.last_profile = None
         self.last_compiled: CompiledPlan | None = None
 
@@ -91,7 +101,8 @@ class LorelEngine:
         ctx = ExecutionContext(evaluator=self._evaluator,
                                base_env=self._base_env(), pool=pool,
                                min_shard_size=min_shard_size,
-                               parallel_metrics=parallel_metrics)
+                               parallel_metrics=parallel_metrics,
+                               batch_size=self.batch_size)
         if pool is not None:
             exchanged = insert_exchange(root)
             if exchanged is not None:

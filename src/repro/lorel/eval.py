@@ -304,6 +304,20 @@ class Evaluator:
             yield binding, env
             return
         step = steps[index]
+        for child_binding, child_env in self.expand_step(binding, step, env):
+            yield from self._walk(child_binding, steps, index + 1, child_env)
+
+    def expand_step(self, binding: NodeBinding, step: PathStep,
+                    env: Env) -> Iterator[tuple[NodeBinding, Env]]:
+        """All matches of one path step from one bound object.
+
+        The single-step kernel both traversal strategies share: the
+        depth-first :meth:`_walk` recursion applies it per branch, and the
+        batched frontier traversal (:meth:`bind_from_item_batch`) applies
+        it level-synchronously across a whole environment batch.  Match
+        order is data order, which is what makes the two strategies
+        enumerate identical streams.
+        """
         if step.is_wildcard:
             if step.arc_annotation:
                 raise EvaluationError(
@@ -314,24 +328,21 @@ class Evaluator:
                 if step.node_annotation is not None:
                     # The Section 7 generalization: a node annotation on
                     # '#' matches any reachable object bearing it.
-                    for matched, extended in self._node_matches(
-                            descendant.node, step.node_annotation, env):
-                        yield from self._walk(matched, steps,
-                                              index + 1, extended)
+                    yield from self._node_matches(
+                        descendant.node, step.node_annotation, env)
                 else:
-                    yield from self._walk(descendant, steps, index + 1, env)
+                    yield descendant, env
             return
         if step.repetition is not None:
             # GPE closure: zero-or-more / one-or-more same-labeled hops.
             for reached in self._label_closure(binding, step):
-                for matched, extended in self._node_matches(
-                        reached.node, step.node_annotation, env) \
-                        if step.node_annotation is not None \
-                        else [(reached, env)]:
-                    yield from self._walk(matched, steps, index + 1, extended)
+                if step.node_annotation is not None:
+                    yield from self._node_matches(
+                        reached.node, step.node_annotation, env)
+                else:
+                    yield reached, env
             return
-        for child_binding, child_env in self._step_matches(binding, step, env):
-            yield from self._walk(child_binding, steps, index + 1, child_env)
+        yield from self._step_matches(binding, step, env)
 
     def _wildcard_closure(self, binding: NodeBinding) -> Iterator[NodeBinding]:
         """``#`` matches any path of length >= 0: the reachable closure."""
@@ -662,6 +673,44 @@ class Evaluator:
                         continue
                 scoped[item.var] = binding
             yield scoped
+
+    def bind_from_item_batch(self, item: FromItem,
+                             envs: list) -> list:
+        """One from-item's bindings for a whole environment batch.
+
+        Frontier traversal: instead of recursing depth-first per
+        environment, the batch advances through the item's path one step
+        at a time -- every frontier entry expands in data order and its
+        matches append in frontier order, so the final frontier is
+        exactly the concatenation of the per-environment depth-first
+        enumerations :meth:`bind_from_item` would produce.  One list
+        append per match replaces a chain of nested generator frames,
+        which is where the batched operators win their constant factor.
+        """
+        path = item.path
+        frontier = []
+        append = frontier.append
+        for env in envs:
+            append((self.resolve_start(path, env), env))
+        expand = self.expand_step
+        for step in path.steps:
+            next_frontier: list = []
+            append = next_frontier.append
+            for binding, env in frontier:
+                for pair in expand(binding, step, env):
+                    append(pair)
+            frontier = next_frontier
+        out: list = []
+        var = item.var
+        emit = out.append
+        for binding, env in frontier:
+            scoped = dict(env)
+            if var:
+                if var in scoped and scoped[var] != binding:
+                    continue
+                scoped[var] = binding
+            emit(scoped)
+        return out
 
     def from_envs(self, normalized: Query, index: int,
                   env: Env) -> Iterator[Env]:

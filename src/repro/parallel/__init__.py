@@ -1,19 +1,22 @@
 """Parallel query execution and concurrent fan-out primitives.
 
-``repro.parallel`` layers threads on top of the serial engines without
+``repro.parallel`` layers workers on top of the serial engines without
 changing what they compute: :class:`ParallelExecutor` shards a single
 query along its first path-expression step and batches many queries over
 one shared acquisition (``engine.run_many``), both with deterministic
 merges that keep results row- and order-identical to serial evaluation.
 :class:`WorkerPool` is the shared bounded pool (also used by the QSS
-server's concurrent polling); :mod:`repro.parallel.sharding` holds the
-contiguous-chunk partitioner the determinism argument rests on.  See
-``docs/parallel.md`` for the thread-safety contract.
+server's concurrent polling) -- threads by default, or
+``kind="process"`` / ``ParallelExecutor(processes=True)`` for CPU-bound
+shards that must overlap on real cores; :mod:`repro.parallel.sharding`
+holds the contiguous-chunk partitioner the determinism argument rests
+on.  See ``docs/parallel.md`` for the thread-safety contract.
 """
 
 from .executor import ParallelExecutor, parallel_run, run_many
-from .pool import WorkerPool, default_pool, default_worker_count
-from .sharding import chunk_evenly, shard_count
+from .pool import WorkerPool, default_pool, default_worker_count, \
+    worker_evaluator
+from .sharding import chunk_evenly, chunk_fixed, shard_count
 
 __all__ = [
     "ParallelExecutor",
@@ -22,6 +25,8 @@ __all__ = [
     "WorkerPool",
     "default_pool",
     "default_worker_count",
+    "worker_evaluator",
     "chunk_evenly",
+    "chunk_fixed",
     "shard_count",
 ]

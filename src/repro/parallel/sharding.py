@@ -18,9 +18,25 @@ from __future__ import annotations
 
 from typing import Sequence, TypeVar
 
-__all__ = ["chunk_evenly", "shard_count"]
+__all__ = ["chunk_evenly", "chunk_fixed", "shard_count"]
 
 T = TypeVar("T")
+
+
+def chunk_fixed(items: Sequence[T], size: int) -> list[list[T]]:
+    """Split ``items`` into contiguous runs of exactly ``size`` rows
+    (the last run may be shorter).
+
+    The batched operators re-chunk with this -- a *fixed* width, unlike
+    :func:`chunk_evenly`'s fixed *count* -- so every batch but the tail
+    carries the same amortization. Concatenating the chunks replays the
+    input exactly, preserving the deterministic-merge property.
+    """
+    if size < 1:
+        raise ValueError("need a positive chunk size")
+    items = list(items)
+    return [items[start:start + size]
+            for start in range(0, len(items), size)]
 
 
 def chunk_evenly(items: Sequence[T], shards: int) -> list[list[T]]:

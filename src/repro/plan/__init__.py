@@ -10,15 +10,17 @@ Three stages (see ``docs/query-planner.md``):
    :class:`PassManager` running virtual-``<at T>`` expansion,
    annotation-literal pushdown, index selection, and predicate
    reordering -- each with its own trace span and fired counter.
-3. **Physical operators** (:mod:`repro.plan.physical`): an
-   iterator/operator model whose kernels are the evaluator's staged
-   methods, plus the annotation-index scan and the sharding
-   ``Exchange``.
+3. **Physical operators** (:mod:`repro.plan.physical`): a batched
+   operator model (:mod:`repro.plan.batch`) whose kernels are the
+   evaluator's staged methods -- with a per-environment iterator model
+   retained at ``batch_size=0`` -- plus the annotation-index scan and
+   the sharding ``Exchange``.
 
 Engines call :func:`compile_query` then :func:`execute_plan`; the
 :class:`CompiledPlan` in between is what ``repro explain`` renders.
 """
 
+from .batch import DEFAULT_BATCH_SIZE, EnvBatch, compile_predicate
 from .compiler import CompiledPlan, compile_query
 from .ir import (
     AnnotationFilter,
@@ -55,6 +57,9 @@ __all__ = [
     "AnnotationLiteralPushdown",
     "CompileContext",
     "CompiledPlan",
+    "DEFAULT_BATCH_SIZE",
+    "EnvBatch",
+    "compile_predicate",
     "EngineStats",
     "Exchange",
     "ExecutionContext",

@@ -1,0 +1,212 @@
+"""Environment batches: the unit of work of the batched physical operators.
+
+The iterator execution model streams environments one at a time through
+nested generators; profiling showed the generator plumbing itself -- one
+frame resume per environment per operator -- dominating the hot path, and
+the sharding ``Exchange`` paying that plumbing again per shard *plus*
+per-task submission overhead for tiny work units.  The batched model
+moves whole :class:`EnvBatch` lists between operators instead:
+
+* ``PathExpand`` advances an entire batch through its path with a
+  frontier traversal (:meth:`repro.lorel.eval.Evaluator.
+  bind_from_item_batch`) -- one list append per match, no generator
+  frames;
+* ``Predicate`` evaluates **vectorized** over the batch: the condition is
+  compiled once per operator into a plain-Python closure
+  (:func:`compile_predicate`) and applied row by row in a single loop,
+  falling back to the evaluator's general ``solve`` only for rows (or
+  condition shapes) the closure cannot serve;
+* ``Exchange`` ships whole batches to pool workers, so each submitted
+  task amortizes its scheduling (and, for process pools, pickling) cost
+  over hundreds of rows.
+
+Batches are sized by ``ExecutionContext.batch_size``
+(:data:`DEFAULT_BATCH_SIZE` rows unless the engine overrides it); every
+batch an operator emits is observed in the ``repro.plan.batch_rows``
+histogram so a metrics dump shows the actual batch-size distribution.
+
+Equivalence contract: all operators are per-row independent and
+order-preserving, so results are row- and order-identical to the
+iterator model and the legacy evaluator for **any** batch size -- the
+hypothesis suite in ``tests/plan/test_batched_equivalence.py`` pins this
+across engines, batch sizes, and shard widths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..lorel.ast import And, Comparison, Condition, LikeCond, Literal, \
+    Not, Or, TimeVar, VarRef
+from ..obs.metrics import registry as metrics_registry
+from ..oem.values import like
+from ..parallel.sharding import chunk_fixed
+
+__all__ = ["EnvBatch", "DEFAULT_BATCH_SIZE", "BATCH_ROWS_METRIC",
+           "batch_rows_histogram", "compile_predicate", "filter_rows"]
+
+DEFAULT_BATCH_SIZE = 256
+"""Default operator batch width (rows).
+
+Large enough that per-batch overhead (one histogram observation, one
+pool submission under Exchange) is noise against per-row work; small
+enough that pipelined memory stays bounded and shards split evenly.
+``docs/batched-execution.md`` discusses tuning.
+"""
+
+BATCH_ROWS_METRIC = "repro.plan.batch_rows"
+
+_BATCH_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384)
+
+
+def batch_rows_histogram():
+    """The batch-size histogram (row counts, not seconds)."""
+    return metrics_registry().histogram(BATCH_ROWS_METRIC,
+                                        buckets=_BATCH_BUCKETS)
+
+
+class EnvBatch:
+    """A list of environments moving between physical operators.
+
+    Thin by design -- the rows stay plain environment dicts so the
+    evaluator kernels apply unchanged -- but with the column-style
+    access batched operators want: :meth:`column` materializes one
+    variable's bindings across the batch in row order, which is what the
+    vectorized comparison fast path iterates instead of per-row dict
+    lookups inside a generic interpreter loop.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: list) -> None:
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str, default=None) -> list:
+        """The variable's binding per row (``default`` where unbound)."""
+        return [env.get(name, default) for env in self.rows]
+
+    def split(self, size: int) -> Iterator["EnvBatch"]:
+        """Re-chunk into batches of at most ``size`` rows, order kept."""
+        if size <= 0 or len(self.rows) <= size:
+            yield self
+            return
+        for chunk in chunk_fixed(self.rows, size):
+            yield EnvBatch(chunk)
+
+    @staticmethod
+    def concat(batches: list["EnvBatch"]) -> "EnvBatch":
+        """One batch holding every row, in batch-then-row order."""
+        rows: list = []
+        for batch in batches:
+            rows.extend(batch.rows)
+        return EnvBatch(rows)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized predicate evaluation
+# ---------------------------------------------------------------------------
+#
+# ``Predicate`` only asks *does the condition have a solution?* -- it never
+# keeps bindings the condition introduces.  For conditions built purely
+# from literals, polling-time variables, and already-bound variables,
+# solving cannot extend the environment, so the existential check
+# decomposes into ordinary boolean evaluation: And = conjunction, Or =
+# disjunction, Not = negation, Comparison/LikeCond = one value comparison.
+# compile_predicate turns such a condition into a closure once; anything
+# that walks paths (or the `= None` existence-test encoding, whose
+# semantics hang on match multiplicity) stays on the general solver.
+
+class _NotVectorizable(Exception):
+    """Internal: the condition shape needs the general solver."""
+
+
+def compile_predicate(condition: Condition,
+                      evaluator) -> Optional[Callable[[dict], bool]]:
+    """A per-row boolean closure for ``condition``, or ``None``.
+
+    The closure raises ``KeyError`` for rows where a referenced variable
+    is unbound -- callers fall back to the general solver for that row
+    (:func:`filter_rows` does), so the fast path never changes semantics,
+    only speed.
+    """
+    try:
+        return _compile_condition(condition, evaluator)
+    except _NotVectorizable:
+        return None
+
+
+def _compile_condition(condition, evaluator):
+    if isinstance(condition, And):
+        left = _compile_condition(condition.left, evaluator)
+        right = _compile_condition(condition.right, evaluator)
+        return lambda env: left(env) and right(env)
+    if isinstance(condition, Or):
+        left = _compile_condition(condition.left, evaluator)
+        right = _compile_condition(condition.right, evaluator)
+        return lambda env: left(env) or right(env)
+    if isinstance(condition, Not):
+        operand = _compile_condition(condition.operand, evaluator)
+        return lambda env: not operand(env)
+    if isinstance(condition, Comparison):
+        if isinstance(condition.right, Literal) and \
+                condition.right.value is None:
+            # The bare-path existence encoding: semantics depend on match
+            # multiplicity, which only the general solver models.
+            raise _NotVectorizable
+        left = _compile_operand(condition.left, evaluator)
+        right = _compile_operand(condition.right, evaluator)
+        op = condition.op
+        holds = evaluator._holds
+        return lambda env: holds(left(env), op, right(env))
+    if isinstance(condition, LikeCond):
+        operand = _compile_operand(condition.expr, evaluator)
+        pattern = condition.pattern
+        return lambda env: like(operand(env), pattern)
+    raise _NotVectorizable
+
+
+def _compile_operand(expr, evaluator):
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, TimeVar):
+        return lambda env: evaluator._polling_time(expr, env)
+    if isinstance(expr, VarRef):
+        name = expr.name
+        value_of = evaluator._value_of
+        return lambda env: value_of(env[name])  # KeyError -> row fallback
+    raise _NotVectorizable  # PathExpr walks data
+
+
+def filter_rows(evaluator, condition: Condition, rows: list,
+                pred: Optional[Callable[[dict], bool]]) -> list:
+    """The rows satisfying ``condition``, in input order.
+
+    ``pred`` is the compiled closure (or ``None``); rows it cannot judge
+    (unbound variable -> ``KeyError``) re-run through the general solver,
+    which resolves free names exactly as serial evaluation would.
+    """
+    if pred is None:
+        solve = evaluator.solve
+        return [env for env in rows
+                if next(solve(condition, env), None) is not None]
+    kept = []
+    keep = kept.append
+    solve = evaluator.solve
+    for env in rows:
+        try:
+            ok = pred(env)
+        except KeyError:
+            ok = next(solve(condition, env), None) is not None
+        if ok:
+            keep(env)
+    return kept

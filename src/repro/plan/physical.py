@@ -1,12 +1,23 @@
-"""Physical operators: the iterator execution model over logical plans.
+"""Physical operators: batched and iterator execution over logical plans.
 
-Execution is environment-streaming: each logical node maps to a small
-iterator that consumes environments from its child and yields extended /
-filtered environments, composed exactly like the legacy evaluator's
-``from_envs`` recursion -- nested generators replay the same depth-first,
-data-ordered enumeration, which is what keeps planned results row- and
-order-identical to the legacy path (the differential suite in
-``tests/plan`` proves it).
+The primary execution model is **batched**: each logical node maps to a
+transformer over :class:`~repro.plan.batch.EnvBatch` lists of environment
+dicts.  ``PathExpand`` advances a whole batch with the evaluator's
+frontier kernel (:meth:`~repro.lorel.eval.Evaluator.bind_from_item_batch`),
+``Predicate`` compiles its condition once and filters vectorized
+(:func:`~repro.plan.batch.compile_predicate`), and ``Exchange`` ships
+whole row lists to pool workers -- thread or process -- so sharding
+amortizes per-task overhead over hundreds of rows instead of paying
+generator plumbing per environment.
+
+The original environment-streaming iterator model is retained
+(``batch_size=0``): each node maps to a small generator composed exactly
+like the legacy evaluator's ``from_envs`` recursion.  Both models replay
+the same depth-first, data-ordered enumeration -- a batched frontier
+expands its rows in frontier order, producing the concatenation of the
+per-row depth-first enumerations -- which is what keeps all three paths
+(legacy, iterator, batched) row- and order-identical for any batch size
+or shard count (``tests/plan/test_batched_equivalence.py`` proves it).
 
 The operators delegate single-binding work to the evaluator's staged API
 (:meth:`~repro.lorel.eval.Evaluator.bind_from_item`,
@@ -21,7 +32,11 @@ Two operators do more than plumb:
   from the pre-planner ``IndexedChorelEngine``).
 * the ``Exchange`` operator -- binds its source chain serially,
   shards the environments contiguously, runs the detached stages on
-  pool workers, and concatenates in shard order.
+  pool workers, and concatenates in shard order.  Under a process pool
+  the shard task is the module-level :func:`run_stages_on_rows` driven by
+  the worker-global evaluator installed by the pool initializer
+  (:func:`repro.parallel.pool.worker_evaluator`), so nothing unpicklable
+  crosses the process boundary.
 """
 
 from __future__ import annotations
@@ -33,6 +48,13 @@ from ..lorel.ast import PathExpr
 from ..lorel.result import ObjectRef, QueryResult, Row
 from ..obs.trace import span
 from ..timestamps import POS_INF, Timestamp
+from .batch import (
+    DEFAULT_BATCH_SIZE,
+    EnvBatch,
+    batch_rows_histogram,
+    compile_predicate,
+    filter_rows,
+)
 from .ir import (
     AnnotationFilter,
     Exchange,
@@ -45,7 +67,8 @@ from .ir import (
 from .stats import TIME_LABELS, IndexPlan
 
 __all__ = ["ExecutionContext", "execute_plan", "execute_index_plan",
-           "insert_exchange", "iter_envs"]
+           "insert_exchange", "iter_envs", "iter_batches",
+           "run_stages_on_rows"]
 
 
 @dataclass
@@ -55,7 +78,9 @@ class ExecutionContext:
     ``index``/``paths``/``doem`` are only set by the indexed engine (the
     ``AnnotationFilter`` kernel needs them); ``pool`` and the parallel
     knobs are only set when the :class:`~repro.parallel.executor.
-    ParallelExecutor` drives execution.
+    ParallelExecutor` drives execution.  ``batch_size`` selects the
+    execution model: positive widths run the batched operators (the
+    default), ``0`` the per-environment iterator model.
     """
 
     evaluator: object
@@ -66,6 +91,7 @@ class ExecutionContext:
     pool: object = None
     min_shard_size: int = 1
     parallel_metrics: object = None
+    batch_size: int = DEFAULT_BATCH_SIZE
 
 
 # ---------------------------------------------------------------------------
@@ -141,6 +167,106 @@ def _exchange_envs(node: Exchange, ctx: ExecutionContext) -> Iterator[dict]:
         yield from envs
 
 
+# ---------------------------------------------------------------------------
+# Batched operators
+# ---------------------------------------------------------------------------
+
+def iter_batches(node: LogicalNode,
+                 ctx: ExecutionContext) -> Iterator[EnvBatch]:
+    """The batch stream a logical (sub)chain produces.
+
+    Batch boundaries are re-established at ``ctx.batch_size`` after each
+    expansion (an expansion can multiply rows); row order across the
+    stream is identical to :func:`iter_envs` for any width.
+    """
+    size = ctx.batch_size
+    if isinstance(node, Scan):
+        yield EnvBatch([dict(ctx.base_env)])
+    elif isinstance(node, PathExpand):
+        kernel = ctx.evaluator.bind_from_item_batch
+        for batch in iter_batches(node.child, ctx):
+            rows = kernel(node.item, batch.rows)
+            if rows:
+                yield from EnvBatch(rows).split(size)
+    elif isinstance(node, Predicate):
+        evaluator = ctx.evaluator
+        pred = compile_predicate(node.condition, evaluator)
+        for batch in iter_batches(node.child, ctx):
+            kept = filter_rows(evaluator, node.condition, batch.rows, pred)
+            if kept:
+                yield EnvBatch(kept)
+    elif isinstance(node, Exchange):
+        yield from _exchange_batches(node, ctx)
+    else:  # pragma: no cover - lowering only builds the nodes above
+        raise TypeError(f"cannot stream batches from {node!r}")
+
+
+def run_stages_on_rows(stages, rows: list, evaluator) -> list:
+    """Run detached Exchange stages over one shard's rows, in order.
+
+    Module-level and driven by explicit arguments so a process-pool
+    worker can execute it by reference: ``stages`` are frozen AST-bearing
+    dataclasses and ``rows`` plain environment dicts, both picklable; the
+    evaluator is the worker-global replica, never shipped per task.
+    """
+    for stage in stages:
+        if isinstance(stage, PathExpand):
+            rows = evaluator.bind_from_item_batch(stage.item, rows)
+        elif isinstance(stage, Predicate):
+            pred = compile_predicate(stage.condition, evaluator)
+            rows = filter_rows(evaluator, stage.condition, rows, pred)
+        else:
+            raise TypeError(f"unsupported exchange stage {stage!r}")
+    return rows
+
+
+def _stage_task(task):
+    """Process-pool entry point: one ``(stages, rows)`` shard."""
+    from ..parallel.pool import worker_evaluator
+    stages, rows = task
+    return run_stages_on_rows(stages, rows, worker_evaluator())
+
+
+def _exchange_batches(node: Exchange,
+                      ctx: ExecutionContext) -> Iterator[EnvBatch]:
+    """Bind the source serially, shard whole batches out, merge in order."""
+    from ..parallel.sharding import chunk_evenly, shard_count
+
+    with span("parallel.bind_first"):
+        first_rows: list = []
+        for batch in iter_batches(node.child, ctx):
+            first_rows.extend(batch.rows)
+    metrics = ctx.parallel_metrics
+    pool = ctx.pool
+    workers = pool.max_workers if pool is not None else 1
+    shards = shard_count(len(first_rows), workers,
+                         min_shard_size=ctx.min_shard_size)
+    if pool is None or shards <= 1:
+        if metrics is not None:
+            metrics["serial_queries"].inc()
+        rows = run_stages_on_rows(node.stages, first_rows, ctx.evaluator)
+        if rows:
+            yield from EnvBatch(rows).split(ctx.batch_size)
+        return
+    if metrics is not None:
+        metrics["sharded_queries"].inc()
+        metrics["shards"].inc(shards)
+    chunks = chunk_evenly(first_rows, shards)
+    with span("parallel.fanout", shards=shards):
+        if getattr(pool, "kind", "thread") == "process":
+            row_lists = pool.map_ordered(
+                _stage_task, [(node.stages, chunk) for chunk in chunks])
+        else:
+            evaluator = ctx.evaluator
+            row_lists = pool.map_ordered(
+                lambda chunk: run_stages_on_rows(node.stages, chunk,
+                                                 evaluator),
+                chunks)
+    for rows in row_lists:
+        if rows:
+            yield EnvBatch(rows)
+
+
 def insert_exchange(root: LogicalNode) -> Optional[LogicalNode]:
     """Rewrite a chain for sharded execution, or ``None`` if unshardable.
 
@@ -185,6 +311,15 @@ def execute_plan(root: LogicalNode, ctx: ExecutionContext) -> QueryResult:
                         f"got {type(root).__name__}")
     evaluator = ctx.evaluator
     result = QueryResult()
+    if ctx.batch_size > 0:
+        project = evaluator.project_row
+        add = result.add
+        observe = batch_rows_histogram().observe
+        for batch in iter_batches(root.child, ctx):
+            observe(len(batch))
+            for env in batch.rows:
+                add(project(root.select, env, root.labels))
+        return result
     for env in iter_envs(root.child, ctx):
         result.add(evaluator.project_row(root.select, env, root.labels))
     return result

@@ -19,8 +19,16 @@ This package provides faithful synthetic stand-ins:
 from .base import Source, StaticSource
 from .restaurant_guide import RestaurantGuideSource
 from .library import LibrarySource
-from .generators import random_database, random_change_set, random_history
+from .generators import (
+    large_database,
+    large_history,
+    large_world,
+    random_change_set,
+    random_database,
+    random_history,
+)
 
 __all__ = ["Source", "StaticSource", "RestaurantGuideSource",
            "LibrarySource", "random_database", "random_change_set",
-           "random_history"]
+           "random_history", "large_database", "large_history",
+           "large_world"]

@@ -18,7 +18,7 @@ from ..oem.values import COMPLEX
 from ..timestamps import Timestamp, parse_timestamp
 
 __all__ = ["random_database", "random_change_set", "random_history",
-           "LABELS"]
+           "large_database", "large_history", "large_world", "LABELS"]
 
 LABELS = ["a", "b", "c", "item", "name", "price", "link", "ref"]
 _WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta",
@@ -187,3 +187,127 @@ def random_history(db: OEMDatabase, seed: int = 0, steps: int = 5,
             reserved.update(change_set.created_nodes())
         when = when.plus(days=1)
     return history
+
+
+# ---------------------------------------------------------------------------
+# Benchmark-scale worlds
+# ---------------------------------------------------------------------------
+#
+# random_change_set validates every candidate op by simulating it on a
+# database copy -- O(nodes) of list materialization per op, fine for
+# property-test worlds but quadratic pain at benchmark scale.  The large
+# generators instead build a *regular* shape whose validity is known by
+# construction, with incremental bookkeeping (live-arc set, price list)
+# so generation stays O(total ops).  The shape is chosen for sharding:
+# the root fans out into many ``item`` subtrees, so a query's first
+# from-item binds thousands of environments cheaply and the per-shard
+# stages (inner expansions, predicates, annotation walks) carry the real
+# work.
+
+def large_database(seed: int = 0, items: int = 1000, extra_links: int = 200,
+                   root: str = "root") -> OEMDatabase:
+    """A benchmark-scale OEM database: ``root`` fanning into ``items``
+    item subtrees.
+
+    Each item carries a ``name`` atom, a ``price`` atom, and a nested
+    ``info`` complex with an ``a`` atom (two levels of depth for
+    wildcard and multi-step paths); ``extra_links`` additional ``link``
+    arcs between random items add the sharing the wildcard closure has
+    to deduplicate.  Deterministic in ``seed``.
+    """
+    rng = random.Random(seed)
+    db = OEMDatabase(root=root)
+    item_ids: list[str] = []
+    for index in range(items):
+        item = f"i{index}"
+        db.create_node(item, COMPLEX)
+        db.add_arc(root, "item", item)
+        item_ids.append(item)
+        db.create_node(f"{item}_nm", rng.choice(_WORDS))
+        db.add_arc(item, "name", f"{item}_nm")
+        db.create_node(f"{item}_pr", rng.randrange(0, 1000))
+        db.add_arc(item, "price", f"{item}_pr")
+        db.create_node(f"{item}_in", COMPLEX)
+        db.add_arc(item, "info", f"{item}_in")
+        db.create_node(f"{item}_ia", rng.randrange(0, 100))
+        db.add_arc(f"{item}_in", "a", f"{item}_ia")
+    for _ in range(extra_links):
+        source, target = rng.choice(item_ids), rng.choice(item_ids)
+        if not db.has_arc(source, "link", target):
+            db.add_arc(source, "link", target)
+    db.check()
+    return db
+
+
+def large_history(db: OEMDatabase, seed: int = 0, steps: int = 6,
+                  churn: int = 200,
+                  start: object = "1Jan97") -> OEMHistory:
+    """A benchmark-scale valid history: ``steps`` change sets of about
+    ``churn`` operations each, one day apart.
+
+    Each set mixes price updates (``upd``), fresh item subtrees (``cre``
+    + ``add``), new ``link`` arcs between items (``add``), and removals
+    of previously-added links (``rem``) -- all four annotation kinds land
+    in the DOEM build.  Ops are validated by construction against
+    incrementally-maintained bookkeeping, then replayed onto a working
+    copy as a cross-check; ``db`` itself is untouched.  Deterministic in
+    ``seed``.
+    """
+    rng = random.Random(seed)
+    history = OEMHistory()
+    current = db.copy()
+    when = parse_timestamp(start)
+    items = list(db.children(db.root, "item"))
+    prices = {item: f"{item}_pr" for item in items
+              if db.has_node(f"{item}_pr")}
+    spare_links: list[tuple[str, str, str]] = []
+    fresh = 0
+    for _ in range(steps):
+        ops: list[ChangeOp] = []
+        updated: set[str] = set()
+        born: list[str] = []
+        added_links: list[tuple[str, str, str]] = []
+        while len(ops) < churn:
+            roll = rng.random()
+            if roll < 0.5 and prices:
+                item = rng.choice(items)
+                price = prices.get(item)
+                if price is None or price in updated:
+                    continue
+                ops.append(UpdNode(price, rng.randrange(0, 1000)))
+                updated.add(price)
+            elif roll < 0.7:
+                fresh += 1
+                item, price = f"x{fresh}", f"x{fresh}_pr"
+                ops.append(CreNode(item, COMPLEX))
+                ops.append(AddArc(db.root, "item", item))
+                ops.append(CreNode(price, rng.randrange(0, 1000)))
+                ops.append(AddArc(item, "price", price))
+                born.append(item)
+            elif roll < 0.85:
+                source, target = rng.choice(items), rng.choice(items)
+                arc = (source, "link", target)
+                if current.has_arc(*arc) or arc in added_links:
+                    continue
+                ops.append(AddArc(*arc))
+                added_links.append(arc)
+            elif spare_links:
+                ops.append(RemArc(*spare_links.pop()))
+        history.append(when, ChangeSet(ops))
+        ChangeSet(ops).apply_to(current)
+        for item in born:
+            items.append(item)
+            prices[item] = f"{item}_pr"
+        # Links added this step become removal candidates next step.
+        spare_links.extend(added_links)
+        when = when.plus(days=1)
+    return history
+
+
+def large_world(seed: int = 0, items: int = 1000, extra_links: int = 200,
+                steps: int = 6, churn: int = 200):
+    """``(db, history, doem)`` at benchmark scale, all from one seed."""
+    from ..doem.build import build_doem
+    db = large_database(seed=seed, items=items, extra_links=extra_links)
+    history = large_history(db, seed=seed, steps=steps, churn=churn)
+    return db, history, build_doem(db, history)

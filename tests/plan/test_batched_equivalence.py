@@ -1,0 +1,224 @@
+"""Batched execution is iterator execution is the legacy evaluator.
+
+The batched physical operators (:mod:`repro.plan.batch`) claim row- and
+order-identity with the iterator model and the pre-planner evaluator for
+*any* batch size -- the equivalence the batched-frontier argument proves
+(a level-synchronous expansion in frontier order replays the
+concatenation of per-row depth-first enumerations).  This suite pins the
+claim across all four engines, serially and through the sharding
+``Exchange`` (thread and process pools), over the same randomized worlds
+the index-differential harness trusts, at batch widths 1 (degenerate:
+every batch is a row), 7 (prime, never aligned with result counts), 64,
+and whole-world (one batch end to end).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ChorelEngine,
+    IndexedChorelEngine,
+    LorelEngine,
+    ParallelExecutor,
+    TranslatingChorelEngine,
+)
+from repro.plan.batch import EnvBatch, compile_predicate
+from tests.plan.test_planner_equivalence import (
+    LOREL_QUERIES,
+    RELAXED,
+    outcome,
+    texts,
+)
+from tests.test_differential_index import make_world, world_queries
+
+# 1 = per-row degenerate case, 7 = prime (batch boundaries never align
+# with operator fan-outs), 64 = mid-size, 1 << 20 = whole-world.
+BATCH_SIZES = [1, 7, 64, 1 << 20]
+
+CHOREL_ENGINES = (ChorelEngine, IndexedChorelEngine)
+
+
+class TestSerialBatchedEquivalence:
+    """batched(size) == iterator == legacy, engine by engine."""
+
+    @given(seed=st.integers(min_value=0, max_value=99),
+           size=st.sampled_from(BATCH_SIZES))
+    @RELAXED
+    def test_chorel_native_and_indexed(self, seed, size):
+        _, history, doem = make_world(seed)
+        queries = world_queries(history)
+        for engine_cls in CHOREL_ENGINES:
+            batched = engine_cls(doem, name="root", batch_size=size)
+            iterator = engine_cls(doem, name="root", batch_size=0)
+            legacy = engine_cls(doem, name="root", use_planner=False)
+            for query in queries:
+                expected = texts(legacy.run(query))
+                assert texts(iterator.run(query)) == expected, \
+                    (engine_cls.__name__, query)
+                assert texts(batched.run(query)) == expected, \
+                    (engine_cls.__name__, size, query)
+
+    @given(seed=st.integers(min_value=0, max_value=99),
+           size=st.sampled_from(BATCH_SIZES))
+    @RELAXED
+    def test_lorel(self, seed, size):
+        db, _, _ = make_world(seed)
+        batched = LorelEngine(db, name="root", batch_size=size)
+        iterator = LorelEngine(db, name="root", batch_size=0)
+        legacy = LorelEngine(db, name="root", use_planner=False)
+        for query in LOREL_QUERIES:
+            expected = texts(legacy.run(query))
+            assert texts(iterator.run(query)) == expected, query
+            assert texts(batched.run(query)) == expected, (size, query)
+
+    @given(seed=st.integers(min_value=0, max_value=99),
+           size=st.sampled_from(BATCH_SIZES))
+    @RELAXED
+    def test_translating(self, seed, size):
+        _, history, doem = make_world(seed)
+        batched = TranslatingChorelEngine(doem, name="root", batch_size=size)
+        legacy = TranslatingChorelEngine(doem, name="root",
+                                         use_planner=False)
+        for query in world_queries(history):
+            assert outcome(batched, query) == outcome(legacy, query), \
+                (size, query)
+
+
+class TestShardedBatchedEquivalence:
+    """Exchange over batches replays serial enumeration for any width."""
+
+    @given(seed=st.integers(min_value=0, max_value=99),
+           size=st.sampled_from(BATCH_SIZES),
+           workers=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_chorel_thread_sharded(self, seed, size, workers):
+        _, history, doem = make_world(seed)
+        queries = world_queries(history)
+        for engine_cls in CHOREL_ENGINES:
+            engine = engine_cls(doem, name="root", batch_size=size)
+            legacy = engine_cls(doem, name="root", use_planner=False)
+            with ParallelExecutor(engine, max_workers=workers) as executor:
+                for query in queries:
+                    assert texts(executor.run(query)) == \
+                        texts(legacy.run(query)), \
+                        (engine_cls.__name__, size, query)
+
+    @given(seed=st.integers(min_value=0, max_value=99),
+           size=st.sampled_from(BATCH_SIZES))
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_lorel_thread_sharded(self, seed, size):
+        db, _, _ = make_world(seed)
+        engine = LorelEngine(db, name="root", batch_size=size)
+        legacy = LorelEngine(db, name="root", use_planner=False)
+        with ParallelExecutor(engine, max_workers=3) as executor:
+            for query in LOREL_QUERIES:
+                assert texts(executor.run(query)) == \
+                    texts(legacy.run(query)), (size, query)
+
+    @pytest.mark.parametrize("seed", [1, 8])
+    @pytest.mark.parametrize("size", [7, 1 << 20])
+    def test_chorel_process_sharded(self, seed, size):
+        """Process-pool shards (pickled rows, worker-global evaluator)
+        still replay the serial enumeration exactly."""
+        _, history, doem = make_world(seed)
+        engine = ChorelEngine(doem, name="root", batch_size=size)
+        legacy = ChorelEngine(doem, name="root", use_planner=False)
+        queries = world_queries(history)
+        with ParallelExecutor(engine, processes=True,
+                              max_workers=2) as executor:
+            for query in queries:
+                assert texts(executor.run(query)) == \
+                    texts(legacy.run(query)), (size, query)
+
+    @pytest.mark.parametrize("seed", [4, 12])
+    def test_translating_sharded(self, seed):
+        _, history, doem = make_world(seed)
+        engine = TranslatingChorelEngine(doem, name="root", batch_size=7)
+        legacy = TranslatingChorelEngine(doem, name="root",
+                                         use_planner=False)
+        queries = [query for query in world_queries(history)
+                   if outcome(legacy, query)[1] is None]
+        with ParallelExecutor(engine, max_workers=3) as executor:
+            for query in queries:
+                assert texts(executor.run(query)) == \
+                    texts(legacy.run(query)), query
+
+
+class TestEnvBatch:
+    def test_split_preserves_rows_and_order(self):
+        rows = [{"i": i} for i in range(10)]
+        for size in (1, 3, 10, 99):
+            pieces = list(EnvBatch(rows).split(size))
+            assert [env for piece in pieces for env in piece.rows] == rows
+            assert all(len(piece) <= size for piece in pieces)
+
+    def test_split_nonpositive_yields_whole(self):
+        batch = EnvBatch([{"i": 0}, {"i": 1}])
+        assert list(batch.split(0)) == [batch]
+
+    def test_concat_is_split_inverse(self):
+        rows = [{"i": i} for i in range(7)]
+        assert EnvBatch.concat(list(EnvBatch(rows).split(2))).rows == rows
+
+    def test_column_access(self):
+        batch = EnvBatch([{"x": 1}, {"y": 2}, {"x": 3}])
+        assert batch.column("x") == [1, None, 3]
+        assert len(batch) == 3 and bool(batch)
+        assert not EnvBatch([])
+
+
+class TestCompilePredicate:
+    """The vectorized fast path only accepts shapes it can decide."""
+
+    @staticmethod
+    def evaluator():
+        db, _, _ = make_world(0)
+        return LorelEngine(db, name="root")._evaluator
+
+    @staticmethod
+    def condition(text: str):
+        from repro import parse_query
+        return parse_query(f"select root where {text}",
+                           allow_annotations=True).where
+
+    def test_pure_comparison_compiles(self):
+        pred = compile_predicate(self.condition("X < 5"), self.evaluator())
+        assert pred is not None
+        from repro.lorel.eval import NodeBinding  # noqa: F401
+        assert pred({"X": 3}) is True
+        assert pred({"X": 9}) is False
+
+    def test_boolean_composition(self):
+        pred = compile_predicate(
+            self.condition('X < 5 and not (Y = "b" or X = 2)'),
+            self.evaluator())
+        assert pred({"X": 3, "Y": "a"}) is True
+        assert pred({"X": 2, "Y": "a"}) is False
+        assert pred({"X": 3, "Y": "b"}) is False
+
+    def test_unbound_variable_raises_keyerror(self):
+        """The row-fallback trigger: unbound names defer to the solver."""
+        pred = compile_predicate(self.condition("X < 5"), self.evaluator())
+        with pytest.raises(KeyError):
+            pred({})
+
+    def test_path_condition_rejected(self):
+        assert compile_predicate(self.condition("root.item.price < 5"),
+                                 self.evaluator()) is None
+
+    def test_existence_encoding_rejected(self):
+        """`path = None` semantics hang on multiplicity -- solver only."""
+        from repro.lorel.ast import Comparison, Literal, VarRef
+        cond = Comparison(VarRef("X"), "=", Literal(None))
+        assert compile_predicate(cond, self.evaluator()) is None
+
+    def test_like_compiles(self):
+        pred = compile_predicate(self.condition('X like "%bc%"'),
+                                 self.evaluator())
+        assert pred({"X": "abcd"}) is True
+        assert pred({"X": "ad"}) is False

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro import random_change_set, random_database, random_history
+from repro import (
+    large_database,
+    large_history,
+    large_world,
+    random_change_set,
+    random_database,
+    random_history,
+)
 
 
 class TestRandomDatabase:
@@ -70,3 +77,81 @@ class TestRandomHistory:
         doem = build_doem(db, history)
         assert encoded_history(doem) == history
         assert current_snapshot(doem).same_as(history.apply_to(db.copy()))
+
+
+def history_fingerprint(history):
+    """Everything observable about a history: timestamps and op text."""
+    return [(str(when), [str(op) for op in change_set])
+            for when, change_set in history.entries()]
+
+
+class TestLargeWorld:
+    """The benchmark-scale generator: small-size checks run in tier-1;
+    the full bench-size world is @slow (CI's bench job runs it)."""
+
+    def test_database_deterministic(self):
+        first = large_database(seed=7, items=40, extra_links=10)
+        second = large_database(seed=7, items=40, extra_links=10)
+        assert first.same_as(second)
+
+    def test_database_shape(self):
+        db = large_database(seed=1, items=30, extra_links=5)
+        items = list(db.children(db.root, "item"))
+        assert len(items) == 30
+        for item in items:
+            assert list(db.children(item, "price"))
+            assert list(db.children(item, "name"))
+        # extra links create the sharing the wildcard closure must dedup
+        assert any(db.has_arc(s, "link", t)
+                   for s in items for t in db.children(s, "link"))
+        db.check()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_history_deterministic(self, seed):
+        """Same seed -> identical OEM history, op for op."""
+        db = large_database(seed=seed, items=40)
+        first = large_history(db, seed=seed, steps=3, churn=30)
+        second = large_history(db, seed=seed, steps=3, churn=30)
+        assert history_fingerprint(first) == history_fingerprint(second)
+
+    def test_seeds_differ(self):
+        db = large_database(seed=0, items=40)
+        assert history_fingerprint(large_history(db, seed=1, steps=3,
+                                                 churn=30)) != \
+            history_fingerprint(large_history(db, seed=2, steps=3, churn=30))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_history_valid(self, seed):
+        db = large_database(seed=seed, items=40)
+        history = large_history(db, seed=seed, steps=4, churn=40)
+        assert history.is_valid_for(db)
+        assert db.same_as(large_database(seed=seed, items=40))  # untouched
+
+    def test_all_annotation_kinds_present(self):
+        """Every change set mixes kinds so all four DOEM annotations land."""
+        from repro import AddArc, CreNode, RemArc, UpdNode
+        db = large_database(seed=2, items=40)
+        history = large_history(db, seed=2, steps=3, churn=60)
+        kinds = {type(op) for _, change_set in history.entries()
+                 for op in change_set}
+        assert kinds == {CreNode, UpdNode, AddArc, RemArc}
+
+    def test_world_composes(self):
+        from repro import current_snapshot, encoded_history
+        db, history, doem = large_world(seed=3, items=25, extra_links=5,
+                                        steps=3, churn=20)
+        assert encoded_history(doem) == history
+        assert current_snapshot(doem).same_as(history.apply_to(db.copy()))
+
+    @pytest.mark.slow
+    def test_bench_scale_world(self):
+        """The full benchmark size builds, validates, and stays
+        deterministic (CI's bench job runs this; tier-1 skips it)."""
+        db, history, doem = large_world(seed=0, items=1000, extra_links=200,
+                                        steps=6, churn=200)
+        assert len(db) >= 5000
+        assert history.operation_count() >= 1000
+        again = large_database(seed=0, items=1000, extra_links=200)
+        assert db.same_as(again)
+        assert history_fingerprint(history) == history_fingerprint(
+            large_history(again, seed=0, steps=6, churn=200))
