@@ -7,26 +7,32 @@ Usage::
         benchmarks/artifacts/BENCH_parallel.json \
         benchmarks/baselines/BENCH_parallel_baseline.json
 
-Every key present in the baseline must exist in the artifact with an
-*identical* value -- the baseline deliberately contains only the
+Every key present in the baseline must exist in the artifact with a
+*matching* value -- the baseline deliberately contains only the
 deterministic series (equivalence counters, workload parameters, and
 planner counters), never wall times or machine-dependent pool
-throughput.  On top of the baseline diff:
+throughput.  Histogram-valued series compare as dicts key-by-key over
+the baseline's keys, so an artifact may carry extra self-describing
+fields (the bucket ``bounds`` added by ``Histogram.snapshot``) without
+diverging.
 
-* the artifact's pool-utilization counters must show the worker pool
-  actually ran (``submitted``/``completed`` > 0);
-* the equivalence sweeps must report zero mismatches;
-* every query must have compiled through ``repro.plan``, and **each** of
-  the four rewrite rules must have fired at least once -- a single inert
-  ``plan.rules_fired.*`` counter fails the check;
-* on a machine with two or more cores (``wall.cpus``), the
-  process-sharded pass must beat the serial pass outright:
-  ``wall.ratio`` (sharded seconds / serial seconds) must be < 1.0.
-  Single-core machines record the ratio but are not gated -- there is
-  nothing for the shards to overlap on.
+On top of the baseline diff, family-specific invariants run for
+whichever bench families the artifact contains:
 
-Exit status: 0 clean, 1 on any divergence (the CI bench-regression job
-gates on it).
+* ``bench_parallel.*`` -- the worker pool actually ran
+  (``submitted``/``completed`` > 0), the equivalence sweeps report zero
+  mismatches, every query compiled through ``repro.plan`` with **each**
+  rewrite rule firing at least once, and on a machine with two or more
+  cores the process-sharded pass must beat the serial pass
+  (``wall.ratio`` < 1.0; single-core machines record but are not gated);
+* ``bench_obs.*`` -- the telemetry-overhead gate: the instrumented run
+  must cost less than 5% over the disabled run
+  (``overhead.ratio`` < 1.05), and the instrumented run must actually
+  have produced events (``events.written`` > 0) -- a "free" telemetry
+  layer that wrote nothing measured nothing.
+
+Exit status: 0 clean, 1 on any divergence (the CI bench-regression and
+telemetry-overhead jobs gate on it).
 """
 
 from __future__ import annotations
@@ -35,33 +41,30 @@ import json
 import sys
 from pathlib import Path
 
+OBS_OVERHEAD_LIMIT = 1.05
+
 
 def fail(message: str) -> None:
     print(f"BASELINE CHECK FAILED: {message}", file=sys.stderr)
     sys.exit(1)
 
 
-def main(argv: list[str]) -> None:
-    if len(argv) != 3:
-        fail(f"usage: {argv[0]} <artifact.json> <baseline.json>")
-    artifact_path, baseline_path = Path(argv[1]), Path(argv[2])
-    if not artifact_path.exists():
-        fail(f"artifact {artifact_path} not found (did the bench run?)")
-    if not baseline_path.exists():
-        fail(f"baseline {baseline_path} not found")
-    artifact = json.loads(artifact_path.read_text(encoding="utf-8"))
-    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+def _matches(expected, actual) -> bool:
+    """Baseline subset match: dicts compare over the baseline's keys only.
 
-    diverged = []
-    for key, expected in sorted(baseline.items()):
-        actual = artifact.get(key, "<missing>")
-        if actual != expected:
-            diverged.append(f"  {key}: baseline {expected!r}, got {actual!r}")
-    if diverged:
-        fail("deterministic series diverged from the committed baseline "
-             "(update benchmarks/baselines/ only with an explanation):\n"
-             + "\n".join(diverged))
+    Scalars must be identical; a histogram snapshot in the artifact may
+    grow new descriptive fields (e.g. ``bounds``) without breaking the
+    committed baseline.
+    """
+    if isinstance(expected, dict):
+        if not isinstance(actual, dict):
+            return False
+        return all(_matches(value, actual.get(key, "<missing>"))
+                   for key, value in expected.items())
+    return expected == actual
 
+
+def _check_parallel(artifact: dict) -> str:
     for counter in ("bench_parallel.pool.submitted",
                     "bench_parallel.pool.completed"):
         if artifact.get(counter, 0) <= 0:
@@ -99,11 +102,61 @@ def main(argv: list[str]) -> None:
         fail(f"sharded/serial ratio {ratio} >= 1.0 on a {cpus}-core "
              f"machine; process-pool sharding stopped paying for itself")
 
-    note = (f"sharded/serial ratio {ratio} on {cpus} cpu(s)"
+    return (f"pool ran {artifact['bench_parallel.pool.completed']} tasks, "
+            f"sharded/serial ratio {ratio} on {cpus} cpu(s)"
             + ("" if cpus >= 2 else " [not gated: single core]"))
+
+
+def _check_obs(artifact: dict) -> str:
+    ratio = artifact.get("bench_obs.overhead.ratio")
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        fail(f"bench_obs.overhead.ratio is {ratio!r}; the bench did not "
+             f"record the instrumented/disabled wall-clock ratio")
+    if ratio >= OBS_OVERHEAD_LIMIT:
+        fail(f"telemetry overhead ratio {ratio} >= {OBS_OVERHEAD_LIMIT} "
+             f"(instrumented/disabled); the event log or metrics hot "
+             f"path got too expensive")
+    written = artifact.get("bench_obs.events.written", 0)
+    if written <= 0:
+        fail(f"bench_obs.events.written is {written!r}; the instrumented "
+             f"pass produced no events, so the overhead measurement is "
+             f"vacuous")
+    return (f"telemetry overhead ratio {ratio} < {OBS_OVERHEAD_LIMIT}, "
+            f"{written} event(s) written")
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) != 3:
+        fail(f"usage: {argv[0]} <artifact.json> <baseline.json>")
+    artifact_path, baseline_path = Path(argv[1]), Path(argv[2])
+    if not artifact_path.exists():
+        fail(f"artifact {artifact_path} not found (did the bench run?)")
+    if not baseline_path.exists():
+        fail(f"baseline {baseline_path} not found")
+    artifact = json.loads(artifact_path.read_text(encoding="utf-8"))
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+
+    diverged = []
+    for key, expected in sorted(baseline.items()):
+        actual = artifact.get(key, "<missing>")
+        if not _matches(expected, actual):
+            diverged.append(f"  {key}: baseline {expected!r}, got {actual!r}")
+    if diverged:
+        fail("deterministic series diverged from the committed baseline "
+             "(update benchmarks/baselines/ only with an explanation):\n"
+             + "\n".join(diverged))
+
+    notes = []
+    if "bench_parallel.wall.ratio" in artifact:
+        notes.append(_check_parallel(artifact))
+    if "bench_obs.overhead.ratio" in artifact:
+        notes.append(_check_obs(artifact))
+    if not notes:
+        fail("artifact contains no recognized bench family "
+             "(bench_parallel.* or bench_obs.*)")
+
     print(f"baseline check OK: {len(baseline)} series match, "
-          f"pool ran {artifact['bench_parallel.pool.completed']} tasks, "
-          + note)
+          + "; ".join(notes))
 
 
 if __name__ == "__main__":

@@ -19,7 +19,15 @@ Subcommands (``python -m repro <cmd> --help`` for details):
   point at a stored DOEM database;
 * ``profile QUERY``            -- the same observation as JSON (phase
   timings, counters, and the full span trace), for dashboards and CI
-  artifacts.
+  artifacts;
+* ``serve-metrics``            -- expose the process metrics registry
+  over HTTP (``/metrics`` Prometheus text, ``/metrics.json``,
+  ``/health``);
+* ``top``                      -- a live (or ``--once``) view of the
+  metrics registry, local or scraped from a ``serve-metrics`` URL.
+
+The global ``--events PATH`` flag (or the ``REPRO_EVENTS`` environment
+variable) turns on the structured JSONL event log for any subcommand.
 
 Everything prints to stdout; exit code 0 on success, 1 on any
 :class:`~repro.errors.ReproError`.
@@ -29,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from .chorel import ChorelEngine, TranslatingChorelEngine
@@ -48,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="DOEM/Chorel tools: query, diff, and inspect "
                     "semistructured data and its changes.")
+    parser.add_argument("--events", type=Path, default=None,
+                        metavar="PATH",
+                        help="append structured JSONL events here "
+                             "('-' for stderr); REPRO_EVENTS also works")
+    parser.add_argument("--events-level", default="info",
+                        choices=["debug", "info", "warning", "error"],
+                        help="minimum event level for --events "
+                             "(default: info)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     validate = commands.add_parser(
@@ -122,6 +139,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the JSON observation here"
                          if command == "explain" else
                          "write the JSON here instead of stdout")
+
+    serve = commands.add_parser(
+        "serve-metrics",
+        help="serve /metrics, /metrics.json, and /health over HTTP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default: 0 = ephemeral; the "
+                            "bound port is printed)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for this many seconds then exit "
+                            "(default: until interrupted)")
+
+    top = commands.add_parser(
+        "top", help="live view of the metrics registry")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit")
+    top.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit raw JSON instead of the table")
+    top.add_argument("--prefix", default=None,
+                     help="only show metrics under this prefix")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh interval in seconds (default: 2)")
+    top.add_argument("--url", default=None,
+                     help="scrape a serve-metrics endpoint instead of "
+                          "this process's registry")
     return parser
 
 
@@ -263,9 +306,69 @@ def _run(args: argparse.Namespace, out) -> int:
             else:
                 print(profile.to_json(), file=out)
 
+    elif args.command == "serve-metrics":
+        from .obs.http import serve_metrics
+        server = serve_metrics(args.host, args.port)
+        host, port = server.address
+        print(f"serving metrics on http://{host}:{port} "
+              f"(/metrics, /metrics.json, /health)", file=out, flush=True)
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:  # pragma: no cover - interactive mode
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive mode
+            pass
+        finally:
+            server.stop()
+
+    elif args.command == "top":
+        import json
+
+        def _snapshot() -> dict:
+            if args.url:
+                from urllib.request import urlopen
+                query = f"?prefix={args.prefix}" if args.prefix else ""
+                url = args.url.rstrip("/") + "/metrics.json" + query
+                with urlopen(url) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            from .obs.metrics import registry as metrics_registry
+            return metrics_registry().snapshot(args.prefix)
+
+        while True:
+            snapshot = _snapshot()
+            if args.as_json:
+                print(json.dumps(snapshot, indent=2), file=out, flush=True)
+            else:
+                if not args.once:  # pragma: no cover - interactive mode
+                    print("\x1b[2J\x1b[H", end="", file=out)
+                print(_render_top(snapshot), file=out, flush=True)
+            if args.once:
+                break
+            time.sleep(args.interval)  # pragma: no cover - interactive
+
     else:  # pragma: no cover - argparse enforces the choices
         raise ReproError(f"unknown command {args.command!r}")
     return 0
+
+
+def _render_top(snapshot: dict) -> str:
+    """The ``repro top`` table: one line per series, histograms reduced
+    to count/mean so the view stays one terminal page."""
+    lines = [f"{'metric':<56} value",
+             "-" * 72]
+    for name, value in snapshot.items():
+        if isinstance(value, dict):  # histogram snapshot
+            count = value.get("count", 0)
+            mean = (value.get("sum", 0.0) / count) if count else 0.0
+            lines.append(f"{name:<56} count={count} "
+                         f"mean={mean * 1000:.3f}ms")
+        else:
+            lines.append(f"{name:<56} {value}")
+    if len(lines) == 2:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
@@ -273,6 +376,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.events is not None:
+        from .obs.events import configure_events
+        configure_events(str(args.events), level=args.events_level)
     try:
         return _run(args, out)
     except (ReproError, FileNotFoundError, KeyError) as error:

@@ -36,6 +36,17 @@ from .trace import (
     get_tracer,
     span,
 )
+from .events import (
+    EventLog,
+    configure_events,
+    configure_events_from_env,
+    disable_events,
+    emit_event,
+    event_log,
+    events_enabled,
+)
+from .propagation import capture_task_telemetry, merge_task_telemetry
+from .http import MetricsHTTPServer, serve_metrics
 from .profile import QueryProfile, profile_query
 
 __all__ = [
@@ -43,5 +54,9 @@ __all__ = [
     "disable_tracing", "span",
     "Counter", "Gauge", "Histogram", "MetricsGroup", "CounterField",
     "MetricsRegistry", "metrics_registry",
+    "EventLog", "configure_events", "configure_events_from_env",
+    "disable_events", "emit_event", "event_log", "events_enabled",
+    "capture_task_telemetry", "merge_task_telemetry",
+    "MetricsHTTPServer", "serve_metrics",
     "QueryProfile", "profile_query",
 ]

@@ -1,0 +1,135 @@
+"""A stdlib-only HTTP surface for metrics and health.
+
+:class:`MetricsHTTPServer` wraps :class:`http.server.ThreadingHTTPServer`
+around the process-global :class:`~repro.obs.metrics.MetricsRegistry` and
+an optional health source (typically ``QSSServer.health``):
+
+* ``GET /metrics`` -- the Prometheus-style text dump
+  (:meth:`MetricsRegistry.render_text`); ``?prefix=qss`` narrows it;
+* ``GET /metrics.json`` -- the JSON snapshot
+  (:meth:`MetricsRegistry.export_json`), same ``prefix`` filter;
+* ``GET /health`` -- the health source's JSON payload, served with HTTP
+  503 when its ``status`` is ``"unhealthy"`` (so load-balancer probes
+  need no body parsing) and 200 otherwise.
+
+Binding to port 0 picks an ephemeral port; the bound address is exposed
+as :attr:`MetricsHTTPServer.address` once :meth:`start` returns, which
+is what the CLI (``repro serve-metrics``) prints and the tests poll.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qs, urlparse
+
+from .metrics import registry as metrics_registry
+
+__all__ = ["MetricsHTTPServer", "serve_metrics"]
+
+
+def _default_health() -> dict:
+    """The health payload when no QSS server is attached: process-level
+    liveness only (the endpoint answering *is* the signal)."""
+    return {"status": "healthy", "subscriptions": {}}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes /metrics, /metrics.json, and /health; 404 otherwise.
+
+    Routing context (the registry and health source) rides on the
+    underlying ``ThreadingHTTPServer`` instance as attributes.
+    """
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        prefix = parse_qs(parsed.query).get("prefix", [None])[0]
+        if parsed.path == "/metrics":
+            body = self.server.registry.render_text(prefix)
+            self._reply(200, body, "text/plain; charset=utf-8")
+        elif parsed.path == "/metrics.json":
+            body = self.server.registry.export_json(prefix)
+            self._reply(200, body, "application/json")
+        elif parsed.path == "/health":
+            payload = self.server.health_source()
+            status = 503 if payload.get("status") == "unhealthy" else 200
+            self._reply(status, json.dumps(payload, indent=2),
+                        "application/json")
+        else:
+            self._reply(404, json.dumps({"error": "not found",
+                                         "path": parsed.path}),
+                        "application/json")
+
+    def _reply(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # keep scrapes out of stderr; the event log covers auditing
+
+
+class MetricsHTTPServer:
+    """A background thread serving the registry over HTTP.
+
+    ``health_source`` is any zero-argument callable returning a JSON-able
+    dict with a ``"status"`` key (``QSSServer.health`` fits directly);
+    without one, ``/health`` reports plain process liveness.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 health_source: Callable[[], dict] | None = None) -> None:
+        self.registry = metrics_registry()
+        self.health_source = health_source or _default_health
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        # Hand the handler our routing context through the server object.
+        self._httpd.registry = self.registry
+        self._httpd.health_source = self.health_source
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` -- concrete even when created with
+        port 0."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MetricsHTTPServer":
+        """Serve on a daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise RuntimeError("MetricsHTTPServer already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-metrics-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_metrics(host: str = "127.0.0.1", port: int = 0, *,
+                  health_source: Callable[[], dict] | None = None
+                  ) -> MetricsHTTPServer:
+    """Start a :class:`MetricsHTTPServer` and return it (already serving)."""
+    return MetricsHTTPServer(host, port, health_source=health_source).start()

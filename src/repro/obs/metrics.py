@@ -85,6 +85,15 @@ class Gauge:
             if value > self.value:
                 self.value = value
 
+    def merge(self, value) -> None:
+        """Fold a foreign (worker-side) reading in: gauges merge by max.
+
+        A gauge is a point-in-time reading, so summing across processes
+        is meaningless; the high-water mark is the one aggregate that is
+        always safe (peak active workers, peak lag, peak queue depth).
+        """
+        self.set_max(value)
+
     def reset(self) -> None:
         with self._lock:
             self.value = 0
@@ -123,10 +132,39 @@ class Histogram:
             self.count = 0
 
     def snapshot(self) -> dict:
+        """Bucket counts, sum, count, plus the bucket *bounds*.
+
+        The bounds make exported artifacts self-describing: a consumer
+        (or :meth:`MetricsRegistry.merge_delta` on the parent side of a
+        process pool) can rebuild an identically-bucketed histogram from
+        the snapshot alone.
+        """
         labels = [f"le_{bound:g}" for bound in self.buckets] + ["le_inf"]
         with self._lock:
             return {"buckets": dict(zip(labels, self.counts)),
-                    "sum": self.total, "count": self.count}
+                    "sum": self.total, "count": self.count,
+                    "bounds": list(self.buckets)}
+
+    def merge(self, other) -> None:
+        """Fold another histogram (or a snapshot dict) into this one.
+
+        Bucket counts add elementwise, ``sum`` and ``count`` accumulate.
+        The bucket bounds must match -- merging differently-bucketed
+        histograms would silently mislabel observations.
+        """
+        if isinstance(other, Histogram):
+            other = other.snapshot()
+        bounds = tuple(other.get("bounds", ()))
+        if bounds != self.buckets:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds "
+                f"{bounds} != {self.buckets}")
+        counts = list(other["buckets"].values())
+        with self._lock:
+            for index, extra in enumerate(counts):
+                self.counts[index] += extra
+            self.total += other["sum"]
+            self.count += other["count"]
 
 
 class MetricsGroup:
@@ -190,10 +228,30 @@ class CounterField:
 
 
 def _merge(a, b):
-    """Sum two snapshot values (numbers, or nested histogram dicts)."""
+    """Sum two snapshot values (numbers, or nested histogram dicts).
+
+    Lists (histogram bucket *bounds*) describe shape rather than volume,
+    so they pass through unchanged instead of concatenating.
+    """
     if isinstance(a, dict) and isinstance(b, dict):
         return {key: _merge(a[key], b.get(key, 0)) for key in a}
+    if isinstance(a, list):
+        return a
     return a + b
+
+
+def _diff_histogram(after: dict, before: dict | None) -> dict | None:
+    """``after - before`` for histogram snapshots (None when no change)."""
+    if before is None:
+        before = {"buckets": {}, "sum": 0.0, "count": 0}
+    count = after["count"] - before["count"]
+    if count == 0:
+        return None
+    return {"buckets": {label: value - before["buckets"].get(label, 0)
+                        for label, value in after["buckets"].items()},
+            "sum": after["sum"] - before["sum"],
+            "count": count,
+            "bounds": list(after.get("bounds", ()))}
 
 
 class MetricsRegistry:
@@ -257,7 +315,14 @@ class MetricsRegistry:
     # -- export ----------------------------------------------------------
 
     def snapshot(self, prefix: str | None = None) -> dict:
-        """Merged name -> value view: family sums + direct instruments."""
+        """Merged name -> value view: family sums + direct instruments.
+
+        A name that exists both as a family sum and as a direct
+        instrument *adds up* -- that is how counters merged back from
+        worker processes (held as direct instruments, see
+        :meth:`merge_delta`) combine with the parent's own group
+        instances of the same family.
+        """
         merged: dict = {}
         for group in self._live_groups():
             for name, value in group.snapshot().items():
@@ -266,12 +331,102 @@ class MetricsRegistry:
         with self._lock:
             instruments = dict(self._instruments)
         for name, instrument in instruments.items():
-            merged[name] = instrument.snapshot() \
+            value = instrument.snapshot() \
                 if isinstance(instrument, Histogram) else instrument.value
+            merged[name] = _merge(merged[name], value) \
+                if name in merged else value
         if prefix is not None:
             merged = {name: value for name, value in merged.items()
                       if name.startswith(prefix)}
         return dict(sorted(merged.items()))
+
+    # -- cross-process propagation ---------------------------------------
+
+    def typed_snapshot(self) -> dict:
+        """The snapshot split by instrument kind (the delta baseline).
+
+        Returns ``{"counters": {...}, "gauges": {...}, "histograms":
+        {...}}``; group instruments contribute under ``counters`` /
+        ``histograms`` with family sums, exactly as :meth:`snapshot`.
+        """
+        counters: dict = {}
+        gauges: dict = {}
+        histograms: dict = {}
+        for group in self._live_groups():
+            for counter in group._counters.values():
+                counters[counter.name] = \
+                    counters.get(counter.name, 0) + counter.value
+            for histogram in group._histograms.values():
+                snap = histogram.snapshot()
+                if histogram.name in histograms:
+                    histograms[histogram.name] = \
+                        _merge(histograms[histogram.name], snap)
+                else:
+                    histograms[histogram.name] = snap
+        with self._lock:
+            instruments = dict(self._instruments)
+        for name, instrument in instruments.items():
+            if isinstance(instrument, Histogram):
+                snap = instrument.snapshot()
+                histograms[name] = _merge(histograms[name], snap) \
+                    if name in histograms else snap
+            elif isinstance(instrument, Gauge):
+                gauges[name] = max(gauges.get(name, instrument.value),
+                                   instrument.value)
+            else:
+                counters[name] = counters.get(name, 0) + instrument.value
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def delta_since(self, baseline: dict) -> dict:
+        """What changed since ``baseline`` (a :meth:`typed_snapshot`).
+
+        The result is a plain, picklable dict -- the payload a process
+        shard ships back beside its rows: counter *increments*,
+        histogram bucket/sum/count increments (bounds included so the
+        parent can rebuild identical buckets), and current gauge
+        readings (merged by max on the parent).  Zero-change series are
+        omitted, so an idle worker ships an empty delta.
+        """
+        current = self.typed_snapshot()
+        base_counters = baseline.get("counters", {})
+        counters = {}
+        for name, value in current["counters"].items():
+            diff = value - base_counters.get(name, 0)
+            if diff:
+                counters[name] = diff
+        base_hists = baseline.get("histograms", {})
+        histograms = {}
+        for name, snap in current["histograms"].items():
+            diff = _diff_histogram(snap, base_hists.get(name))
+            if diff is not None:
+                histograms[name] = diff
+        base_gauges = baseline.get("gauges", {})
+        gauges = {name: value
+                  for name, value in current["gauges"].items()
+                  if value != base_gauges.get(name)}
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge_delta(self, delta: dict | None) -> None:
+        """Fold a worker-captured :meth:`delta_since` into this registry.
+
+        Counter increments sum into direct counters of the same name
+        (family sums then combine group + merged values, see
+        :meth:`snapshot`), histogram deltas bucket-merge via
+        :meth:`Histogram.merge`, and gauges merge by max
+        (:meth:`Gauge.merge`).  Safe to call with ``None`` or an empty
+        delta -- a crashed worker that shipped nothing merges nothing.
+        """
+        if not delta:
+            return
+        for name, diff in delta.get("counters", {}).items():
+            self.counter(name).inc(diff)
+        for name, snap in delta.get("histograms", {}).items():
+            bounds = tuple(snap.get("bounds", DEFAULT_BUCKETS))
+            self.histogram(name, buckets=bounds).merge(snap)
+        for name, value in delta.get("gauges", {}).items():
+            self.gauge(name).merge(value)
 
     def export_json(self, prefix: str | None = None,
                     indent: int | None = 2) -> str:

@@ -1,0 +1,92 @@
+"""Cross-process telemetry propagation for pool workers.
+
+A process-pool worker is a *fork*: it carries a copy of the process-global
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.trace.Tracer`, so every counter increment, histogram
+observation, and span recorded inside a shard task would otherwise be
+silently lost when the task result crosses back to the parent.  This
+module is the courier:
+
+* on the **worker**, :func:`capture_task_telemetry` wraps one task --
+  it snapshots the worker's registry at task start, runs the task, and
+  fills a plain picklable dict with the registry *delta* (counters /
+  histograms / gauges changed by this task, via
+  :meth:`~repro.obs.metrics.MetricsRegistry.delta_since`) plus the span
+  subtree the task produced (``Span.to_dict`` forests);
+* on the **parent**, :func:`merge_task_telemetry` folds that payload
+  back in -- counters summed, histograms bucket-merged, gauges merged by
+  max (:meth:`~repro.obs.metrics.MetricsRegistry.merge_delta`), spans
+  rebuilt and re-parented under the dispatching span (the ``Exchange``'s
+  ``parallel.fanout``).
+
+The contract the equivalence suite (``tests/parallel/
+test_telemetry_propagation.py``) proves: for any query, the parent's
+merged counter totals after a process-sharded run equal the totals of a
+serial run -- sharding changes where work happens, never how much of it
+is accounted.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .metrics import registry as metrics_registry
+from .trace import Span, get_tracer
+
+__all__ = ["capture_task_telemetry", "merge_task_telemetry"]
+
+
+@contextmanager
+def capture_task_telemetry(sink: dict, trace: bool = False):
+    """Capture this process's telemetry delta for one task into ``sink``.
+
+    ``sink`` gains ``"metrics"`` (a registry delta dict) and, when
+    ``trace`` is true, ``"spans"`` (a list of span dicts) once the block
+    exits -- including on error, so a task that raises after doing half
+    its work still accounts for that half.  ``trace`` is shipped from
+    the parent (its tracer's enabled flag at dispatch time) because the
+    worker's forked tracer state reflects pool creation, not this task.
+    """
+    reg = metrics_registry()
+    baseline = reg.typed_snapshot()
+    if trace:
+        tracer = get_tracer()
+        # A forked worker inherits the parent's thread-local span stack
+        # (the fork happens mid-query, under the parent's open fanout
+        # span).  Those inherited spans are dead copies -- their __exit__
+        # runs in the parent -- so drop them: otherwise the task's spans
+        # nest under a ghost and never surface as capturable roots.
+        tracer._stack.clear()
+        try:
+            with tracer.capture() as captured:
+                try:
+                    yield sink
+                finally:
+                    sink["metrics"] = reg.delta_since(baseline)
+        finally:
+            sink["spans"] = [span.to_dict() for span in captured.spans]
+    else:
+        try:
+            yield sink
+        finally:
+            sink["metrics"] = reg.delta_since(baseline)
+
+
+def merge_task_telemetry(telemetry: dict | None,
+                         parent_span: Span | None = None) -> None:
+    """Fold a worker task's telemetry payload into this process.
+
+    Metrics merge unconditionally; spans are rebuilt and adopted under
+    ``parent_span`` (or the calling thread's current span) only when the
+    parent tracer is enabled *now*.  ``None`` / empty payloads -- a
+    crashed worker shipped nothing -- merge nothing and never raise.
+    """
+    if not telemetry:
+        return
+    metrics_registry().merge_delta(telemetry.get("metrics"))
+    span_dicts = telemetry.get("spans")
+    if span_dicts:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.adopt([Span.from_dict(payload) for payload in span_dicts],
+                         parent=parent_span)

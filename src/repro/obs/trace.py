@@ -179,6 +179,50 @@ class Tracer:
             return _NOOP
         return _ActiveSpan(self, name, attrs)
 
+    def current_span(self) -> Span | None:
+        """The innermost open span on the *calling* thread, or ``None``.
+
+        This is the handle worker pools capture at submit time so spans
+        opened on a worker thread can re-parent under the submitting
+        span instead of orphaning as their own roots.
+        """
+        stack = self._stack
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def attach_to(self, parent: Span | None):
+        """Nest this thread's spans under ``parent`` for the block.
+
+        Seeds the calling thread's (otherwise empty) span stack with
+        ``parent``, so spans opened inside the block append to
+        ``parent.children`` rather than landing in ``roots``.  Multiple
+        worker threads may attach to one parent concurrently -- child
+        appends are single list appends, atomic under the GIL.  A
+        ``None`` parent (or a disabled tracer) makes this a no-op.
+        """
+        if not self.enabled or parent is None:
+            yield
+            return
+        stack = self._stack
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] is parent:
+                stack.pop()
+
+    def adopt(self, children, parent: Span | None = None) -> None:
+        """Attach already-built spans (e.g. deserialized from a worker
+        process) under ``parent``, the current span, or ``roots``."""
+        children = list(children)
+        if not children:
+            return
+        target = parent if parent is not None else self.current_span()
+        if target is not None:
+            target.children.extend(children)
+        else:
+            self.roots.extend(children)
+
     def clear(self) -> None:
         """Drop every recorded span (open spans are abandoned too)."""
         self.roots.clear()

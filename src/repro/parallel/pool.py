@@ -32,12 +32,14 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, \
-    ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, \
+    ProcessPoolExecutor, ThreadPoolExecutor
 from time import perf_counter
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..obs.events import emit_event
 from ..obs.metrics import registry as metrics_registry
+from ..obs.trace import get_tracer
 
 __all__ = ["WorkerPool", "default_worker_count", "default_pool",
            "worker_evaluator"]
@@ -149,13 +151,20 @@ class WorkerPool:
         if self.kind == "process":
             return self._submit_process(fn, args, kwargs, submitted_at)
 
+        # Capture the submitting thread's open span so spans the task
+        # opens on a worker thread nest under it instead of orphaning as
+        # their own trace roots (the tracer's span stack is thread-local).
+        tracer = get_tracer()
+        parent_span = tracer.current_span() if tracer.enabled else None
+
         def wrapped():
             self._metrics.histogram("wait_seconds").observe(
                 perf_counter() - submitted_at)
             self._enter()
             started = perf_counter()
             try:
-                result = fn(*args, **kwargs)
+                with tracer.attach_to(parent_span):
+                    result = fn(*args, **kwargs)
             except BaseException:
                 self._metrics["errors"].inc()
                 raise
@@ -198,8 +207,17 @@ class WorkerPool:
             perf_counter() - submitted_at)
         if future.cancelled():
             self._metrics["cancelled"].inc()
-        elif future.exception() is not None:
+            return
+        exc = future.exception()
+        if exc is not None:
             self._metrics["errors"].inc()
+            if isinstance(exc, BrokenExecutor):
+                # The worker process died (segfault, os._exit, OOM kill)
+                # rather than raising -- its telemetry delta is lost and
+                # the whole executor is broken, so record the loss.
+                emit_event("worker_crash", level="error",
+                           pool=self.metrics_prefix,
+                           error=type(exc).__name__, detail=str(exc))
         else:
             self._metrics["completed"].inc()
 

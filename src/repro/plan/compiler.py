@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..lorel.ast import Query
+from ..obs.events import emit_event
 from ..obs.metrics import registry as metrics_registry
 from ..obs.trace import span
 from .ir import AnnotationFilter, LogicalNode, render
@@ -87,6 +88,10 @@ def compile_query(query: Query, evaluator, *,
         elapsed = time.perf_counter() - started
         plan_metrics()["compiled"].inc()
         metrics_registry().histogram(COMPILE_SECONDS_METRIC).observe(elapsed)
+        emit_event("query_compiled", level="info",
+                   indexed=isinstance(root, AnnotationFilter),
+                   passes_fired=[r.name for r in reports if r.fired],
+                   compile_seconds=round(elapsed, 6))
     return CompiledPlan(source=query, normalized=normalized, root=root,
                         labels=labels, passes=reports,
                         compile_seconds=elapsed)

@@ -46,7 +46,9 @@ from typing import Iterator, Optional
 
 from ..lorel.ast import PathExpr
 from ..lorel.result import ObjectRef, QueryResult, Row
-from ..obs.trace import span
+from ..obs.events import emit_event
+from ..obs.propagation import capture_task_telemetry, merge_task_telemetry
+from ..obs.trace import Span, get_tracer, span
 from ..timestamps import POS_INF, Timestamp
 from .batch import (
     DEFAULT_BATCH_SIZE,
@@ -159,6 +161,8 @@ def _exchange_envs(node: Exchange, ctx: ExecutionContext) -> Iterator[dict]:
         metrics["sharded_queries"].inc()
         metrics["shards"].inc(shards)
     chunks = chunk_evenly(first_envs, shards)
+    emit_event("shard_dispatched", level="debug", mode="thread-iter",
+               shards=shards, rows=len(first_envs))
     with span("parallel.fanout", shards=shards):
         env_lists = ctx.pool.map_ordered(
             lambda chunk: list(_apply_stages(node.stages, iter(chunk), ctx)),
@@ -221,10 +225,20 @@ def run_stages_on_rows(stages, rows: list, evaluator) -> list:
 
 
 def _stage_task(task):
-    """Process-pool entry point: one ``(stages, rows)`` shard."""
+    """Process-pool entry point: one ``(stages, rows, trace)`` shard.
+
+    Returns ``(rows, telemetry)``: the worker's registry delta (and,
+    when the parent had tracing on at dispatch, its span subtree) ride
+    back beside the result so the parent can merge them -- the counters
+    a forked worker bumps would otherwise die with the fork.
+    """
     from ..parallel.pool import worker_evaluator
-    stages, rows = task
-    return run_stages_on_rows(stages, rows, worker_evaluator())
+    stages, rows, trace = task
+    telemetry: dict = {}
+    with capture_task_telemetry(telemetry, trace=trace):
+        with span("parallel.shard", rows=len(rows)):
+            rows = run_stages_on_rows(stages, rows, worker_evaluator())
+    return rows, telemetry
 
 
 def _exchange_batches(node: Exchange,
@@ -252,10 +266,25 @@ def _exchange_batches(node: Exchange,
         metrics["sharded_queries"].inc()
         metrics["shards"].inc(shards)
     chunks = chunk_evenly(first_rows, shards)
-    with span("parallel.fanout", shards=shards):
-        if getattr(pool, "kind", "thread") == "process":
-            row_lists = pool.map_ordered(
-                _stage_task, [(node.stages, chunk) for chunk in chunks])
+    process_pool = getattr(pool, "kind", "thread") == "process"
+    emit_event("shard_dispatched", level="debug",
+               mode="process" if process_pool else "thread",
+               shards=shards, rows=len(first_rows))
+    with span("parallel.fanout", shards=shards) as fanout:
+        if process_pool:
+            trace = get_tracer().enabled
+            outcomes = pool.map_ordered(
+                _stage_task,
+                [(node.stages, chunk, trace) for chunk in chunks])
+            # Merge each shard's telemetry before yielding its rows:
+            # counters sum, histograms bucket-merge, and worker span
+            # subtrees re-parent under this dispatching fanout span.
+            row_lists = []
+            for rows, telemetry in outcomes:
+                merge_task_telemetry(
+                    telemetry,
+                    parent_span=fanout if isinstance(fanout, Span) else None)
+                row_lists.append(rows)
         else:
             evaluator = ctx.evaluator
             row_lists = pool.map_ordered(

@@ -16,6 +16,7 @@ from time import perf_counter
 from typing import Callable
 
 from ..errors import QSSError
+from ..obs.events import emit_event
 from ..obs.metrics import registry as metrics_registry
 from ..obs.trace import span
 from ..timestamps import Timestamp, parse_timestamp
@@ -138,6 +139,9 @@ class QSSServer:
         self._locks_guard = threading.Lock()
         # name -> the Future of a timed-out poll that may still be running.
         self._inflight: dict[str, object] = {}
+        # name -> health record (consecutive failure streaks + last
+        # delivery), the state behind health() and the qss.sub.* gauges.
+        self._health: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -226,11 +230,23 @@ class QSSServer:
         re-raise -- they are deadline policy, not subscription defects.
         """
         self._metrics["errors"].inc()
+        name = state.subscription.name
+        record = self._sub_health(name)
         if isinstance(error, PollTimeout):
             self._metrics["timeouts"].inc()
-        elif self.on_error == "raise":
-            raise error
-        self.error_log.append((poll_time, state.subscription.name, error))
+            record["consecutive_timeouts"] += 1
+            metrics_registry().gauge(
+                f"qss.sub.{name}.consecutive_timeouts").set(
+                    record["consecutive_timeouts"])
+            emit_event("poll_timeout", level="warning", subscription=name,
+                       at=str(poll_time),
+                       consecutive=record["consecutive_timeouts"],
+                       detail=str(error))
+        else:
+            record["consecutive_errors"] += 1
+            if self.on_error == "raise":
+                raise error
+        self.error_log.append((poll_time, name, error))
         if not state.polling_times or state.polling_times[-1] != poll_time:
             self.subscriptions.record_poll(state, poll_time)
 
@@ -395,12 +411,21 @@ class QSSServer:
         elapsed = source_seconds + (perf_counter() - started)
         self._metrics["polls"].inc()
         self._metrics.histogram("poll_seconds").observe(elapsed)
+        record = self._sub_health(subscription.name)
+        record["consecutive_timeouts"] = 0
+        record["consecutive_errors"] = 0
+        metrics_registry().gauge(
+            f"qss.sub.{subscription.name}.consecutive_timeouts").set(0)
         if self.slow_poll_threshold is not None and \
                 elapsed >= self.slow_poll_threshold:
             self._metrics["slow_polls"].inc()
             self.slow_poll_log.append(SlowPollRecord(
                 polling_time=poll_time, subscription=subscription.name,
                 seconds=elapsed))
+            emit_event("slow_poll", level="warning",
+                       subscription=subscription.name, at=str(poll_time),
+                       seconds=round(elapsed, 6),
+                       threshold=self.slow_poll_threshold)
         notification = Notification(
             subscription=subscription.name,
             polling_time=poll_time,
@@ -411,6 +436,7 @@ class QSSServer:
         )
         if filtered or self.deliver_empty:
             self._metrics["notifications"].inc()
+            record["last_notification"] = poll_time
             self.notification_log.append(notification)
             for deliver in self._subscribers.get(subscription.name, ()):
                 deliver(notification)
@@ -470,6 +496,79 @@ class QSSServer:
         ``prefix`` narrows the dump (e.g. ``"qss"``).
         """
         return metrics_registry().render_text(prefix)
+
+    def _sub_health(self, name: str) -> dict:
+        record = self._health.get(name)
+        if record is None:
+            record = self._health[name] = {
+                "consecutive_timeouts": 0,
+                "consecutive_errors": 0,
+                "last_notification": None,
+            }
+        return record
+
+    def health(self, *, degraded_after: int = 1,
+               unhealthy_after: int = 3) -> dict:
+        """A structured liveness snapshot of every subscription.
+
+        Per subscription: ``poll_lag_seconds`` (how far behind schedule
+        the next poll is, in simulated seconds -- 0 when on time),
+        ``notification_age_seconds`` (simulated seconds since the last
+        delivered notification, ``None`` if never), and the consecutive
+        timeout/error streaks.  A subscription is ``unhealthy`` once its
+        timeout streak reaches ``unhealthy_after``, ``degraded`` when
+        either streak reaches ``degraded_after``; the server's ``status``
+        is the worst subscription's.  Refreshing the snapshot also
+        refreshes the ``qss.sub.<name>.*`` gauges, so a ``/metrics``
+        scrape taken after ``/health`` reflects the same picture.
+        """
+        reg = metrics_registry()
+        order = {"healthy": 0, "degraded": 1, "unhealthy": 2}
+        worst = "healthy"
+        subscriptions: dict[str, dict] = {}
+        for state in self.subscriptions.states():
+            name = state.subscription.name
+            record = self._sub_health(name)
+            lag = 0.0
+            if state.next_poll is not None and state.next_poll < self.clock:
+                lag = self.clock - state.next_poll
+            age = None
+            if record["last_notification"] is not None:
+                age = self.clock - record["last_notification"]
+            timeouts = record["consecutive_timeouts"]
+            errors = record["consecutive_errors"]
+            if timeouts >= unhealthy_after:
+                status = "unhealthy"
+            elif timeouts >= degraded_after or errors >= degraded_after:
+                status = "degraded"
+            else:
+                status = "healthy"
+            if order[status] > order[worst]:
+                worst = status
+            reg.gauge(f"qss.sub.{name}.poll_lag_seconds").set(lag)
+            reg.gauge(f"qss.sub.{name}.consecutive_timeouts").set(timeouts)
+            if age is not None:
+                reg.gauge(f"qss.sub.{name}.notification_age_seconds").set(age)
+            subscriptions[name] = {
+                "status": status,
+                "poll_lag_seconds": lag,
+                "notification_age_seconds": age,
+                "consecutive_timeouts": timeouts,
+                "consecutive_errors": errors,
+                "last_poll": str(state.polling_times[-1])
+                if state.polling_times else None,
+                "next_poll": str(state.next_poll)
+                if state.next_poll is not None else None,
+            }
+        return {
+            "status": worst,
+            "clock": str(self.clock),
+            "subscriptions": subscriptions,
+            "polls": self._metrics["polls"].value,
+            "notifications": self._metrics["notifications"].value,
+            "errors": self._metrics["errors"].value,
+            "timeouts": self._metrics["timeouts"].value,
+        }
 
     def _package(self, name: str, filtered) -> "OEMDatabase":
         """Package a filter result as a notification OEM database.

@@ -1,0 +1,231 @@
+"""Merge semantics behind cross-process telemetry propagation.
+
+Covers the instrument-level merges (``Histogram.merge``, ``Gauge.merge``),
+the registry delta machinery (``typed_snapshot`` / ``delta_since`` /
+``merge_delta``), the snapshot's direct-instrument + family-sum addition,
+the self-describing histogram export (bucket ``bounds``), and the
+worker-side capture / parent-side merge pair in
+:mod:`repro.obs.propagation`.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.metrics import Gauge, Histogram, MetricsRegistry
+from repro.obs.propagation import capture_task_telemetry, merge_task_telemetry
+from repro.obs.trace import Span, Tracer
+
+
+class TestHistogramMerge:
+    def test_merge_adds_buckets_sum_count(self):
+        a = Histogram("h", buckets=(0.1, 1.0))
+        b = Histogram("h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            a.observe(value)
+        b.observe(0.5)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(6.05)
+        assert snap["buckets"] == {"le_0.1": 1, "le_1": 2, "le_inf": 1}
+
+    def test_merge_accepts_snapshot_dict(self):
+        a = Histogram("h", buckets=(0.1, 1.0))
+        b = Histogram("h", buckets=(0.1, 1.0))
+        b.observe(0.05)
+        a.merge(b.snapshot())
+        assert a.count == 1
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram("h", buckets=(0.1, 1.0))
+        b = Histogram("h", buckets=(0.5,))
+        with pytest.raises(ValueError, match="bucket bounds"):
+            a.merge(b)
+
+    def test_snapshot_includes_bounds(self):
+        snap = Histogram("h", buckets=(0.25, 2.0)).snapshot()
+        assert snap["bounds"] == [0.25, 2.0]
+
+
+class TestGaugeMerge:
+    def test_merge_keeps_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.merge(3)
+        assert gauge.value == 5
+        gauge.merge(9)
+        assert gauge.value == 9
+
+
+class TestRegistryDelta:
+    def test_delta_since_reports_only_changes(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.counter("b").inc(1)
+        reg.histogram("h").observe(0.01)
+        reg.gauge("g").set(4)
+        baseline = reg.typed_snapshot()
+        reg.counter("a").inc(3)
+        reg.histogram("h").observe(0.02)
+        delta = reg.delta_since(baseline)
+        assert delta["counters"] == {"a": 3}
+        assert list(delta["histograms"]) == ["h"]
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["bounds"]  # self-describing
+        assert delta["gauges"] == {}
+
+    def test_delta_includes_group_counters(self):
+        reg = MetricsRegistry()
+        group = reg.group("fam", ("hits",))
+        baseline = reg.typed_snapshot()
+        group["hits"].inc(7)
+        assert reg.delta_since(baseline)["counters"] == {"fam.hits": 7}
+
+    def test_delta_is_picklable(self):
+        reg = MetricsRegistry()
+        baseline = reg.typed_snapshot()
+        reg.counter("x").inc()
+        reg.histogram("h").observe(1.0)
+        reg.gauge("g").set(2)
+        delta = reg.delta_since(baseline)
+        assert pickle.loads(pickle.dumps(delta)) == delta
+
+    def test_merge_delta_round_trip(self):
+        worker = MetricsRegistry()
+        baseline = worker.typed_snapshot()
+        worker.counter("repro.view.annotation_visits").inc(11)
+        worker.histogram("lat", buckets=(0.5,)).observe(0.1)
+        worker.gauge("peak").set(6)
+        delta = worker.delta_since(baseline)
+
+        parent = MetricsRegistry()
+        parent.counter("repro.view.annotation_visits").inc(4)
+        parent.gauge("peak").set(9)
+        parent.merge_delta(delta)
+        snap = parent.snapshot()
+        assert snap["repro.view.annotation_visits"] == 15
+        assert snap["lat"]["count"] == 1
+        assert snap["lat"]["bounds"] == [0.5]
+        assert snap["peak"] == 9  # max(9, 6)
+
+    def test_merge_delta_none_and_empty_are_noops(self):
+        reg = MetricsRegistry()
+        reg.merge_delta(None)
+        reg.merge_delta({})
+        assert reg.snapshot() == {}
+
+    def test_snapshot_adds_direct_counter_to_family_sum(self):
+        """Merged worker deltas (direct counters) combine with the
+        parent's live group instances of the same family name."""
+        reg = MetricsRegistry()
+        group = reg.group("fam", ("hits",))
+        group["hits"].inc(5)
+        reg.counter("fam.hits").inc(2)  # e.g. merged from a worker
+        assert reg.snapshot()["fam.hits"] == 7
+
+    def test_export_json_carries_histogram_bounds(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(0.1,)).observe(0.05)
+        payload = json.loads(reg.export_json())
+        assert payload["h"]["bounds"] == [0.1]
+        assert payload["h"]["count"] == 1
+
+
+class TestTracerAttachment:
+    def test_attach_to_nests_spans_under_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent") as parent:
+            with tracer.attach_to(parent):
+                with tracer.span("child"):
+                    pass
+        assert [c.name for c in parent.children] == ["child"]
+        assert tracer.current_span() is None
+
+    def test_attach_to_disabled_or_none_is_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.attach_to(None):
+            pass
+        with tracer.attach_to(Span("x")):
+            pass
+        assert tracer.roots == []
+
+    def test_adopt_under_parent_and_roots(self):
+        tracer = Tracer(enabled=True)
+        orphan = Span("shard")
+        parent = Span("fanout")
+        tracer.adopt([orphan], parent=parent)
+        assert parent.children == [orphan]
+        other = Span("other")
+        tracer.adopt([other])
+        assert other in tracer.roots
+
+    def test_span_round_trips_through_dict(self):
+        root = Span("a", {"k": 1})
+        child = Span("b")
+        child.end = 0.5
+        root.children.append(child)
+        root.end = 1.0
+        rebuilt = Span.from_dict(root.to_dict())
+        assert rebuilt.name == "a"
+        assert rebuilt.attrs == {"k": 1}
+        assert rebuilt.duration == pytest.approx(1.0)
+        assert rebuilt.children[0].name == "b"
+        assert rebuilt.children[0].duration == pytest.approx(0.5)
+
+
+class TestTaskTelemetry:
+    def test_capture_fills_metrics_and_spans(self):
+        from repro.obs.metrics import registry as global_registry
+        from repro.obs.trace import get_tracer
+
+        sink: dict = {}
+        with capture_task_telemetry(sink, trace=True):
+            global_registry().counter("test.propagation.ops").inc(3)
+            with get_tracer().span("task.phase"):
+                pass
+        assert sink["metrics"]["counters"]["test.propagation.ops"] == 3
+        assert [s["name"] for s in sink["spans"]] == ["task.phase"]
+        # One-off capture leaves no residue when tracing was off before.
+        assert get_tracer().enabled is False
+
+    def test_capture_records_partial_work_on_error(self):
+        from repro.obs.metrics import registry as global_registry
+
+        sink: dict = {}
+        with pytest.raises(RuntimeError):
+            with capture_task_telemetry(sink, trace=True):
+                global_registry().counter("test.propagation.partial").inc()
+                raise RuntimeError("half way")
+        assert sink["metrics"]["counters"]["test.propagation.partial"] == 1
+        assert "spans" in sink
+
+    def test_merge_task_telemetry_reparents_spans(self):
+        from repro.obs.metrics import registry as global_registry
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        before = global_registry().snapshot().get(
+            "test.propagation.merged", 0)
+        parent = Span("parallel.fanout")
+        payload = {
+            "metrics": {"counters": {"test.propagation.merged": 2},
+                        "gauges": {}, "histograms": {}},
+            "spans": [{"name": "parallel.shard", "duration": 0.01}],
+        }
+        prior = tracer.enabled
+        tracer.enabled = True
+        try:
+            merge_task_telemetry(payload, parent_span=parent)
+        finally:
+            tracer.enabled = prior
+        after = global_registry().snapshot()["test.propagation.merged"]
+        assert after - before == 2
+        assert [c.name for c in parent.children] == ["parallel.shard"]
+
+    def test_merge_task_telemetry_none_is_noop(self):
+        merge_task_telemetry(None)
+        merge_task_telemetry({})

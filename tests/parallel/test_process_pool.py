@@ -9,12 +9,15 @@ for CPU-bound shards.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from concurrent.futures import BrokenExecutor
 
 import pytest
 
+from repro.obs.events import configure_events, disable_events
+from repro.obs.metrics import registry as metrics_registry
 from repro.parallel import WorkerPool, worker_evaluator
 from repro.parallel.pool import _install_worker_evaluator
 
@@ -116,6 +119,52 @@ class TestProcessCrash:
             assert pool.stats()[f"{prefix}.errors"] >= 1
         finally:
             pool.shutdown(wait=False, cancel_pending=True)
+
+
+class TestCrashTelemetry:
+    """A dead worker ships no telemetry -- and corrupts none either."""
+
+    def test_crash_emits_worker_crash_event(self, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        configure_events(events_path, level="error")
+        pool = WorkerPool(1, kind="process",
+                          metrics_prefix="test.ppool.crashlog")
+        try:
+            with pytest.raises(BrokenExecutor):
+                pool.submit(hard_crash, None).result(timeout=30)
+        finally:
+            pool.shutdown(wait=False, cancel_pending=True)
+            disable_events()
+        crashes = [json.loads(line) for line
+                   in events_path.read_text(encoding="utf-8").splitlines()
+                   if json.loads(line)["type"] == "worker_crash"]
+        assert crashes, "no worker_crash event reached the sink"
+        assert crashes[0]["level"] == "error"
+        assert crashes[0]["pool"] == "test.ppool.crashlog"
+        assert crashes[0]["error"] == "BrokenProcessPool"
+
+    def test_crash_leaves_parent_registry_uncorrupted(self):
+        """The crashed shard's telemetry payload never arrives; the
+        parent's planner/evaluator counters must not move at all."""
+        registry = metrics_registry()
+        pool = WorkerPool(1, kind="process",
+                          metrics_prefix="test.ppool.crashreg")
+        baseline = registry.typed_snapshot()
+        try:
+            with pytest.raises(BrokenExecutor):
+                pool.submit(hard_crash, None).result(timeout=30)
+        finally:
+            pool.shutdown(wait=False, cancel_pending=True)
+        delta = registry.delta_since(baseline)
+        moved = {name for name in delta["counters"]
+                 if not name.startswith(("test.ppool.crashreg.",
+                                         "repro.events."))}
+        assert moved == set(), \
+            f"crash leaked foreign counter increments: {sorted(moved)}"
+        assert delta["counters"]["test.ppool.crashreg.errors"] >= 1
+        foreign_histograms = {name for name in delta["histograms"]
+                              if not name.startswith("test.ppool.crashreg.")}
+        assert foreign_histograms == set()
 
 
 class TestProcessShutdownUnderLoad:

@@ -217,3 +217,92 @@ class TestExplainAndProfile:
 
     def test_profile_parse_error(self):
         assert run_cli("profile", "select ???")[0] == 1
+
+
+class TestServeMetrics:
+    def test_endpoints_on_ephemeral_port(self):
+        import json
+        import re
+        import threading
+        import time
+        from urllib.request import urlopen
+
+        out = io.StringIO()
+        thread = threading.Thread(
+            target=main,
+            args=(["serve-metrics", "--port", "0", "--duration", "2"], out),
+            daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5
+        url = None
+        while time.monotonic() < deadline:
+            match = re.search(r"http://[\d.]+:\d+", out.getvalue())
+            if match:
+                url = match.group(0)
+                break
+            time.sleep(0.02)
+        assert url is not None, "serve-metrics never printed its URL"
+
+        with urlopen(url + "/metrics") as response:
+            assert response.status == 200
+            body = response.read().decode("utf-8")
+        assert "repro" in body  # prometheus text exposition
+
+        with urlopen(url + "/health") as response:
+            assert response.status == 200
+            health = json.loads(response.read().decode("utf-8"))
+        assert health["status"] in ("healthy", "degraded", "unhealthy")
+
+        # `repro top --url` scrapes the same server's JSON endpoint.
+        code, text = run_cli("top", "--once", "--json", "--url", url)
+        assert code == 0
+        assert isinstance(json.loads(text), dict)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestTop:
+    def test_once_json_is_machine_readable(self):
+        import json
+
+        from repro import metrics_registry
+
+        metrics_registry().counter("test.clitop.ticks").inc(3)
+        code, text = run_cli("top", "--once", "--json",
+                             "--prefix", "test.clitop")
+        assert code == 0
+        assert json.loads(text) == {"test.clitop.ticks": 3}
+
+    def test_once_table_renders_histograms(self):
+        from repro import metrics_registry
+
+        metrics_registry().counter("test.clitop2.ticks").inc()
+        metrics_registry().histogram("test.clitop2.seconds").observe(0.002)
+        code, text = run_cli("top", "--once", "--prefix", "test.clitop2")
+        assert code == 0
+        assert "metric" in text and "value" in text
+        assert "test.clitop2.ticks" in text
+        assert "count=1 mean=2.000ms" in text
+
+    def test_once_empty_prefix(self):
+        code, text = run_cli("top", "--once", "--prefix", "no.such.prefix")
+        assert code == 0
+        assert "(no metrics recorded)" in text
+
+
+class TestEventsFlag:
+    def test_global_events_flag_writes_jsonl(self, tmp_path):
+        import json
+
+        from repro.obs.events import disable_events
+
+        events_path = tmp_path / "cli_events.jsonl"
+        try:
+            code, _ = run_cli("--events", str(events_path), "explain",
+                              DEMO_QUERY)
+        finally:
+            disable_events()
+        assert code == 0
+        lines = [json.loads(line) for line
+                 in events_path.read_text(encoding="utf-8").splitlines()]
+        assert any(line["type"] == "query_compiled" for line in lines)
