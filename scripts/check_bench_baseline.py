@@ -29,7 +29,12 @@ whichever bench families the artifact contains:
   must cost less than 5% over the disabled run
   (``overhead.ratio`` < 1.05), and the instrumented run must actually
   have produced events (``events.written`` > 0) -- a "free" telemetry
-  layer that wrote nothing measured nothing.
+  layer that wrote nothing measured nothing;
+* ``bench_analyze.*`` -- the EXPLAIN ANALYZE gate: an analyzed run must
+  cost less than 5% over a plain run (``overhead.ratio`` < 1.05),
+  return identical rows with an internally consistent stats tree
+  (``equivalence.*`` == 0), and the sweeps must have landed in the
+  query log (``queries.recorded`` > 0).
 
 Exit status: 0 clean, 1 on any divergence (the CI bench-regression and
 telemetry-overhead jobs gate on it).
@@ -42,6 +47,7 @@ import sys
 from pathlib import Path
 
 OBS_OVERHEAD_LIMIT = 1.05
+ANALYZE_OVERHEAD_LIMIT = 1.05
 
 
 def fail(message: str) -> None:
@@ -125,6 +131,29 @@ def _check_obs(artifact: dict) -> str:
             f"{written} event(s) written")
 
 
+def _check_analyze(artifact: dict) -> str:
+    ratio = artifact.get("bench_analyze.overhead.ratio")
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        fail(f"bench_analyze.overhead.ratio is {ratio!r}; the bench did "
+             f"not record the analyze/plain wall-clock ratio")
+    if ratio >= ANALYZE_OVERHEAD_LIMIT:
+        fail(f"ANALYZE overhead ratio {ratio} >= {ANALYZE_OVERHEAD_LIMIT} "
+             f"(analyze/plain); the per-operator accounting got too "
+             f"expensive")
+    for counter in ("bench_analyze.equivalence.row_mismatches",
+                    "bench_analyze.equivalence.consistency_violations"):
+        if artifact.get(counter, "<missing>") != 0:
+            fail(f"{counter} is {artifact.get(counter)!r}; ANALYZE "
+                 f"perturbed results or collected an inconsistent tree")
+    recorded = artifact.get("bench_analyze.queries.recorded", 0)
+    if recorded <= 0:
+        fail(f"bench_analyze.queries.recorded is {recorded!r}; no query "
+             f"reached the query log, so the overhead measurement is "
+             f"vacuous")
+    return (f"ANALYZE overhead ratio {ratio} < {ANALYZE_OVERHEAD_LIMIT}, "
+            f"{recorded} query-log record(s)")
+
+
 def main(argv: list[str]) -> None:
     if len(argv) != 3:
         fail(f"usage: {argv[0]} <artifact.json> <baseline.json>")
@@ -151,9 +180,11 @@ def main(argv: list[str]) -> None:
         notes.append(_check_parallel(artifact))
     if "bench_obs.overhead.ratio" in artifact:
         notes.append(_check_obs(artifact))
+    if "bench_analyze.overhead.ratio" in artifact:
+        notes.append(_check_analyze(artifact))
     if not notes:
         fail("artifact contains no recognized bench family "
-             "(bench_parallel.* or bench_obs.*)")
+             "(bench_parallel.*, bench_obs.*, or bench_analyze.*)")
 
     print(f"baseline check OK: {len(baseline)} series match, "
           + "; ".join(notes))

@@ -26,8 +26,8 @@ from ..plan import (
     CompiledPlan,
     ExecutionContext,
     compile_query,
-    execute_plan,
     insert_exchange,
+    run_compiled,
 )
 from ..timestamps import Timestamp, parse_timestamp
 
@@ -141,11 +141,14 @@ class ChorelEngine:
     def execute(self, compiled: CompiledPlan,
                 bindings: dict[str, str] | None = None, *, pool=None,
                 min_shard_size: int = 1,
-                parallel_metrics=None) -> QueryResult:
+                parallel_metrics=None,
+                analyze: bool = False) -> QueryResult:
         """Run a compiled plan through the physical operators.
 
         ``pool`` (set by the parallel executor) shards the plan behind an
         ``Exchange`` operator when it has a from clause to shard along.
+        ``analyze=True`` attaches per-operator runtime accounting
+        (identical rows) and leaves the stats on ``compiled.runtime``.
         """
         root = compiled.root
         ctx = self._execution_context(bindings, pool=pool,
@@ -154,12 +157,13 @@ class ChorelEngine:
         if pool is not None:
             exchanged = insert_exchange(root)
             if exchanged is not None:
-                return execute_plan(exchanged, ctx)
+                return run_compiled(compiled, exchanged, ctx, self,
+                                    analyze=analyze)
             if parallel_metrics is not None:
                 parallel_metrics["serial_queries"].inc()
-            return execute_plan(root, ctx)
+            return run_compiled(compiled, root, ctx, self, analyze=analyze)
         with span("lorel.eval"):
-            return execute_plan(root, ctx)
+            return run_compiled(compiled, root, ctx, self, analyze=analyze)
 
     def _execution_context(self, bindings=None, *, pool=None,
                            min_shard_size: int = 1,
@@ -175,7 +179,7 @@ class ChorelEngine:
 
     def run(self, query: str | Query,
             bindings: dict[str, str] | None = None, *,
-            profile: bool = False) -> QueryResult:
+            profile: bool = False, analyze: bool = False) -> QueryResult:
         """Parse (if needed), compile, optimize, and execute a query.
 
         ``bindings`` pre-binds variables to node identifiers before
@@ -186,24 +190,34 @@ class ChorelEngine:
         (:func:`repro.obs.profile.profile_query`): identical rows come
         back, and the :class:`~repro.obs.profile.QueryProfile` lands on
         ``self.last_profile``.
+
+        ``analyze=True`` collects per-operator runtime stats (identical
+        rows); render them with ``self.last_compiled.explain(analyze=True)``.
         """
         if profile:
+            if analyze:
+                raise ValueError("profile and analyze are mutually "
+                                 "exclusive; run them separately")
             from ..obs.profile import profile_query
             result, self.last_profile = profile_query(self, query,
                                                       bindings=bindings)
             return result
         with span("chorel.query"):
-            return self._run(query, bindings)
+            return self._run(query, bindings, analyze=analyze)
 
     def _run(self, query: str | Query,
-             bindings: dict[str, str] | None) -> QueryResult:
+             bindings: dict[str, str] | None, *,
+             analyze: bool = False) -> QueryResult:
         if isinstance(query, str):
             with span("chorel.parse"):
                 query = self.parse(query)
         if not self.use_planner:
+            if analyze:
+                raise ValueError("analyze=True requires the planner "
+                                 "(use_planner=False has no plan tree)")
             return self._evaluator.run(query, self._base_env(bindings))
         compiled = self.compile(query, bindings)
-        return self.execute(compiled, bindings)
+        return self.execute(compiled, bindings, analyze=analyze)
 
     def _base_env(self, bindings: dict[str, str] | None = None) -> dict:
         """Ambient bindings every evaluation starts from.

@@ -24,7 +24,12 @@ from ..doem.model import DOEMDatabase
 from ..lorel.result import QueryResult
 from ..lore.indexes import PathIndex, TimestampIndex
 from ..obs.trace import span
-from ..plan import CompileContext, CompiledPlan, execute_index_plan
+from ..plan import (
+    CompileContext,
+    CompiledPlan,
+    execute_index_plan,
+    run_compiled,
+)
 # Deprecation shims: these classes now live in the plan layer.
 from ..plan.stats import EngineStats, IndexPlan
 from .engine import ChorelEngine
@@ -95,17 +100,26 @@ class IndexedChorelEngine(ChorelEngine):
         return context
 
     def execute(self, compiled: CompiledPlan,
-                bindings: dict[str, str] | None = None,
-                **parallel) -> QueryResult:
+                bindings: dict[str, str] | None = None, *,
+                analyze: bool = False, **parallel) -> QueryResult:
         if compiled.is_indexed:
-            return execute_index_plan(compiled.index_plan,
-                                      self._execution_context(bindings))
-        return super().execute(compiled, bindings, **parallel)
+            # The index scan is never sharded: run the AnnotationFilter
+            # root directly (the instrumented kernel when analyzing).
+            ctx = self._execution_context(bindings)
+            with span("chorel.index_scan",
+                      plan=compiled.index_plan.describe()):
+                return run_compiled(compiled, compiled.root, ctx, self,
+                                    analyze=analyze)
+        return super().execute(compiled, bindings, analyze=analyze,
+                               **parallel)
 
     # ------------------------------------------------------------------
 
-    def _run(self, query, bindings) -> QueryResult:
+    def _run(self, query, bindings, *, analyze: bool = False) -> QueryResult:
         """Evaluate; use the index when the planner selects it."""
+        if analyze and not self.use_planner:
+            raise ValueError("analyze=True requires the planner "
+                             "(use_planner=False has no plan tree)")
         if isinstance(query, str):
             with span("chorel.parse"):
                 query = self.parse(query)
@@ -115,7 +129,8 @@ class IndexedChorelEngine(ChorelEngine):
             self.stats.fallback_queries += 1
             if not self.use_planner:
                 return self._evaluator.run(query, self._base_env(bindings))
-            return self.execute(self.compile(query, bindings), bindings)
+            return self.execute(self.compile(query, bindings), bindings,
+                                analyze=analyze)
         with span("chorel.optimize"):
             compiled = self._compile(query)
         self.last_compiled = compiled
@@ -123,12 +138,11 @@ class IndexedChorelEngine(ChorelEngine):
         if plan is not None:
             self.last_plan = plan
             self.stats.indexed_queries += 1
-            with span("chorel.index_scan", plan=plan.describe()):
-                return execute_index_plan(plan, self._execution_context())
+            return self.execute(compiled, analyze=analyze)
         self.stats.fallback_queries += 1
         if not self.use_planner:
             return self._evaluator.run(query, self._base_env(None))
-        return self.execute(compiled)
+        return self.execute(compiled, analyze=analyze)
 
     # -- pre-planner compatibility shims --------------------------------
 

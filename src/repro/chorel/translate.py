@@ -431,27 +431,37 @@ class TranslatingChorelEngine:
         return translation
 
     def run(self, query: str | Query, *,
-            profile: bool = False) -> QueryResult:
+            profile: bool = False, analyze: bool = False) -> QueryResult:
         """Translate and evaluate, returning native-comparable rows.
 
         ``profile=True`` observes the run (identical rows) and leaves the
         :class:`~repro.obs.profile.QueryProfile` on ``self.last_profile``.
+        ``analyze=True`` collects per-operator runtime stats over the
+        *translated* Lorel plan (identical rows); render them with
+        ``self.last_compiled.explain(analyze=True)``.
         """
         if profile:
+            if analyze:
+                raise ValueError("profile and analyze are mutually "
+                                 "exclusive; run them separately")
             from ..obs.profile import profile_query
             result, self.last_profile = profile_query(self, query)
             return result
         with span("chorel.query"):
-            return self._run(query)
+            return self._run(query, analyze=analyze)
 
-    def _run(self, query: str | Query) -> QueryResult:
+    def _run(self, query: str | Query, *,
+             analyze: bool = False) -> QueryResult:
         if not self.use_planner:
+            if analyze:
+                raise ValueError("analyze=True requires the planner "
+                                 "(use_planner=False has no plan tree)")
             translation = self.translate(query)
             raw = self.lorel._evaluator.run(translation.query,
                                             self._base_env())
             return self._postprocess(raw, translation)
         compiled = self.compile(query)
-        return self.execute(compiled)
+        return self.execute(compiled, analyze=analyze)
 
     # -- planner pipeline ------------------------------------------------
 
@@ -484,9 +494,14 @@ class TranslatingChorelEngine:
         return compiled
 
     def execute(self, compiled, *, pool=None, min_shard_size: int = 1,
-                parallel_metrics=None) -> QueryResult:
-        """Run a compiled translation through the physical operators."""
-        from ..plan import ExecutionContext, execute_plan, insert_exchange
+                parallel_metrics=None,
+                analyze: bool = False) -> QueryResult:
+        """Run a compiled translation through the physical operators.
+
+        ``analyze=True`` instruments the translated Lorel plan (identical
+        rows) and leaves the stats on ``compiled.runtime``.
+        """
+        from ..plan import ExecutionContext, insert_exchange, run_compiled
         ctx = ExecutionContext(evaluator=self.lorel._evaluator,
                                base_env=self._base_env(), pool=pool,
                                min_shard_size=min_shard_size,
@@ -496,14 +511,17 @@ class TranslatingChorelEngine:
         if pool is not None:
             exchanged = insert_exchange(root)
             if exchanged is not None:
-                raw = execute_plan(exchanged, ctx)
+                raw = run_compiled(compiled, exchanged, ctx, self,
+                                   analyze=analyze)
             else:
                 if parallel_metrics is not None:
                     parallel_metrics["serial_queries"].inc()
-                raw = execute_plan(root, ctx)
+                raw = run_compiled(compiled, root, ctx, self,
+                                   analyze=analyze)
         else:
             with span("lorel.eval"):
-                raw = execute_plan(root, ctx)
+                raw = run_compiled(compiled, root, ctx, self,
+                                   analyze=analyze)
         return self._postprocess(raw, compiled.translation)
 
     def _base_env(self) -> dict:

@@ -20,11 +20,18 @@ Subcommands (``python -m repro <cmd> --help`` for details):
 * ``profile QUERY``            -- the same observation as JSON (phase
   timings, counters, and the full span trace), for dashboards and CI
   artifacts;
+* ``analyze QUERY``            -- EXPLAIN ANALYZE: execute the query and
+  print the physical plan tree with per-operator runtime stats (rows
+  in/out, batches, wall time, estimated-vs-actual cardinality, shard
+  fan-out, vectorized/fallback predicate counts); same ``--store`` /
+  ``--db`` / ``--backend`` selection as ``explain``;
 * ``serve-metrics``            -- expose the process metrics registry
   over HTTP (``/metrics`` Prometheus text, ``/metrics.json``,
-  ``/health``);
+  ``/queries`` fingerprint-keyed query-log aggregates, ``/health``);
 * ``top``                      -- a live (or ``--once``) view of the
-  metrics registry, local or scraped from a ``serve-metrics`` URL.
+  metrics registry, local or scraped from a ``serve-metrics`` URL; the
+  table view appends per-fingerprint query-log aggregates when this
+  process has executed planner queries.
 
 The global ``--events PATH`` flag (or the ``REPRO_EVENTS`` environment
 variable) turns on the structured JSONL event log for any subcommand.
@@ -121,7 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     for command, summary in (("explain", "profile a Chorel query and print "
                                          "an EXPLAIN-style report"),
                              ("profile", "profile a Chorel query and emit "
-                                         "the observation as JSON")):
+                                         "the observation as JSON"),
+                             ("analyze", "execute a Chorel query with "
+                                         "EXPLAIN ANALYZE: the plan tree "
+                                         "with per-operator runtime stats")):
         sub = commands.add_parser(command, help=summary)
         sub.add_argument("text", help="the Chorel query")
         sub.add_argument("--store", type=Path, default=None,
@@ -137,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="engine to profile (default: indexed)")
         sub.add_argument("--json", type=Path, default=None, dest="json_path",
                          help="also write the JSON observation here"
-                         if command == "explain" else
+                         if command in ("explain", "analyze") else
                          "write the JSON here instead of stdout")
 
     serve = commands.add_parser(
@@ -273,7 +283,7 @@ def _run(args: argparse.Namespace, out) -> int:
             result = ChorelEngine(doem, name=db_name).run(args.text)
         print(result if result else "(empty result)", file=out)
 
-    elif args.command in ("explain", "profile"):
+    elif args.command in ("explain", "profile", "analyze"):
         if args.store is not None:
             if args.db is None:
                 raise ReproError("--store requires --db NAME")
@@ -288,6 +298,23 @@ def _run(args: argparse.Namespace, out) -> int:
         else:
             from .chorel.optimize import IndexedChorelEngine
             engine = IndexedChorelEngine(doem, name=db_name)
+        if args.command == "analyze":
+            import json
+            result = engine.run(args.text, analyze=True)
+            compiled = engine.last_compiled
+            print(f"-- EXPLAIN ANALYZE ({args.backend}):", file=out)
+            print(compiled.explain(analyze=True), file=out)
+            print(f"-- {len(result)} row(s)", file=out)
+            if args.json_path is not None:
+                payload = {"query": args.text,
+                           "backend": args.backend,
+                           "rows": len(result),
+                           "fingerprint": compiled.fingerprint,
+                           "plan": compiled.runtime.to_dict()}
+                args.json_path.write_text(
+                    json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+                print(f"-- JSON observation -> {args.json_path}", file=out)
+            return 0
         engine.run(args.text, profile=True)
         profile = engine.last_profile
         if args.command == "explain":
@@ -344,6 +371,12 @@ def _run(args: argparse.Namespace, out) -> int:
                 if not args.once:  # pragma: no cover - interactive mode
                     print("\x1b[2J\x1b[H", end="", file=out)
                 print(_render_top(snapshot), file=out, flush=True)
+                if not args.url:
+                    from .obs.querylog import query_log
+                    aggregates = query_log().aggregates()
+                    if aggregates:
+                        print(_render_queries(aggregates), file=out,
+                              flush=True)
             if args.once:
                 break
             time.sleep(args.interval)  # pragma: no cover - interactive
@@ -368,6 +401,27 @@ def _render_top(snapshot: dict) -> str:
             lines.append(f"{name:<56} {value}")
     if len(lines) == 2:
         lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def _render_queries(aggregates: dict) -> str:
+    """The ``repro top`` query-log section: one line per plan
+    fingerprint, busiest queries first."""
+    lines = ["",
+             f"{'fingerprint':<14} {'count':>5} {'rows':>7} "
+             f"{'mean':>9} {'max':>9} {'slow':>4}  query",
+             "-" * 72]
+    ranked = sorted(aggregates.items(),
+                    key=lambda item: item[1]["count"], reverse=True)
+    for fingerprint, agg in ranked:
+        query = " ".join(agg.get("query", "").split())
+        if len(query) > 40:
+            query = query[:37] + "..."
+        lines.append(
+            f"{fingerprint:<14} {agg['count']:>5} {agg['rows']:>7} "
+            f"{agg['mean_seconds'] * 1000:>7.2f}ms "
+            f"{agg['max_seconds'] * 1000:>7.2f}ms "
+            f"{agg.get('slow', 0):>4}  {query}")
     return "\n".join(lines)
 
 

@@ -21,8 +21,8 @@ from ..plan import (
     CompiledPlan,
     ExecutionContext,
     compile_query,
-    execute_plan,
     insert_exchange,
+    run_compiled,
 )
 from .ast import Query
 from .eval import Evaluator
@@ -91,11 +91,14 @@ class LorelEngine:
 
     def execute(self, compiled: CompiledPlan, *, pool=None,
                 min_shard_size: int = 1,
-                parallel_metrics=None) -> QueryResult:
+                parallel_metrics=None,
+                analyze: bool = False) -> QueryResult:
         """Run a compiled plan through the physical operators.
 
         ``pool`` (set by the parallel executor) shards the plan behind an
         ``Exchange`` operator when it has a from clause to shard along.
+        ``analyze=True`` attaches per-operator runtime accounting
+        (identical rows) and leaves the stats on ``compiled.runtime``.
         """
         root = compiled.root
         ctx = ExecutionContext(evaluator=self._evaluator,
@@ -106,23 +109,29 @@ class LorelEngine:
         if pool is not None:
             exchanged = insert_exchange(root)
             if exchanged is not None:
-                return execute_plan(exchanged, ctx)
+                return run_compiled(compiled, exchanged, ctx, self,
+                                    analyze=analyze)
             if parallel_metrics is not None:
                 parallel_metrics["serial_queries"].inc()
-            return execute_plan(root, ctx)
+            return run_compiled(compiled, root, ctx, self, analyze=analyze)
         with span("lorel.eval"):
-            return execute_plan(root, ctx)
+            return run_compiled(compiled, root, ctx, self, analyze=analyze)
 
     # -- entry points ----------------------------------------------------
 
     def run(self, query: str | Query, *,
-            profile: bool = False) -> QueryResult:
+            profile: bool = False, analyze: bool = False) -> QueryResult:
         """Parse (if needed), compile, optimize, and execute a query.
 
         ``profile=True`` observes the run (identical rows) and leaves the
         :class:`~repro.obs.profile.QueryProfile` on ``self.last_profile``.
+        ``analyze=True`` collects per-operator runtime stats (identical
+        rows); render them with ``self.last_compiled.explain(analyze=True)``.
         """
         if profile:
+            if analyze:
+                raise ValueError("profile and analyze are mutually "
+                                 "exclusive; run them separately")
             from ..obs.profile import profile_query
             result, self.last_profile = profile_query(self, query)
             return result
@@ -131,9 +140,12 @@ class LorelEngine:
                 with span("lorel.parse"):
                     query = self.parse(query)
             if not self.use_planner:
+                if analyze:
+                    raise ValueError("analyze=True requires the planner "
+                                     "(use_planner=False has no plan tree)")
                 return self._evaluator.run(query)
             compiled = self.compile(query)
-            return self.execute(compiled)
+            return self.execute(compiled, analyze=analyze)
 
     def run_ast(self, query: Query) -> QueryResult:
         """Evaluate an already-parsed query AST (may contain annotations;

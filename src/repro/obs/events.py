@@ -10,6 +10,9 @@ into a dataframe.  Event types currently emitted:
 type                      level    emitted by
 ========================  =======  ==============================================
 ``query_compiled``        info     :func:`repro.plan.compiler.compile_query`
+``query_completed``       info     :class:`repro.obs.querylog.QueryLog` (one per
+                                   executed query: fingerprint, rows, wall
+                                   seconds, engine)
 ``rule_fired``            debug    :class:`repro.plan.rules.PassManager`
 ``shard_dispatched``      debug    the ``Exchange`` operator (thread or process)
 ``poll_timeout``          warning  :class:`repro.qss.server.QSSServer`

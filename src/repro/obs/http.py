@@ -4,10 +4,15 @@
 around the process-global :class:`~repro.obs.metrics.MetricsRegistry` and
 an optional health source (typically ``QSSServer.health``):
 
-* ``GET /metrics`` -- the Prometheus-style text dump
-  (:meth:`MetricsRegistry.render_text`); ``?prefix=qss`` narrows it;
+* ``GET /metrics`` -- the Prometheus text exposition
+  (:meth:`MetricsRegistry.render_text`, with ``# HELP``/``# TYPE`` lines
+  and the ``text/plain; version=0.0.4`` content type scrapers expect);
+  ``?prefix=qss`` narrows it;
 * ``GET /metrics.json`` -- the JSON snapshot
   (:meth:`MetricsRegistry.export_json`), same ``prefix`` filter;
+* ``GET /queries`` -- the plan-fingerprinted query-log snapshot
+  (:meth:`repro.obs.querylog.QueryLog.snapshot`): per-fingerprint
+  aggregates plus the captured slow queries;
 * ``GET /health`` -- the health source's JSON payload, served with HTTP
   503 when its ``status`` is ``"unhealthy"`` (so load-balancer probes
   need no body parsing) and 200 otherwise.
@@ -26,8 +31,11 @@ from typing import Callable
 from urllib.parse import parse_qs, urlparse
 
 from .metrics import registry as metrics_registry
+from .querylog import query_log
 
-__all__ = ["MetricsHTTPServer", "serve_metrics"]
+__all__ = ["MetricsHTTPServer", "serve_metrics", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _default_health() -> dict:
@@ -37,10 +45,12 @@ def _default_health() -> dict:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes /metrics, /metrics.json, and /health; 404 otherwise.
+    """Routes /metrics, /metrics.json, /queries, and /health; 404
+    otherwise.
 
-    Routing context (the registry and health source) rides on the
-    underlying ``ThreadingHTTPServer`` instance as attributes.
+    Routing context (the registry, query source, and health source)
+    rides on the underlying ``ThreadingHTTPServer`` instance as
+    attributes.
     """
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -48,10 +58,14 @@ class _Handler(BaseHTTPRequestHandler):
         prefix = parse_qs(parsed.query).get("prefix", [None])[0]
         if parsed.path == "/metrics":
             body = self.server.registry.render_text(prefix)
-            self._reply(200, body, "text/plain; charset=utf-8")
+            self._reply(200, body, PROMETHEUS_CONTENT_TYPE)
         elif parsed.path == "/metrics.json":
             body = self.server.registry.export_json(prefix)
             self._reply(200, body, "application/json")
+        elif parsed.path == "/queries":
+            payload = self.server.query_source()
+            self._reply(200, json.dumps(payload, indent=2, default=str),
+                        "application/json")
         elif parsed.path == "/health":
             payload = self.server.health_source()
             status = 503 if payload.get("status") == "unhealthy" else 200
@@ -80,16 +94,22 @@ class MetricsHTTPServer:
     ``health_source`` is any zero-argument callable returning a JSON-able
     dict with a ``"status"`` key (``QSSServer.health`` fits directly);
     without one, ``/health`` reports plain process liveness.
+    ``query_source`` backs ``/queries`` and defaults to the process
+    query log's snapshot.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 health_source: Callable[[], dict] | None = None) -> None:
+                 health_source: Callable[[], dict] | None = None,
+                 query_source: Callable[[], dict] | None = None) -> None:
         self.registry = metrics_registry()
         self.health_source = health_source or _default_health
+        self.query_source = query_source or \
+            (lambda: query_log().snapshot())
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         # Hand the handler our routing context through the server object.
         self._httpd.registry = self.registry
         self._httpd.health_source = self.health_source
+        self._httpd.query_source = self.query_source
         self._thread: threading.Thread | None = None
 
     @property

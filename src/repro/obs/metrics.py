@@ -434,24 +434,41 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(prefix), indent=indent)
 
     def render_text(self, prefix: str | None = None) -> str:
-        """A ``/metrics``-style text dump: one ``name value`` line each.
+        """The Prometheus text exposition of the registry.
 
-        Histograms expand into ``name_bucket{le="..."}`` lines plus
-        ``name_sum`` and ``name_count``, mirroring the Prometheus text
-        exposition format closely enough to be scrape-friendly.
+        Every metric family carries its ``# HELP`` and ``# TYPE`` lines
+        (type from the actual instrument kind: counter, gauge, or
+        histogram); histograms expand into ``name_bucket{le="..."}``
+        lines plus ``name_sum`` and ``name_count``.  Serve with content
+        type ``text/plain; version=0.0.4`` (what
+        :class:`repro.obs.http.MetricsHTTPServer` sends).
         """
+        typed = self.typed_snapshot()
+        kind_of: dict[str, str] = {}
+        for kind, label in (("counters", "counter"), ("gauges", "gauge"),
+                            ("histograms", "histogram")):
+            for name in typed[kind]:
+                kind_of[name] = label
         lines: list[str] = []
-        for name, value in self.snapshot(prefix).items():
+        for name in sorted(kind_of):
+            if prefix is not None and not name.startswith(prefix):
+                continue
+            label = kind_of[name]
             flat = name.replace(".", "_").replace("-", "_")
-            if isinstance(value, dict):  # histogram
-                for label, count in value["buckets"].items():
-                    edge = label[3:].replace("_", ".") \
-                        if not label.endswith("inf") else "+Inf"
+            lines.append(f"# HELP {flat} repro metric {name}")
+            lines.append(f"# TYPE {flat} {label}")
+            if label == "histogram":
+                value = typed["histograms"][name]
+                for bucket, count in value["buckets"].items():
+                    edge = bucket[3:].replace("_", ".") \
+                        if not bucket.endswith("inf") else "+Inf"
                     lines.append(f'{flat}_bucket{{le="{edge}"}} {count}')
                 lines.append(f"{flat}_sum {value['sum']:.6f}")
                 lines.append(f"{flat}_count {value['count']}")
             else:
-                lines.append(f"{flat} {value}")
+                source = typed["counters" if label == "counter"
+                               else "gauges"]
+                lines.append(f"{flat} {source[name]}")
         return "\n".join(lines) + "\n"
 
     def reset(self) -> None:

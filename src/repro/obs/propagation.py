@@ -19,6 +19,13 @@ module is the courier:
   rebuilt and re-parented under the dispatching span (the ``Exchange``'s
   ``parallel.fanout``).
 
+The same payload also carries **EXPLAIN ANALYZE stage stats**: when the
+parent is analyzing, the shard task attaches its per-stage row/time
+recorder (:func:`attach_stage_stats`) and the coordinator pops it
+(:func:`pop_stage_stats`) to fold into the plan tree's ``OpStats`` --
+:func:`merge_task_telemetry` itself ignores the key, so the two streams
+never interfere.
+
 The contract the equivalence suite (``tests/parallel/
 test_telemetry_propagation.py``) proves: for any query, the parent's
 merged counter totals after a process-sharded run equal the totals of a
@@ -33,7 +40,27 @@ from contextlib import contextmanager
 from .metrics import registry as metrics_registry
 from .trace import Span, get_tracer
 
-__all__ = ["capture_task_telemetry", "merge_task_telemetry"]
+__all__ = ["capture_task_telemetry", "merge_task_telemetry",
+           "attach_stage_stats", "pop_stage_stats"]
+
+STAGE_STATS_KEY = "stage_stats"
+
+
+def attach_stage_stats(telemetry: dict, stages: list[dict]) -> None:
+    """Ship one shard's per-stage ANALYZE recorder in the payload.
+
+    ``stages`` is a plain list of dicts (rows in/out, wall seconds,
+    predicate split) -- picklable by construction, so it crosses the
+    process boundary beside the metrics delta.
+    """
+    telemetry[STAGE_STATS_KEY] = stages
+
+
+def pop_stage_stats(telemetry: dict | None) -> list[dict] | None:
+    """Take the per-stage recorder out of a payload, if one rode along."""
+    if not telemetry:
+        return None
+    return telemetry.pop(STAGE_STATS_KEY, None)
 
 
 @contextmanager

@@ -136,10 +136,14 @@ class ParallelExecutor:
 
     # -- single queries --------------------------------------------------
 
-    def run(self, query) -> QueryResult:
+    def run(self, query, *, analyze: bool = False) -> QueryResult:
         """Evaluate one query with intra-query sharding.
 
         Row- and order-identical to ``engine.run(query)``.
+        ``analyze=True`` collects per-operator runtime stats (identical
+        rows) -- shard workers ship their stage stats back with the rows,
+        so the merged tree on ``engine.last_compiled.runtime`` carries
+        the same row totals a serial ANALYZE would.
         """
         engine = self.engine
         if isinstance(query, str):
@@ -150,11 +154,13 @@ class ParallelExecutor:
             # The annotation-index scan is already sublinear; let the
             # engine serve it (and keep its pushdown accounting).
             self._metrics["indexed_queries"].inc()
-            return engine.run(query)
+            return engine.run(query, analyze=analyze)
+        engine.last_compiled = compiled
         with span("parallel.query"):
             result = engine.execute(compiled, pool=self.pool,
                                     min_shard_size=self.min_shard_size,
-                                    parallel_metrics=self._metrics)
+                                    parallel_metrics=self._metrics,
+                                    analyze=analyze)
         if getattr(engine, "stats", None) is not None:
             # Mirror the serial engine's pushdown split for this query.
             engine.stats.fallback_queries += 1

@@ -20,6 +20,13 @@ Engines call :func:`compile_query` then :func:`execute_plan`; the
 :class:`CompiledPlan` in between is what ``repro explain`` renders.
 """
 
+from .analyze import (
+    CardinalityFeedback,
+    OpStats,
+    PlanStats,
+    cardinality_feedback,
+    plan_fingerprint,
+)
 from .batch import DEFAULT_BATCH_SIZE, EnvBatch, compile_predicate
 from .compiler import CompiledPlan, compile_query
 from .ir import (
@@ -38,6 +45,7 @@ from .physical import (
     execute_index_plan,
     execute_plan,
     insert_exchange,
+    run_compiled,
 )
 from .rules import (
     AnnotationLiteralPushdown,
@@ -55,6 +63,7 @@ from .stats import EngineStats, IndexPlan
 __all__ = [
     "AnnotationFilter",
     "AnnotationLiteralPushdown",
+    "CardinalityFeedback",
     "CompileContext",
     "CompiledPlan",
     "DEFAULT_BATCH_SIZE",
@@ -66,20 +75,25 @@ __all__ = [
     "IndexPlan",
     "IndexSelection",
     "LogicalNode",
+    "OpStats",
     "PassManager",
     "PassReport",
     "PathExpand",
+    "PlanStats",
     "Predicate",
     "PredicateReorder",
     "Project",
     "RewriteRule",
     "Scan",
     "VirtualAtExpansion",
+    "cardinality_feedback",
     "compile_query",
     "default_rules",
     "execute_index_plan",
     "execute_plan",
     "insert_exchange",
     "lower",
+    "plan_fingerprint",
     "render",
+    "run_compiled",
 ]

@@ -188,25 +188,40 @@ def _compile_operand(expr, evaluator):
 
 
 def filter_rows(evaluator, condition: Condition, rows: list,
-                pred: Optional[Callable[[dict], bool]]) -> list:
+                pred: Optional[Callable[[dict], bool]],
+                counts: Optional[dict] = None) -> list:
     """The rows satisfying ``condition``, in input order.
 
     ``pred`` is the compiled closure (or ``None``); rows it cannot judge
     (unbound variable -> ``KeyError``) re-run through the general solver,
     which resolves free names exactly as serial evaluation would.
+
+    ``counts`` (EXPLAIN ANALYZE only) receives the per-row split: how
+    many rows the compiled closure judged (``"vectorized"``) versus how
+    many fell back to the solver (``"fallback"``).  The tallies are
+    accumulated locally and flushed once after the loop, so the
+    instrumented path adds two dict updates per *batch*, not per row.
     """
     if pred is None:
         solve = evaluator.solve
+        if counts is not None:
+            counts["fallback"] += len(rows)
         return [env for env in rows
                 if next(solve(condition, env), None) is not None]
     kept = []
     keep = kept.append
     solve = evaluator.solve
+    vectorized = fallback = 0
     for env in rows:
         try:
             ok = pred(env)
+            vectorized += 1
         except KeyError:
             ok = next(solve(condition, env), None) is not None
+            fallback += 1
         if ok:
             keep(env)
+    if counts is not None:
+        counts["vectorized"] += vectorized
+        counts["fallback"] += fallback
     return kept

@@ -24,6 +24,7 @@ from ..lorel.ast import Query
 from ..obs.events import emit_event
 from ..obs.metrics import registry as metrics_registry
 from ..obs.trace import span
+from .analyze import plan_fingerprint
 from .ir import AnnotationFilter, LogicalNode, render
 from .lowering import lower
 from .rules import CompileContext, PassManager, PassReport, plan_metrics
@@ -45,6 +46,8 @@ class CompiledPlan:
     passes: tuple[PassReport, ...] = ()
     translation: object = None  # TranslationResult, translate backend only
     compile_seconds: float = 0.0
+    fingerprint: str = ""
+    runtime: object = None  # PlanStats, set by an analyze=True execution
 
     @property
     def index_plan(self) -> Optional[IndexPlan]:
@@ -57,9 +60,24 @@ class CompiledPlan:
     def is_indexed(self) -> bool:
         return isinstance(self.root, AnnotationFilter)
 
-    def explain(self) -> str:
-        """The optimized plan tree plus the pass-by-pass firing report."""
-        lines = [render(self.root)]
+    def explain(self, analyze: bool = False) -> str:
+        """The optimized plan tree plus the pass-by-pass firing report.
+
+        With ``analyze=True`` the tree is the *runtime* one instead --
+        every operator annotated with rows in/out, wall time, estimate,
+        and shard fan-out -- which requires the plan to have been
+        executed with ``analyze=True`` first (``engine.run(q,
+        analyze=True)`` or ``engine.execute(compiled, analyze=True)``).
+        """
+        if analyze:
+            if self.runtime is None:
+                raise ValueError(
+                    "no runtime stats on this plan: execute it with "
+                    "analyze=True before explain(analyze=True)")
+            lines = [self.runtime.render()]
+            lines.append(f"fingerprint: {self.fingerprint}")
+        else:
+            lines = [render(self.root)]
         lines.append("passes:")
         for report in self.passes:
             status = "fired" if report.fired else "-"
@@ -84,14 +102,20 @@ def compile_query(query: Query, evaluator, *,
         started = time.perf_counter()
         normalized, labels, _ = evaluator.prepare(query)
         root = lower(normalized, labels)
+        # Fingerprint the *lowered* tree, before optimization: the hash
+        # identifies the normalized query shape, so the query log and
+        # the cardinality-feedback store key the same query the same way
+        # regardless of which rewrite passes fire for a given engine.
+        fingerprint = plan_fingerprint(root)
         root, reports = PassManager(rules).run(root, ctx)
         elapsed = time.perf_counter() - started
         plan_metrics()["compiled"].inc()
         metrics_registry().histogram(COMPILE_SECONDS_METRIC).observe(elapsed)
         emit_event("query_compiled", level="info",
                    indexed=isinstance(root, AnnotationFilter),
+                   fingerprint=fingerprint,
                    passes_fired=[r.name for r in reports if r.fired],
                    compile_seconds=round(elapsed, 6))
     return CompiledPlan(source=query, normalized=normalized, root=root,
                         labels=labels, passes=reports,
-                        compile_seconds=elapsed)
+                        compile_seconds=elapsed, fingerprint=fingerprint)

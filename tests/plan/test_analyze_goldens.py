@@ -1,0 +1,84 @@
+"""Golden-file tests for the EXPLAIN ANALYZE rendering.
+
+Wall times vary run to run, so the goldens mask them (``time ---ms``);
+everything else -- operator tree, rows/batches in and out, heuristic
+estimates, shard counts, vectorized/fallback splits, the fingerprint --
+is deterministic and pinned.  A change to operator accounting or the
+render format shows up as a reviewable diff.
+
+To update a golden intentionally, delete it and re-run with
+``REGEN_GOLDENS=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import ChorelEngine, IndexedChorelEngine, build_doem
+from repro.plan.analyze import cardinality_feedback
+from tests.conftest import make_guide_db, make_guide_history
+
+GOLDENS = Path(__file__).resolve().parent / "goldens"
+
+# name -> (engine class, query)
+CASES = {
+    "analyze_native_chain": (
+        ChorelEngine,
+        "select T, R from guide.<add at T>restaurant R where T >= 1Jan97"),
+    "analyze_indexed_pushdown": (
+        IndexedChorelEngine,
+        "select guide.<add at T>restaurant where T < 4Jan97"),
+    "analyze_projection_only": (
+        ChorelEngine,
+        "select guide.restaurant.name"),
+}
+
+TIME_PATTERN = re.compile(r"time \d+(?:\.\d+)?ms")
+
+
+def masked(text: str) -> str:
+    return TIME_PATTERN.sub("time ---ms", text)
+
+
+@pytest.fixture(scope="module")
+def doem():
+    return build_doem(make_guide_db(), make_guide_history())
+
+
+def analyze(name: str, doem) -> str:
+    engine_cls, query = CASES[name]
+    cardinality_feedback().reset()  # heuristic estimates, not feedback
+    engine = engine_cls(doem, name="guide")
+    engine.run(query, analyze=True)
+    compiled = engine.last_compiled
+    return (f"query:\n{query}\n\nanalyze:\n"
+            f"{masked(compiled.explain(analyze=True))}\n")
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_analyze_matches_golden(name, doem):
+    actual = analyze(name, doem)
+    path = GOLDENS / f"{name}.txt"
+    if os.environ.get("REGEN_GOLDENS") and not path.exists():
+        path.write_text(actual, encoding="utf-8")
+    expected = path.read_text(encoding="utf-8")
+    assert actual == expected, \
+        f"analyze drift for <{name}>; diff against {path}"
+
+
+def test_masking_only_hides_times(doem):
+    """The mask leaves rows/batches/estimates intact."""
+    raw = analyze("analyze_native_chain", doem)
+    assert "time ---ms" in raw
+    assert "rows" in raw and "est" in raw
+    assert not TIME_PATTERN.search(raw)
+
+
+def test_every_case_has_a_golden():
+    present = {path.stem for path in GOLDENS.glob("analyze_*.txt")}
+    assert present == set(CASES), \
+        "keep one golden file per pinned ANALYZE rendering"

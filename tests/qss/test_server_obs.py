@@ -150,6 +150,51 @@ class TestMetrics:
         assert notification.elapsed >= 0.0
 
 
+class TestSlowQueryEnvFallback:
+    """One env var drives every slow-query surface: with no explicit
+    ``slow_poll_threshold`` the server picks up ``REPRO_SLOW_QUERY_MS``
+    -- the same variable the obs query log's slow capture honors."""
+
+    def test_env_supplies_the_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "0")
+        server = make_server()
+        assert server.slow_poll_threshold == 0.0
+        server.subscribe(subscription(), "guide")
+        server.run_until("31Dec96")
+        assert len(server.slow_poll_log) == 1
+
+    def test_explicit_threshold_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "0")
+        server = make_server(slow_poll_threshold=3600.0)
+        server.subscribe(subscription(), "guide")
+        server.run_until("31Dec96")
+        assert server.slow_poll_log == []
+
+    def test_unset_env_keeps_log_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_QUERY_MS", raising=False)
+        server = make_server()
+        assert server.slow_poll_threshold is None
+
+
+class TestFilterQueryAttribution:
+    def test_filter_runs_are_attributed_in_the_query_log(self):
+        """Each subscription's filter run lands in the process query log
+        tagged with the subscription name and polling time."""
+        from repro.obs.querylog import query_log
+        query_log().reset()   # the global ring may arrive full (maxlen)
+        server = make_server()
+        server.subscribe(subscription(), "guide")
+        before = len(query_log())
+        server.run_until("31Dec96")
+        attributed = [record for record in query_log().recent()
+                      if record.attribution.get("subscription") ==
+                      "Restaurants"]
+        assert len(query_log()) > before
+        assert attributed, "filter run should carry attribution"
+        assert attributed[-1].attribution["poll_time"] == \
+            str(parse_timestamp("30Dec96 11:30pm"))
+
+
 class TestPollSpans:
     def test_poll_span_has_phase_children(self):
         server = make_server()

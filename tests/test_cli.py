@@ -219,6 +219,73 @@ class TestExplainAndProfile:
         assert run_cli("profile", "select ???")[0] == 1
 
 
+class TestAnalyze:
+    def test_analyze_demo_prints_runtime_tree(self):
+        code, text = run_cli("analyze", DEMO_QUERY)
+        assert code == 0
+        assert "-- EXPLAIN ANALYZE (indexed):" in text
+        assert "rows" in text and "time" in text  # per-operator stats
+        assert "fingerprint:" in text
+        assert "-- 10 row(s)" in text
+
+    def test_backends_agree_on_rows(self):
+        import re
+        counts = set()
+        for backend in ("indexed", "native", "translate"):
+            code, text = run_cli("analyze", DEMO_QUERY,
+                                 "--backend", backend)
+            assert code == 0
+            counts.add(re.search(r"-- (\d+) row\(s\)", text).group(1))
+        assert counts == {"10"}
+
+    def test_native_backend_shows_operator_chain(self):
+        code, text = run_cli("analyze", DEMO_QUERY, "--backend", "native")
+        assert code == 0
+        for op in ("Project", "Predicate", "PathExpand", "Scan"):
+            assert op in text, op
+        assert "rows 30 -> 10" in text  # the predicate's selectivity
+
+    def test_analyze_json_sidecar(self, tmp_path):
+        import json
+        sidecar = tmp_path / "analyze.json"
+        code, text = run_cli("analyze", DEMO_QUERY, "--backend", "native",
+                             "--json", str(sidecar))
+        assert code == 0
+        assert f"-- JSON observation -> {sidecar}" in text
+        payload = json.loads(sidecar.read_text(encoding="utf-8"))
+        assert payload["query"] == DEMO_QUERY
+        assert payload["backend"] == "native"
+        assert payload["rows"] == 10
+        assert payload["fingerprint"]
+        ops = payload["plan"]["ops"]
+        assert ops and ops[0]["rows_out"] == 10
+        assert payload["plan"]["fingerprint"] == payload["fingerprint"]
+
+    def test_analyze_against_store(self, doem_store):
+        code, text = run_cli("analyze", "select guide.<add at T>restaurant",
+                             "--store", str(doem_store), "--db", "guidehist")
+        assert code == 0
+        assert "AnnotationFilter" in text
+
+    def test_analyze_parse_error(self):
+        assert run_cli("analyze", "select ???")[0] == 1
+
+    def test_top_table_appends_query_aggregates(self):
+        """After an in-process analyze, the top table carries the
+        query-log section (the --json payload stays metrics-only)."""
+        import json
+        run_cli("analyze", DEMO_QUERY)
+        code, text = run_cli("top", "--once", "--prefix", "repro.querylog")
+        assert code == 0
+        assert "fingerprint" in text
+        assert "select T, X from root.<add at T>item" in text
+        code, text = run_cli("top", "--once", "--json",
+                             "--prefix", "repro.querylog")
+        assert code == 0
+        json.loads(text)  # still pure metrics JSON
+        assert "fingerprint" not in text
+
+
 class TestServeMetrics:
     def test_endpoints_on_ephemeral_port(self):
         import json
