@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Kill a live store writer mid-stream, reopen, fsck: nothing acked is lost.
+
+The CI ``store-durability`` lane's process-level test (the in-process
+fault injections live in ``tests/store/test_recovery.py``).  A child
+process appends the demo history to a change-log store with the
+``"always"`` fsync policy, acknowledging each append on stdout *after*
+it is durable.  The parent SIGKILLs the child mid-write -- no atexit, no
+flush, no lock release -- then:
+
+1. steals the dead child's lock (the stale-pid path a crashed CLI
+   one-shot exercises),
+2. runs ``fsck`` and repairs whatever the kill tore,
+3. verifies every acknowledged change set survived, and that every
+   surviving ``Ot(D)`` equals the in-memory ground truth,
+4. shears the recovered log's tail by hand (a torn in-flight frame) and
+   proves recovery converges again.
+
+Exit status 0 means the durability contract held.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+KILL_AFTER_ACKS = 6  # SIGKILL the child once this many appends are durable
+
+CHILD_SOURCE = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.sources.generators import demo_world
+from repro.store import ChangeLogStore
+
+db, history = demo_world(days=60)
+store = ChangeLogStore({root!r}, fsync_policy="always")
+log = store.create("demo", db)
+for index, (when, change_set) in enumerate(history.entries()):
+    log.append(when, change_set)
+    print(f"ACK {{index}}", flush=True)
+print("DONE", flush=True)
+"""
+
+
+def fail(message: str) -> None:
+    print(f"CRASH ROUNDTRIP FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_child_and_kill(root: Path) -> int:
+    """Start the writer, kill it after KILL_AFTER_ACKS acks; return acks."""
+    child = subprocess.Popen(
+        [sys.executable, "-c",
+         CHILD_SOURCE.format(src=str(REPO_ROOT / "src"), root=str(root))],
+        stdout=subprocess.PIPE, text=True)
+    acked = -1
+    try:
+        for line in child.stdout:
+            if line.startswith("ACK "):
+                acked = int(line.split()[1])
+            if acked + 1 >= KILL_AFTER_ACKS:
+                os.kill(child.pid, signal.SIGKILL)
+                break
+            if line.startswith("DONE"):
+                fail("child finished before the kill; raise the history "
+                     "length")
+    finally:
+        child.stdout.close()
+        child.wait()
+    if acked < 0:
+        fail("child never acknowledged a durable append")
+    print(f"killed writer pid {child.pid} after {acked + 1} durable "
+          f"append(s)")
+    return acked
+
+
+def verify(root: Path, acked: int) -> None:
+    from repro.sources.generators import demo_world
+    from repro.store import ChangeLogStore
+
+    db, history = demo_world(days=60)
+
+    # The dead child's LOCK names a pid that no longer exists; opening
+    # rw must steal it, truncate any torn tail, and serve reads.
+    with ChangeLogStore(root) as store:
+        report = store.fsck(repair=True)
+        if not report["ok"]:
+            fail(f"fsck could not repair the killed store: {report}")
+        log = store.log("demo")
+        survived = len(log)
+        if survived < acked + 1:
+            fail(f"only {survived} change set(s) survived, but {acked + 1} "
+                 f"were acknowledged as durable before the kill")
+        expected_times = history.timestamps()[:survived]
+        if log.timestamps() != expected_times:
+            fail("recovered timestamps diverge from the written prefix")
+        for when in expected_times:
+            if not log.snapshot_at(when).same_as(
+                    history.snapshot_at(db, when)):
+                fail(f"Ot(D) at {when} diverges after recovery")
+    print(f"recovered {survived} change set(s), every Ot(D) exact "
+          f"({acked + 1} were acked)")
+
+    # Round two: shear the tail mid-frame (the torn write SIGKILL alone
+    # rarely produces, since acked frames are already on disk).
+    segment = sorted((root / "demo").glob("seg-*.log"))[-1]
+    segment.write_bytes(segment.read_bytes()[:-5])
+    with ChangeLogStore(root) as store:
+        report = store.fsck(repair=True)
+        if not report["ok"]:
+            fail(f"fsck could not repair the sheared tail: {report}")
+        log = store.log("demo")
+        survivors = log.timestamps()
+        if survivors != history.timestamps()[:len(survivors)]:
+            fail("post-shear recovery is not a prefix of the history")
+        if len(survivors) < survived - 1:
+            fail(f"shearing one frame lost {survived - len(survivors)} "
+                 f"record(s)")
+    print(f"torn-tail repair kept {len(survivors)} change set(s) "
+          f"(one frame sheared)")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="store-crash-") as scratch:
+        root = Path(scratch) / "store"
+        started = time.perf_counter()
+        acked = run_child_and_kill(root)
+        verify(root, acked)
+        elapsed = time.perf_counter() - started
+        print(f"crash roundtrip OK in {elapsed:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,13 +25,25 @@ Subcommands (``python -m repro <cmd> --help`` for details):
   in/out, batches, wall time, estimated-vs-actual cardinality, shard
   fan-out, vectorized/fallback predicate counts); same ``--store`` /
   ``--db`` / ``--backend`` selection as ``explain``;
+* ``store init|demo|info|fsck|checkpoint|compact`` -- manage a durable
+  change-log store (:mod:`repro.store`): create one, persist the demo
+  history, describe it, verify/repair segment and checkpoint integrity,
+  force a checkpoint, or compact a history's delta chain;
 * ``serve-metrics``            -- expose the process metrics registry
   over HTTP (``/metrics`` Prometheus text, ``/metrics.json``,
   ``/queries`` fingerprint-keyed query-log aggregates, ``/health``);
 * ``top``                      -- a live (or ``--once``) view of the
   metrics registry, local or scraped from a ``serve-metrics`` URL; the
   table view appends per-fingerprint query-log aggregates when this
-  process has executed planner queries.
+  process has executed planner queries, and ``--store PATH`` adds a
+  change-log store section.
+
+``history``, ``timeline``, ``chorel``, and the ``--store`` flag of
+``explain``/``profile``/``analyze`` accept either a Lore store directory
+or a change-log store (detected by its ``.doemstore`` marker); a
+change-log store is opened read-only through the process-shared handle,
+so the tools observe the same live history a QSS server in this process
+is serving.
 
 The global ``--events PATH`` flag (or the ``REPRO_EVENTS`` environment
 variable) turns on the structured JSONL event log for any subcommand.
@@ -150,6 +162,51 @@ def build_parser() -> argparse.ArgumentParser:
                          if command in ("explain", "analyze") else
                          "write the JSON here instead of stdout")
 
+    store = commands.add_parser(
+        "store", help="manage a durable change-log store (repro.store)")
+    store_cmds = store.add_subparsers(dest="store_command", required=True)
+
+    s_init = store_cmds.add_parser(
+        "init", help="create an empty change-log store")
+    s_init.add_argument("path", type=Path)
+
+    s_demo = store_cmds.add_parser(
+        "demo", help="persist the built-in demo history into a store")
+    s_demo.add_argument("path", type=Path)
+    s_demo.add_argument("--name", default="demo",
+                        help="history name (default: demo)")
+    s_demo.add_argument("--days", type=int, default=30,
+                        help="length of the demo history (default: 30)")
+
+    s_info = store_cmds.add_parser(
+        "info", help="describe a store's histories and checkpoints")
+    s_info.add_argument("path", type=Path)
+    s_info.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the description as JSON")
+
+    s_fsck = store_cmds.add_parser(
+        "fsck", help="verify segment and checkpoint integrity")
+    s_fsck.add_argument("path", type=Path)
+    s_fsck.add_argument("--repair", action="store_true",
+                        help="truncate torn tails and drop unreadable "
+                             "checkpoints")
+    s_fsck.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON")
+
+    s_ckpt = store_cmds.add_parser(
+        "checkpoint", help="materialize a snapshot checkpoint now")
+    s_ckpt.add_argument("path", type=Path)
+    s_ckpt.add_argument("name", help="history name")
+
+    s_compact = store_cmds.add_parser(
+        "compact", help="consolidate a history's segments")
+    s_compact.add_argument("path", type=Path)
+    s_compact.add_argument("name", help="history name")
+    s_compact.add_argument("--before", default=None, metavar="TIME",
+                           help="retention horizon: promote the state at "
+                                "TIME to the new origin and drop older "
+                                "records (default: keep everything)")
+
     serve = commands.add_parser(
         "serve-metrics",
         help="serve /metrics, /metrics.json, and /health over HTTP")
@@ -175,39 +232,49 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--url", default=None,
                      help="scrape a serve-metrics endpoint instead of "
                           "this process's registry")
+    top.add_argument("--store", type=Path, default=None,
+                     help="also show a change-log store's histories "
+                          "(read-only, refreshed every interval)")
     return parser
 
 
 def _demo_doem():
-    """The built-in demo history: an append-only feed plus price churn.
-
-    Thirty days of one ``item`` arc added per day under the root, with
-    every third item's value later updated -- the workload annotation
-    indexes and the snapshot cache are built for, so ``repro explain``
-    has interesting numbers to show out of the box.
-    """
+    """The built-in demo history (see ``demo_world``), as a DOEM db."""
     from .doem.build import build_doem
-    from .oem.changes import AddArc, CreNode, UpdNode
-    from .oem.history import ChangeSet, OEMHistory
-    from .oem.model import OEMDatabase
+    from .sources.generators import demo_world
     from .timestamps import parse_timestamp
 
-    db = OEMDatabase(root="root")
-    history = OEMHistory()
-    when = parse_timestamp("1Jan97")
-    for index in range(30):
-        ops = [CreNode(f"i{index}", index),
-               AddArc("root", "item", f"i{index}")]
-        if index >= 3 and index % 3 == 0:
-            ops.append(UpdNode(f"i{index - 3}", 1000 + index))
-        history.append(when, ChangeSet(ops))
-        when = when.plus(days=1)
+    db, history = demo_world()
     doem = build_doem(db, history)
     # Warm the snapshot cache so profiles report its hit rates too.
     from .doem.snapshot import cached_snapshot_at
     for probe in ("10Jan97", "15Jan97", "15Jan97"):
         cached_snapshot_at(doem, parse_timestamp(probe))
     return doem
+
+
+def _open_doem(store_path: Path, name: str | None):
+    """A DOEM database from ``--store``: change-log store or Lore store.
+
+    A change-log store (``.doemstore`` marker) is opened read-only
+    through the process-shared handle, so a CLI invocation in the same
+    process as a serving :class:`~repro.qss.server.QSSServer` observes
+    the *served* history rather than constructing an independent copy;
+    the rebuilt DOEM's snapshot cache reads through the store's durable
+    checkpoints.  Any other directory is treated as a Lore store.
+    """
+    from .store import is_store, open_store
+
+    if name is None:
+        raise ReproError("--store requires --db NAME")
+    if is_store(store_path):
+        store = open_store(store_path, "ro")
+        log = store.log(name)
+        doem = log.get_doem()
+        from .doem.snapshot import snapshot_cache
+        snapshot_cache(doem).attach_store(log)
+        return doem
+    return LoreStore(store_path).get_doem(name)
 
 
 def _load_oem(path: Path):
@@ -249,8 +316,7 @@ def _run(args: argparse.Namespace, out) -> int:
             print(result.markup, file=out)
 
     elif args.command == "history":
-        store = LoreStore(args.store)
-        doem = store.get_doem(args.name)
+        doem = _open_doem(args.store, args.name)
         history = encoded_history(doem)
         if not len(history):
             print("(empty history)", file=out)
@@ -260,8 +326,7 @@ def _run(args: argparse.Namespace, out) -> int:
                 print(f"  {op}", file=out)
 
     elif args.command == "timeline":
-        store = LoreStore(args.store)
-        doem = store.get_doem(args.name)
+        doem = _open_doem(args.store, args.name)
         events = doem.timeline(args.node)
         if not events:
             print(f"&{args.node}: no recorded changes", file=out)
@@ -269,8 +334,7 @@ def _run(args: argparse.Namespace, out) -> int:
             print(f"{when}: {text}", file=out)
 
     elif args.command == "chorel":
-        store = LoreStore(args.store)
-        doem = store.get_doem(args.name)
+        doem = _open_doem(args.store, args.name)
         db_name = args.db_name or doem.graph.root
         if args.translate:
             engine = TranslatingChorelEngine(doem, name=db_name)
@@ -285,9 +349,7 @@ def _run(args: argparse.Namespace, out) -> int:
 
     elif args.command in ("explain", "profile", "analyze"):
         if args.store is not None:
-            if args.db is None:
-                raise ReproError("--store requires --db NAME")
-            doem = LoreStore(args.store).get_doem(args.db)
+            doem = _open_doem(args.store, args.db)
         else:
             doem = _demo_doem()
         db_name = args.db_name or doem.graph.root
@@ -333,6 +395,75 @@ def _run(args: argparse.Namespace, out) -> int:
             else:
                 print(profile.to_json(), file=out)
 
+    elif args.command == "store":
+        import json as _json
+        from .store import ChangeLogStore, open_store
+
+        if args.store_command == "init":
+            open_store(args.path, "rw").flush()
+            print(f"initialized change-log store at {args.path}", file=out)
+
+        elif args.store_command == "demo":
+            from .sources.generators import demo_world
+            origin, history = demo_world(days=args.days)
+            store = open_store(args.path, "rw")
+            log = store.put_history(args.name, origin, history)
+            log.write_checkpoint()
+            store.flush()
+            info = log.info()
+            print(f"persisted {info['change_sets']} change set(s) "
+                  f"({info['operations']} op(s)) as {args.name!r}; "
+                  f"{info['checkpoints']} checkpoint(s)", file=out)
+
+        elif args.store_command == "info":
+            with ChangeLogStore(args.path, "ro") as store:
+                info = store.info()
+            if args.as_json:
+                print(_json.dumps(info, indent=2), file=out)
+            else:
+                print(_render_store(info), file=out)
+
+        elif args.store_command == "fsck":
+            mode = "rw" if args.repair else "ro"
+            with ChangeLogStore(args.path, mode) as store:
+                report = store.fsck(repair=args.repair)
+            if args.as_json:
+                print(_json.dumps(report, indent=2), file=out)
+            else:
+                for history in report["histories"]:
+                    status = "ok" if history["ok"] else "CORRUPT"
+                    print(f"{history['name']}: {status} "
+                          f"(generation {history.get('generation', '?')}, "
+                          f"{len(history['segments'])} segment(s), "
+                          f"{history.get('checkpoints', 0)} checkpoint(s))",
+                          file=out)
+                    for problem in history["problems"]:
+                        print(f"  problem: {problem}", file=out)
+                    for fixed in history["repaired"]:
+                        print(f"  repaired: {fixed}", file=out)
+                print("store: ok" if report["ok"]
+                      else "store: PROBLEMS FOUND", file=out)
+            return 0 if report["ok"] else 1
+
+        elif args.store_command == "checkpoint":
+            store = open_store(args.path, "rw")
+            ref = store.checkpoint(args.name)
+            if ref is None:
+                print(f"{args.name}: empty history, origin is the tip "
+                      f"(no checkpoint needed)", file=out)
+            else:
+                print(f"{args.name}: checkpoint {ref.name} at {ref.at}",
+                      file=out)
+
+        elif args.store_command == "compact":
+            store = open_store(args.path, "rw")
+            summary = store.compact(args.name, before=args.before)
+            print(f"{args.name}: generation {summary['generation']}, "
+                  f"dropped {summary['dropped_sets']} change set(s), "
+                  f"{summary['dropped_segments']} segment(s), "
+                  f"{summary['dropped_checkpoints']} checkpoint(s)",
+                  file=out)
+
     elif args.command == "serve-metrics":
         from .obs.http import serve_metrics
         server = serve_metrics(args.host, args.port)
@@ -377,6 +508,11 @@ def _run(args: argparse.Namespace, out) -> int:
                     if aggregates:
                         print(_render_queries(aggregates), file=out,
                               flush=True)
+                if args.store is not None:
+                    from .store import ChangeLogStore
+                    with ChangeLogStore(args.store, "ro") as store:
+                        info = store.info()
+                    print(_render_store(info), file=out, flush=True)
             if args.once:
                 break
             time.sleep(args.interval)  # pragma: no cover - interactive
@@ -401,6 +537,29 @@ def _render_top(snapshot: dict) -> str:
             lines.append(f"{name:<56} {value}")
     if len(lines) == 2:
         lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def _render_store(info: dict) -> str:
+    """The store section (``repro store info`` / ``repro top --store``):
+    one line per history, durable shape at a glance."""
+    lines = [f"store {info['path']}: {len(info['histories'])} history(ies), "
+             f"{info['change_sets']} change set(s), "
+             f"{info['checkpoints']} checkpoint(s)",
+             f"{'history':<24} {'gen':>4} {'segs':>5} {'sets':>6} "
+             f"{'ops':>7} {'ckpts':>5} {'nodes':>7}  span",
+             "-" * 78]
+    for name, h in sorted(info["histories"].items()):
+        span = "(empty)" if h["first_timestamp"] is None \
+            else f"{h['first_timestamp']} .. {h['last_timestamp']}"
+        lines.append(
+            f"{name:<24} {h['generation']:>4} {h['segments']:>5} "
+            f"{h['change_sets']:>6} {h['operations']:>7} "
+            f"{h['checkpoints']:>5} {h['tip_nodes']:>7}  {span}")
+        if h["recovered_tail"]:
+            lines.append(f"  (recovered torn tail: {h['recovered_tail']})")
+    if not info["histories"]:
+        lines.append("(no histories)")
     return "\n".join(lines)
 
 

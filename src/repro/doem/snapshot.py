@@ -116,7 +116,7 @@ class SnapshotCacheStats:
     """
 
     _FIELDS = ("lookups", "exact_hits", "incremental", "full",
-               "replayed_sets", "evictions", "invalidations")
+               "replayed_sets", "evictions", "invalidations", "store_hits")
 
     lookups = CounterField()
     exact_hits = CounterField()
@@ -125,6 +125,7 @@ class SnapshotCacheStats:
     replayed_sets = CounterField()
     evictions = CounterField()
     invalidations = CounterField()
+    store_hits = CounterField()
 
     def __init__(self) -> None:
         self._metrics = metrics_registry().group("repro.snapshot_cache",
@@ -132,10 +133,16 @@ class SnapshotCacheStats:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from a checkpoint (exact or base)."""
+        """Fraction of lookups served from a checkpoint (exact or base).
+
+        Durable-checkpoint hits (``store_hits``) count as hits: the
+        lookup replayed a bounded suffix instead of walking the whole
+        annotation graph, exactly like an in-memory incremental hit.
+        """
         if not self.lookups:
             return 0.0
-        return (self.exact_hits + self.incremental) / self.lookups
+        return (self.exact_hits + self.incremental
+                + self.store_hits) / self.lookups
 
     def reset(self) -> None:
         self._metrics.reset()
@@ -152,7 +159,8 @@ class SnapshotCacheStats:
                 f"hit_rate={self.hit_rate:.2f} "
                 f"replayed_sets={self.replayed_sets} "
                 f"evictions={self.evictions} "
-                f"invalidations={self.invalidations}")
+                f"invalidations={self.invalidations} "
+                f"store_hits={self.store_hits}")
 
 
 class SnapshotCache:
@@ -190,7 +198,22 @@ class SnapshotCache:
         self._checkpoints: OrderedDict[Timestamp, OEMDatabase] = OrderedDict()
         self._history = None  # lazily extracted encoded history
         self._fingerprint: object = None
+        self._store_log = None  # durable checkpoints (attach_store)
         self._lock = threading.RLock()
+
+    def attach_store(self, log) -> None:
+        """Serve misses through a durable log's checkpoints.
+
+        ``log`` is the :class:`~repro.store.HistoryLog` this DOEM
+        database was built from.  After a miss of the in-memory LRU (or
+        right after an invalidation empties it), the cache loads the
+        log's nearest materialized checkpoint and replays the bounded
+        suffix, instead of falling back to the full annotation walk --
+        the read-through that turns the cache into a view over the
+        store's checkpoints.
+        """
+        with self._lock:
+            self._store_log = log
 
     # -- freshness -------------------------------------------------------
 
@@ -257,7 +280,21 @@ class SnapshotCache:
             if candidate <= cutoff and (base_time is None
                                         or candidate > base_time):
                 base_time = candidate
-        if base_time is None:
+        durable = None
+        if self._store_log is not None:
+            nearest = self._store_log.nearest_checkpoint(cutoff)
+            if nearest is not None and (base_time is None
+                                        or nearest[0] > base_time):
+                durable = nearest
+        if durable is not None:
+            self.stats.store_hits += 1
+            base_time, snapshot = durable
+            with span("doem.snapshot.replay"):
+                for step_time, change_set in self._encoded_history():
+                    if base_time < step_time <= cutoff:
+                        change_set.apply_to(snapshot)
+                        self.stats.replayed_sets += 1
+        elif base_time is None:
             self.stats.full += 1
             snapshot = snapshot_at(self.doem, cutoff)
         else:

@@ -124,3 +124,15 @@ class FrequencyError(QSSError):
 
 class SubscriptionError(QSSError):
     """A subscription was malformed or referenced unknown components."""
+
+
+class StoreError(ReproError):
+    """Base class for durable change-log store errors."""
+
+
+class StoreCorruptionError(StoreError):
+    """A segment or checkpoint failed its integrity checks."""
+
+
+class StoreLockedError(StoreError):
+    """Another process holds the store's single-writer lock."""

@@ -19,6 +19,11 @@ type                      level    emitted by
 ``slow_poll``             warning  :class:`repro.qss.server.QSSServer`
 ``cache_eviction``        info     :class:`repro.doem.snapshot.SnapshotCache`
 ``worker_crash``          error    :class:`repro.parallel.pool.WorkerPool`
+``checkpoint_written``    info     :class:`repro.store.HistoryLog` (one per
+                                   materialized snapshot checkpoint)
+``store_recovered``       warning  :class:`repro.store.HistoryLog` (torn tail
+                                   truncated on open)
+``store_compacted``       info     :class:`repro.store.HistoryLog`
 ========================  =======  ==============================================
 
 **Off by default and near-free when off**: :func:`emit_event` is one

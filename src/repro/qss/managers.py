@@ -148,15 +148,24 @@ class DOEMManager:
     ``cache_previous_result`` selects the footnote's strategy: keep the
     previous polling result (aligned to DOEM identifiers) in memory
     instead of re-deriving it from the DOEM database at every poll.
+
+    ``store`` makes the histories durable: every applied change set is
+    also appended to the named history in a
+    :class:`~repro.store.ChangeLogStore` (keys sanitized with
+    :func:`~repro.store.sanitize_name`, since shared-DOEM alias keys like
+    ``wrapper::query`` are not path-safe), and a manager constructed over
+    a non-empty store rebuilds each DOEM from the log on first touch --
+    the restart-without-re-polling path.
     """
 
     def __init__(self, cache_previous_result: bool = True,
-                 differ: str = "match") -> None:
+                 differ: str = "match", store=None) -> None:
         if differ not in ("match", "ids"):
             raise QSSError("differ must be 'match' (content matching, the "
                            "default) or 'ids' (trust stable identifiers)")
         self.differ = differ
         self.cache_previous_result = cache_previous_result
+        self.store = store
         self._doems: dict[str, DOEMDatabase] = {}
         self._previous: dict[str, OEMDatabase] = {}
         self._all_ids: dict[str, set[str]] = {}
@@ -183,16 +192,36 @@ class DOEMManager:
         return sorted(other for other, other_key in self._aliases.items()
                       if other_key == key and other != name)
 
+    def _store_log(self, key: str):
+        """The durable log behind ``key`` (``None`` without a store)."""
+        if self.store is None:
+            return None
+        from ..store import sanitize_name
+        return self.store.log(sanitize_name(key),
+                              origin=OEMDatabase(root="answer"))
+
     def doem(self, name: str) -> DOEMDatabase:
         """The DOEM database for subscription ``name`` (created lazily).
 
         The empty base database has an ``answer`` root matching the
-        wrapper's packaging, so diffs align naturally.
+        wrapper's packaging, so diffs align naturally.  With a store
+        attached, a history already on disk is rebuilt from its log
+        here -- restarting a server recovers every subscription's DOEM
+        without touching the sources.
         """
         key = self._key(name)
         if key not in self._doems:
-            self._doems[key] = DOEMDatabase(OEMDatabase(root="answer"))
-            self._all_ids[key] = {"answer"}
+            log = self._store_log(key)
+            if log is not None and len(log) > 0:
+                doem = log.get_doem()
+                self._doems[key] = doem
+                # Every identifier the history ever used stays reserved
+                # (Section 2.2: identifiers are never reused), including
+                # those of nodes that are now dead.
+                self._all_ids[key] = set(doem.graph.nodes()) | {"answer"}
+            else:
+                self._doems[key] = DOEMDatabase(OEMDatabase(root="answer"))
+                self._all_ids[key] = {"answer"}
         return self._doems[key]
 
     def previous_result(self, name: str) -> OEMDatabase:
@@ -234,6 +263,13 @@ class DOEMManager:
         existing = doem.timestamps()
         if change_set or not existing or existing[-1] < timestamp:
             apply_change_set(doem, timestamp, change_set)
+            if change_set:
+                # Durability follows the in-memory fold: non-empty sets
+                # land in the change log (empty sets leave no annotations
+                # and would only bloat the segments).
+                log = self._store_log(key)
+                if log is not None:
+                    log.append(timestamp, change_set)
         reserved.update(change_set.created_nodes())
         self.last_diff_stats[name] = DiffStats(change_set)
         if self.cache_previous_result:
@@ -264,6 +300,11 @@ class DOEMManager:
         doem = self.doem(name)
         compacted = compact(doem, parse_timestamp(when))
         self._doems[key] = compacted
+        log = self._store_log(key)
+        if log is not None:
+            # Keep the durable log in step: the same horizon promotes the
+            # state at the cutoff to the log's new origin.
+            log.compact(before=parse_timestamp(when))
         # Identifier discipline is preserved: compaction only drops nodes,
         # and dropped identifiers stay in the reserved set forever.
         if self.cache_previous_result and key in self._previous:

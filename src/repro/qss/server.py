@@ -61,6 +61,12 @@ class QSSServer:
     nothing still produce a (empty) notification -- the paper's QSS stays
     silent, the default here too; tests flip it to observe every poll.
 
+    ``store`` (a :class:`~repro.store.ChangeLogStore` or a path) makes
+    the subscription histories durable: every incorporated change set is
+    appended to the store's change log, and a server restarted over the
+    same store rebuilds each subscription's DOEM from disk instead of
+    re-polling its sources (see :class:`~repro.qss.managers.DOEMManager`).
+
     Observability: every poll is wall-timed (``qss.poll_seconds``
     histogram; ``qss.polls`` / ``qss.notifications`` / ``qss.errors``
     counters in the global metrics registry) and, when tracing is
@@ -101,7 +107,8 @@ class QSSServer:
                  compact_keep_polls: int | None = None,
                  slow_poll_threshold: float | None = None,
                  max_poll_workers: int = 1,
-                 poll_timeout: float | None = None) -> None:
+                 poll_timeout: float | None = None,
+                 store=None) -> None:
         if on_error not in ("raise", "skip"):
             raise QSSError("on_error must be 'raise' or 'skip'")
         if slow_poll_threshold is not None and slow_poll_threshold < 0:
@@ -119,9 +126,15 @@ class QSSServer:
             raise QSSError("poll_timeout needs max_poll_workers > 1 "
                            "(the serial loop cannot abandon a poll)")
         self.clock: Timestamp = parse_timestamp(start)
+        if store is not None and not hasattr(store, "log"):
+            # A path: open (or join) the process-shared store handle.
+            from ..store import open_store
+            store = open_store(store, "rw")
+        self.store = store
         self.subscriptions = SubscriptionManager()
         self.queries = QueryManager()
-        self.doems = DOEMManager(cache_previous_result=cache_previous_result)
+        self.doems = DOEMManager(cache_previous_result=cache_previous_result,
+                                 store=store)
         self.deliver_empty = deliver_empty
         self.share_by_polling_query = share_by_polling_query
         self.on_error = on_error
@@ -487,11 +500,17 @@ class QSSServer:
         """Release the poll pool (no-op for a serial server).
 
         Does not wait for lingering timed-out polls -- a source that
-        never returns must not be able to hang shutdown either.
+        never returns must not be able to hang shutdown either.  An
+        attached store is flushed but left open: the handle is process
+        shared (``repro explain --store`` against the same path reads
+        through it), so the last owner closes it via
+        :func:`repro.store.close_store`.
         """
         if self._poll_pool is not None:
             self._poll_pool.shutdown(wait=False, cancel_pending=True)
             self._poll_pool = None
+        if self.store is not None and not self.store.closed:
+            self.store.flush()
 
     def __enter__(self) -> "QSSServer":
         return self

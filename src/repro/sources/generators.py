@@ -18,7 +18,8 @@ from ..oem.values import COMPLEX
 from ..timestamps import Timestamp, parse_timestamp
 
 __all__ = ["random_database", "random_change_set", "random_history",
-           "large_database", "large_history", "large_world", "LABELS"]
+           "large_database", "large_history", "large_world", "demo_world",
+           "LABELS"]
 
 LABELS = ["a", "b", "c", "item", "name", "price", "link", "ref"]
 _WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta",
@@ -311,3 +312,26 @@ def large_world(seed: int = 0, items: int = 1000, extra_links: int = 200,
     db = large_database(seed=seed, items=items, extra_links=extra_links)
     history = large_history(db, seed=seed, steps=steps, churn=churn)
     return db, history, build_doem(db, history)
+
+
+def demo_world(days: int = 30) -> tuple[OEMDatabase, OEMHistory]:
+    """``(origin, history)``: the CLI's built-in demo workload.
+
+    An append-only feed plus price churn: one ``item`` arc added under
+    the root per day starting 1Jan97, with every third item's value
+    later updated -- the workload the annotation indexes and snapshot
+    cache are built for.  ``repro explain`` profiles it out of the box,
+    ``repro store demo`` persists it, and the crash-recovery round-trip
+    script replays it through a kill.
+    """
+    db = OEMDatabase(root="root")
+    history = OEMHistory()
+    when = parse_timestamp("1Jan97")
+    for index in range(days):
+        ops: list[ChangeOp] = [CreNode(f"i{index}", index),
+                               AddArc("root", "item", f"i{index}")]
+        if index >= 3 and index % 3 == 0:
+            ops.append(UpdNode(f"i{index - 3}", 1000 + index))
+        history.append(when, ChangeSet(ops))
+        when = when.plus(days=1)
+    return db, history

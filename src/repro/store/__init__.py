@@ -1,0 +1,50 @@
+"""``repro.store``: the durable, log-structured DOEM store.
+
+The in-memory reproduction meets disk here: OEM histories persist as
+append-only, checksummed change-log segments with periodic materialized
+snapshot checkpoints, so ``Ot(D)`` resolves as
+nearest-checkpoint-load + bounded delta replay instead of
+replay-from-origin, and a restart (CLI or QSS server) recovers every
+served history without re-polling its sources.
+
+Layering, bottom up:
+
+* :mod:`.segment` -- length-prefixed CRC-framed record files and the
+  torn-tail scan that crash recovery is built on;
+* :mod:`.records` -- the JSON payloads (origin snapshots, timestamped
+  change sets);
+* :mod:`.checkpoint` -- materialized ``Ot`` snapshots plus the hybrid
+  spacing policy (query-time replay budget vs snapshot size);
+* :mod:`.log` -- :class:`HistoryLog`: one history's segments,
+  checkpoints, recovery, time travel, and compaction;
+* :mod:`.store` -- :class:`ChangeLogStore`: named histories under one
+  root, the single-writer lock, and the process-shared
+  :func:`open_store` handle cache.
+
+See ``docs/storage.md`` for the formats and recovery semantics.
+"""
+
+from .checkpoint import CheckpointPolicy, CheckpointRef
+from .log import DEFAULT_SEGMENT_BYTES, FSYNC_POLICIES, HistoryLog, \
+    StoreStats, fsck_log
+from .segment import SegmentScan, SegmentWriter
+from .store import ChangeLogStore, StoreLock, close_store, is_store, \
+    open_store, sanitize_name
+
+__all__ = [
+    "ChangeLogStore",
+    "CheckpointPolicy",
+    "CheckpointRef",
+    "DEFAULT_SEGMENT_BYTES",
+    "FSYNC_POLICIES",
+    "HistoryLog",
+    "SegmentScan",
+    "SegmentWriter",
+    "StoreLock",
+    "StoreStats",
+    "close_store",
+    "fsck_log",
+    "is_store",
+    "open_store",
+    "sanitize_name",
+]

@@ -1,0 +1,248 @@
+"""Crash recovery: torn writes, flipped bits, interrupted compaction.
+
+Satellite #1's substance: every fault is injected against a real
+on-disk log, then the store must either recover to the last durable
+record (tail damage) or refuse loudly (interior damage) -- never serve
+a wrong ``Ot(D)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreCorruptionError
+from repro.sources.generators import demo_world
+from repro.store import (
+    ChangeLogStore,
+    CheckpointPolicy,
+    HistoryLog,
+    fsck_log,
+)
+
+TINY_SEGMENTS = 512  # bytes, to force multi-segment logs
+
+
+def build_log(tmp_path, *, days=20, policy=None, segment_bytes=TINY_SEGMENTS):
+    db, history = demo_world(days=days)
+    log = HistoryLog(tmp_path / "h", origin=db, segment_bytes=segment_bytes,
+                     policy=policy or CheckpointPolicy.disabled())
+    log.extend(history)
+    log.close()
+    return db, history, tmp_path / "h"
+
+
+def last_segment(directory):
+    return sorted(directory.glob("seg-*.log"))[-1]
+
+
+def truncate_tail(path, drop: int):
+    data = path.read_bytes()
+    path.write_bytes(data[:-drop])
+
+
+class TestTornTailRecovery:
+    def test_truncated_mid_record_recovers_prefix(self, tmp_path):
+        db, history, directory = build_log(tmp_path)
+        truncate_tail(last_segment(directory), 5)
+
+        report = fsck_log(directory)
+        assert not report["ok"]
+        assert any("torn" in problem for problem in report["problems"])
+
+        log = HistoryLog(directory)  # rw open truncates the torn tail
+        assert log.stats.recovered_tails >= 1
+        recovered = log.timestamps()
+        assert recovered == history.timestamps()[:len(recovered)]
+        assert len(recovered) >= len(history) - 1
+        # Every surviving Ot(D) is still exact.
+        for when in recovered:
+            assert log.snapshot_at(when).same_as(
+                history.snapshot_at(db, when)), when
+        log.close()
+        assert fsck_log(directory)["ok"]
+
+    def test_flipped_checksum_byte_recovers_prefix(self, tmp_path):
+        db, history, directory = build_log(tmp_path)
+        segment = last_segment(directory)
+        data = bytearray(segment.read_bytes())
+        data[-1] ^= 0x55
+        segment.write_bytes(bytes(data))
+
+        log = HistoryLog(directory)
+        assert log.stats.recovered_tails >= 1
+        assert len(log) == len(history) - 1
+        log.close()
+        assert fsck_log(directory)["ok"]
+
+    def test_recovered_log_accepts_new_appends(self, tmp_path):
+        """The crash-recovery contract: truncate, then write on top."""
+        db, history, directory = build_log(tmp_path)
+        truncate_tail(last_segment(directory), 7)
+        log = HistoryLog(directory)
+        survivors = len(log)
+        tail = history.entries()[survivors:]
+        for when, change_set in tail:
+            log.append(when, change_set)
+        assert log.timestamps() == history.timestamps()
+        assert log.tip().same_as(history.apply_to(db.copy()))
+        log.close()
+
+    def test_ro_open_skips_tail_without_repairing(self, tmp_path):
+        _, history, directory = build_log(tmp_path)
+        segment = last_segment(directory)
+        truncate_tail(segment, 5)
+        size_before = segment.stat().st_size
+
+        log = HistoryLog(directory, "ro")
+        assert len(log) < len(history)
+        log.close()
+        # Read-only recovery is in-memory only; the disk is untouched.
+        assert segment.stat().st_size == size_before
+        assert not fsck_log(directory)["ok"]
+
+    def test_fsck_repair_truncates_tail(self, tmp_path):
+        _, _, directory = build_log(tmp_path)
+        truncate_tail(last_segment(directory), 5)
+        report = fsck_log(directory, repair=True)
+        assert report["repaired"]
+        assert fsck_log(directory)["ok"]
+
+
+class TestInteriorCorruption:
+    def test_interior_segment_damage_refuses_to_open(self, tmp_path):
+        _, _, directory = build_log(tmp_path)
+        segments = sorted(directory.glob("seg-*.log"))
+        assert len(segments) > 1, "fixture must produce a multi-segment log"
+        truncate_tail(segments[0], 5)
+        with pytest.raises(StoreCorruptionError):
+            HistoryLog(directory)
+        # fsck reports it but refuses to auto-repair interior damage.
+        report = fsck_log(directory, repair=True)
+        assert not report["ok"]
+        assert not report["repaired"]
+
+    def test_garbage_payload_refuses_to_open(self, tmp_path):
+        _, _, directory = build_log(tmp_path, days=4,
+                                    segment_bytes=1 << 20)
+        segment = last_segment(directory)
+        data = bytearray(segment.read_bytes())
+        # Flip a byte in the middle of the file: the frame checksum
+        # catches it and classifies everything after as torn -- but an
+        # earlier record's *payload* corruption with a matching recompute
+        # is impossible, so tail-classification is the expected outcome.
+        data[len(data) // 2] ^= 0x01
+        segment.write_bytes(bytes(data))
+        log = HistoryLog(directory)
+        assert len(log) < 4
+        log.close()
+
+
+class TestCheckpointFaults:
+    def test_corrupt_checkpoint_is_skipped_not_trusted(self, tmp_path):
+        db, history, directory = build_log(
+            tmp_path, policy=CheckpointPolicy(replay_budget=4,
+                                              size_weight=0.0, min_sets=1))
+        log = HistoryLog(directory, "ro")
+        refs = log.checkpoints()
+        assert refs
+        log.close()
+
+        data = bytearray(refs[-1].path.read_bytes())
+        data[-2] ^= 0xFF
+        refs[-1].path.write_bytes(bytes(data))
+
+        log = HistoryLog(directory, "ro")
+        when = history.timestamps()[-1]
+        # The damaged checkpoint is excluded at open; the answer is
+        # still exact (served from an older checkpoint or the origin).
+        assert log.snapshot_at(when).same_as(history.snapshot_at(db, when))
+        assert log.checkpoint_problems
+        assert len(log.checkpoints()) == len(refs) - 1
+        log.close()
+
+    def test_fsck_repair_deletes_bad_checkpoints(self, tmp_path):
+        _, _, directory = build_log(
+            tmp_path, policy=CheckpointPolicy(replay_budget=4,
+                                              size_weight=0.0, min_sets=1))
+        bad = sorted(directory.glob("ckpt-*.oem"))[-1]
+        bad.write_text("not a checkpoint at all")
+        report = fsck_log(directory, repair=True)
+        assert report["repaired"]
+        assert not bad.exists()
+        assert fsck_log(directory)["ok"]
+
+    def test_truncated_checkpoint_header(self, tmp_path):
+        db, history, directory = build_log(
+            tmp_path, policy=CheckpointPolicy(replay_budget=4,
+                                              size_weight=0.0, min_sets=1))
+        bad = sorted(directory.glob("ckpt-*.oem"))[-1]
+        bad.write_bytes(bad.read_bytes()[:10])
+        log = HistoryLog(directory, "ro")
+        when = history.timestamps()[-1]
+        assert log.snapshot_at(when).same_as(history.snapshot_at(db, when))
+        log.close()
+
+
+class TestInterruptedCompaction:
+    def test_stray_generation_is_detected_and_repaired(self, tmp_path):
+        """A crash between writing gen+1 segments and swapping CURRENT
+        leaves stray files the next fsck must clean up."""
+        _, history, directory = build_log(tmp_path)
+        # Simulate the torn compaction: a gen-2 segment exists but
+        # CURRENT still points at gen 1.
+        stray = directory / "seg-0002-000001.log"
+        stray.write_bytes(b"DOEMSEG1" + b"half-written")
+
+        report = fsck_log(directory)
+        assert any("stray" in problem for problem in report["problems"])
+
+        report = fsck_log(directory, repair=True)
+        assert report["repaired"]
+        assert not stray.exists()
+
+        log = HistoryLog(directory)
+        assert log.timestamps() == history.timestamps()
+        log.close()
+
+
+class TestStoreWideFsck:
+    def test_store_fsck_covers_every_history(self, tmp_path):
+        db, history = demo_world(days=10)
+        with ChangeLogStore(tmp_path / "s") as store:
+            store.put_history("alpha", db, history)
+            store.put_history("beta", db, history)
+        directory = tmp_path / "s" / "alpha"
+        truncate_tail(last_segment(directory), 5)
+
+        with ChangeLogStore(tmp_path / "s", "ro") as store:
+            report = store.fsck()
+        assert not report["ok"]
+        by_name = {entry["name"]: entry for entry in report["histories"]}
+        assert not by_name["alpha"]["ok"]
+        assert by_name["beta"]["ok"]
+
+        with ChangeLogStore(tmp_path / "s") as store:
+            report = store.fsck(repair=True)
+        assert report["ok"]
+
+    def test_kill_reopen_roundtrip(self, tmp_path):
+        """persist -> hard-exit (no close/fsync of pending state) ->
+        reopen -> fsck: the demo history survives byte-for-byte."""
+        db, history = demo_world(days=12)
+        store = ChangeLogStore(tmp_path / "s")
+        store.put_history("demo", db, history)
+        store.checkpoint("demo")
+        # Simulate the kill: drop the handle without close() and clear
+        # the lock the way a dead pid would leave it.
+        lock = tmp_path / "s" / "LOCK"
+        del store
+        if lock.exists():
+            lock.write_text("999999999")
+
+        with ChangeLogStore(tmp_path / "s") as reopened:
+            assert reopened.fsck()["ok"]
+            doem = reopened.get_doem("demo")
+            assert doem.timestamps() == history.timestamps()
+            for when in history.timestamps():
+                assert reopened.snapshot_at("demo", when).same_as(
+                    history.snapshot_at(db, when)), when

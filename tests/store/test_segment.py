@@ -1,0 +1,139 @@
+"""Segment framing: length-prefixed, checksummed, torn-tail classified."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.segment import (
+    FRAME_HEADER,
+    HEADER_SIZE,
+    MAGIC,
+    MAX_RECORD_BYTES,
+    SegmentScan,
+    SegmentWriter,
+    frame_record,
+)
+
+PAYLOADS = [b"{}", b'{"kind":"origin"}', b"x" * 1000, b"\xf0\x9f\x8e\x89"]
+
+
+def write_segment(path, payloads):
+    writer = SegmentWriter(path)
+    for payload in payloads:
+        writer.append(payload)
+    writer.close()
+
+
+def scan(path):
+    scanner = SegmentScan(path)
+    records = list(scanner)
+    return scanner, records
+
+
+class TestRoundTrip:
+    def test_payloads_survive(self, tmp_path):
+        path = tmp_path / "seg.log"
+        write_segment(path, PAYLOADS)
+        scanner, records = scan(path)
+        assert records == PAYLOADS
+        assert not scanner.torn
+        assert scanner.good_bytes == path.stat().st_size
+
+    def test_empty_segment_is_just_magic(self, tmp_path):
+        path = tmp_path / "seg.log"
+        write_segment(path, [])
+        assert path.read_bytes() == MAGIC
+        scanner, records = scan(path)
+        assert records == []
+        assert not scanner.torn
+
+    def test_frame_layout(self):
+        frame = frame_record(b"abc")
+        length, crc = FRAME_HEADER.unpack(frame[:FRAME_HEADER.size])
+        assert length == 3
+        assert frame[FRAME_HEADER.size:] == b"abc"
+
+    def test_writer_tracks_size(self, tmp_path):
+        path = tmp_path / "seg.log"
+        writer = SegmentWriter(path)
+        assert writer.size == HEADER_SIZE
+        writer.append(b"abc")
+        writer.close()
+        assert path.stat().st_size == HEADER_SIZE + FRAME_HEADER.size + 3
+
+    def test_oversized_record_refused(self, tmp_path):
+        writer = SegmentWriter(tmp_path / "seg.log")
+        with pytest.raises(StoreError):
+            writer.append(b"x" * (MAX_RECORD_BYTES + 1))
+        writer.close()
+
+
+class TestTornTails:
+    """Every way a crash can shear the tail, classified and recoverable."""
+
+    def _base(self, tmp_path):
+        path = tmp_path / "seg.log"
+        write_segment(path, PAYLOADS)
+        scanner, _ = scan(path)
+        return path, scanner.good_bytes
+
+    def test_truncated_mid_payload(self, tmp_path):
+        path, _ = self._base(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        scanner, records = scan(path)
+        assert scanner.torn
+        assert records == PAYLOADS[:-1]
+
+    def test_truncated_mid_header(self, tmp_path):
+        path, _ = self._base(tmp_path)
+        full = path.read_bytes()
+        # Leave 3 bytes of the last frame header behind.
+        last_frame = FRAME_HEADER.size + len(PAYLOADS[-1])
+        path.write_bytes(full[:len(full) - last_frame + 3])
+        scanner, records = scan(path)
+        assert scanner.torn
+        assert records == PAYLOADS[:-1]
+        assert scanner.good_bytes == len(full) - last_frame
+
+    def test_flipped_checksum_byte(self, tmp_path):
+        path, _ = self._base(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # corrupt the final payload
+        path.write_bytes(bytes(data))
+        scanner, records = scan(path)
+        assert scanner.torn
+        assert records == PAYLOADS[:-1]
+
+    def test_implausible_length_prefix(self, tmp_path):
+        path, _ = self._base(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(struct.pack(">II", MAX_RECORD_BYTES + 1, 0))
+            handle.write(b"garbage")
+        scanner, records = scan(path)
+        assert scanner.torn
+        assert records == PAYLOADS
+
+    def test_bad_magic_yields_nothing_durable(self, tmp_path):
+        path = tmp_path / "seg.log"
+        path.write_bytes(b"NOTMAGIC" + b"rest")
+        scanner, records = scan(path)
+        assert scanner.torn == "bad segment magic"
+        assert records == []
+        assert scanner.good_bytes == 0
+
+    def test_resume_after_truncation(self, tmp_path):
+        """rw recovery: truncate to good_bytes, then keep appending."""
+        path, _ = self._base(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        scanner, _ = scan(path)
+        writer = SegmentWriter(path, resume_at=scanner.good_bytes)
+        writer.append(b"after-crash")
+        writer.close()
+        rescanner, records = scan(path)
+        assert not rescanner.torn
+        assert records == PAYLOADS[:-1] + [b"after-crash"]

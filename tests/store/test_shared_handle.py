@@ -1,0 +1,89 @@
+"""The shared-handle contract: one process, one store handle per path.
+
+The bugfix behind ``--store``/``--db`` and the QSS server sharing a
+single writer: :func:`repro.store.open_store` caches handles by real
+path, upgrades ro -> rw, and :func:`close_store` releases the lock for
+the next owner.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import StoreLockedError
+from repro.sources.generators import demo_world
+from repro.store import ChangeLogStore, close_store, open_store
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    path = tmp_path / "s"
+    yield path
+    close_store(path)
+
+
+class TestHandleCache:
+    def test_same_path_same_handle(self, store_path):
+        first = open_store(store_path)
+        second = open_store(store_path)
+        assert first is second
+
+    def test_relative_and_absolute_paths_share(self, store_path, monkeypatch):
+        first = open_store(store_path)
+        monkeypatch.chdir(store_path.parent)
+        second = open_store(store_path.name)
+        assert first is second
+
+    def test_ro_then_rw_upgrades(self, store_path):
+        ChangeLogStore(store_path).close()  # create the store
+        reader = open_store(store_path, "ro")
+        assert reader.mode == "ro"
+        writer = open_store(store_path, "rw")
+        assert writer.mode == "rw"
+        assert reader.closed  # the old handle was retired, not leaked
+        assert open_store(store_path, "ro") is writer
+
+    def test_closed_handles_are_replaced(self, store_path):
+        first = open_store(store_path)
+        close_store(store_path)
+        assert first.closed
+        second = open_store(store_path)
+        assert second is not first
+        assert not second.closed
+
+    def test_close_store_releases_the_writer_lock(self, store_path):
+        open_store(store_path)
+        close_store(store_path)
+        direct = ChangeLogStore(store_path)  # would raise if still locked
+        direct.close()
+
+    def test_close_store_unknown_path_is_noop(self, tmp_path):
+        close_store(tmp_path / "never-opened")
+
+
+class TestSharedWrites:
+    def test_two_openers_see_one_anothers_writes(self, store_path):
+        """The CLI and the QSS server observing the same served history."""
+        db, history = demo_world(days=6)
+        server_side = open_store(store_path)
+        server_side.put_history("demo", db, history)
+
+        cli_side = open_store(store_path)  # same handle, same logs
+        assert cli_side is server_side
+        assert cli_side.names() == ["demo"]
+        assert cli_side.get_doem("demo").timestamps() == history.timestamps()
+
+    def test_lock_file_names_this_process(self, store_path):
+        store = open_store(store_path)
+        lock = store_path / "LOCK"
+        assert int(lock.read_text().strip()) == os.getpid()
+        close_store(store_path)
+        assert not lock.exists()
+
+    def test_second_process_writer_is_refused(self, store_path):
+        """Direct (uncached) construction models a second process."""
+        open_store(store_path)
+        with pytest.raises(StoreLockedError):
+            ChangeLogStore(store_path)

@@ -373,3 +373,99 @@ class TestEventsFlag:
         lines = [json.loads(line) for line
                  in events_path.read_text(encoding="utf-8").splitlines()]
         assert any(line["type"] == "query_compiled" for line in lines)
+
+
+class TestStoreCommand:
+    @pytest.fixture
+    def demo_store(self, tmp_path):
+        from repro.store import close_store
+
+        path = tmp_path / "changelog"
+        code, text = run_cli("store", "demo", str(path), "--days", "12")
+        assert code == 0
+        # The CLI's shared rw handle stays cached in-process; release it
+        # so follow-up commands modelling fresh processes can lock.
+        close_store(path)
+        yield path
+        close_store(path)
+
+    def test_init_creates_a_store(self, tmp_path):
+        from repro.store import close_store, is_store
+
+        path = tmp_path / "fresh"
+        code, text = run_cli("store", "init", str(path))
+        close_store(path)
+        assert code == 0
+        assert is_store(path)
+        assert "initialized" in text
+
+    def test_demo_persists_and_checkpoints(self, demo_store):
+        code, text = run_cli("store", "info", str(demo_store))
+        assert code == 0
+        assert "demo" in text and "1" in text
+
+    def test_info_json(self, demo_store):
+        import json
+
+        code, text = run_cli("store", "info", str(demo_store), "--json")
+        assert code == 0
+        info = json.loads(text)
+        assert info["histories"]["demo"]["change_sets"] == 12
+        assert info["histories"]["demo"]["checkpoints"] >= 1
+
+    def test_fsck_clean_store(self, demo_store):
+        code, text = run_cli("store", "fsck", str(demo_store))
+        assert code == 0
+        assert "store: ok" in text
+
+    def test_fsck_detects_and_repairs_torn_tail(self, demo_store):
+        segment = sorted((demo_store / "demo").glob("seg-*.log"))[-1]
+        segment.write_bytes(segment.read_bytes()[:-5])
+
+        code, text = run_cli("store", "fsck", str(demo_store))
+        assert code == 1
+        assert "CORRUPT" in text
+
+        code, text = run_cli("store", "fsck", str(demo_store), "--repair")
+        assert code == 0
+        assert "repaired" in text
+
+        code, text = run_cli("store", "fsck", str(demo_store))
+        assert code == 0
+
+    def test_checkpoint_and_compact(self, demo_store):
+        from repro.store import close_store
+
+        code, text = run_cli("store", "checkpoint", str(demo_store), "demo")
+        assert code == 0
+        assert "checkpoint" in text
+        close_store(demo_store)
+        code, text = run_cli("store", "compact", str(demo_store), "demo")
+        assert code == 0
+        assert "generation 2" in text
+        close_store(demo_store)
+        code, _ = run_cli("store", "fsck", str(demo_store))
+        assert code == 0
+
+    def test_explain_reads_a_changelog_store(self, demo_store):
+        code, text = run_cli(
+            "explain", "--store", str(demo_store), "--db", "demo",
+            "select root.<add at T>item where T > 5Jan97")
+        assert code == 0
+        assert "index" in text.lower() or "scan" in text.lower()
+
+    def test_history_command_reads_a_changelog_store(self, demo_store):
+        code, text = run_cli("history", str(demo_store), "demo")
+        assert code == 0
+        assert "cre" in text or "add" in text
+
+    def test_top_once_with_store_section(self, demo_store):
+        code, text = run_cli("top", "--once", "--store", str(demo_store))
+        assert code == 0
+        assert "demo" in text
+
+    def test_store_requires_db_name(self, demo_store, capsys):
+        code, _ = run_cli("explain", "--store", str(demo_store),
+                          "select root.item")
+        assert code == 1
+        assert "--db" in capsys.readouterr().err
