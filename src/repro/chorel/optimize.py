@@ -31,7 +31,7 @@ from ..plan import (
     run_compiled,
 )
 # Deprecation shims: these classes now live in the plan layer.
-from ..plan.stats import EngineStats, IndexPlan
+from ..plan.stats import EngineStats, IndexPlan, RangePlan
 from .engine import ChorelEngine
 
 __all__ = ["IndexedChorelEngine", "IndexPlan", "EngineStats"]
@@ -62,6 +62,11 @@ class IndexedChorelEngine(ChorelEngine):
         self.paths = PathIndex(doem)
         self.stats = EngineStats()
         self.last_plan: IndexPlan | None = None
+        self.last_range_plan: RangePlan | None = None
+        # Optional: attach a store HistoryLog (engine.log = store.log(name))
+        # to give the checkpoint-replay strategy a durable seek floor;
+        # without one, replay re-encodes the history from the DOEM.
+        self.log = None
 
     def refresh_index(self) -> None:
         """Force a full index rebuild.
@@ -97,6 +102,7 @@ class IndexedChorelEngine(ChorelEngine):
         context = super()._execution_context(bindings, **parallel)
         context.index = self.index
         context.paths = self.paths
+        context.log = self.log
         return context
 
     def execute(self, compiled: CompiledPlan,
@@ -108,6 +114,14 @@ class IndexedChorelEngine(ChorelEngine):
             ctx = self._execution_context(bindings)
             with span("chorel.index_scan",
                       plan=compiled.index_plan.describe()):
+                return run_compiled(compiled, compiled.root, ctx, self,
+                                    analyze=analyze)
+        if compiled.is_range:
+            # Likewise serial: the range kernel is one merged event scan
+            # (index or replay) plus backward verification.
+            ctx = self._execution_context(bindings)
+            with span("chorel.range_scan",
+                      plan=compiled.range_plan.describe()):
                 return run_compiled(compiled, compiled.root, ctx, self,
                                     analyze=analyze)
         return super().execute(compiled, bindings, analyze=analyze,
@@ -124,6 +138,7 @@ class IndexedChorelEngine(ChorelEngine):
             with span("chorel.parse"):
                 query = self.parse(query)
         self.last_plan = None
+        self.last_range_plan = None
         if bindings:
             # The index scan cannot honor pre-bound range variables.
             self.stats.fallback_queries += 1
@@ -137,6 +152,13 @@ class IndexedChorelEngine(ChorelEngine):
         plan = compiled.index_plan
         if plan is not None:
             self.last_plan = plan
+            self.stats.indexed_queries += 1
+            return self.execute(compiled, analyze=analyze)
+        range_plan = compiled.range_plan
+        if range_plan is not None:
+            # Both range strategies are planner-served scans (the replay
+            # seeks the log, not the evaluator), so they count as indexed.
+            self.last_range_plan = range_plan
             self.stats.indexed_queries += 1
             return self.execute(compiled, analyze=analyze)
         self.stats.fallback_queries += 1

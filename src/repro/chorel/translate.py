@@ -92,10 +92,21 @@ class _Translator:
 
     def _check_step(self, step: PathStep) -> None:
         for annotation in (step.arc_annotation, step.node_annotation):
-            if annotation is not None and annotation.kind == "at":
+            if annotation is None:
+                continue
+            if annotation.kind == "at":
                 raise TranslationError(
                     "virtual <at ...> annotations have no Lorel translation "
                     "in the paper's scheme; use the native Chorel engine")
+            if annotation.kind in ("changed", "last-change"):
+                raise TranslationError(
+                    f"<{annotation.kind} ...> annotations have no Lorel "
+                    "translation in the paper's scheme; use the native "
+                    "Chorel engine")
+            if annotation.in_range is not None:
+                raise TranslationError(
+                    "time-range annotations have no Lorel translation in "
+                    "the paper's scheme; use the native Chorel engine")
         if (step.arc_annotation or step.node_annotation) and \
                 (step.is_wildcard or step.is_pattern):
             raise TranslationError(

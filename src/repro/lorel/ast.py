@@ -25,20 +25,47 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 __all__ = [
-    "AnnotationExpr", "PathStep", "PathExpr", "Literal", "VarRef",
-    "TimeVar", "Expr", "Comparison", "LikeCond", "ExistsCond", "And", "Or",
-    "Not", "Condition", "SelectItem", "FromItem", "Query", "Definition",
+    "TimeRange", "AnnotationExpr", "PathStep", "PathExpr", "Literal",
+    "VarRef", "TimeVar", "Expr", "Comparison", "LikeCond", "ExistsCond",
+    "And", "Or", "Not", "Condition", "SelectItem", "FromItem", "Query",
+    "Definition",
 ]
 
 
 @dataclass(frozen=True)
-class AnnotationExpr:
-    """A Chorel annotation expression ``<kind at T from OV to NV>``.
+class TimeRange:
+    """A closed time interval ``[low..high]`` with optional open sides.
 
-    ``kind`` is one of ``"cre" | "upd" | "add" | "rem" | "at"`` (the last
-    is the *virtual* annotation of Section 4.2.2).  ``at_var``/``from_var``/
-    ``to_var`` are variable names to bind; ``at_literal`` is set instead of
-    ``at_var`` when the expression pins a concrete time (``<at 5Jan97>``).
+    Bounds are timestamp literals or QSS :class:`TimeVar` s; ``None``
+    leaves a side open (``[1Jan97..]`` is "since 1Jan97", ``[..5Jan97]``
+    is "up to 5Jan97").  Both present bounds are *inclusive*, so adjacent
+    intervals ``[a..m]`` and ``[m..b]`` compose to ``[a..b]`` under set
+    union -- the property the cross-time equivalence suite checks.
+    """
+
+    low: Optional[object] = None
+    high: Optional[object] = None
+
+    def __str__(self) -> str:
+        low = "" if self.low is None else str(self.low)
+        high = "" if self.high is None else str(self.high)
+        return f"[{low}..{high}]"
+
+
+@dataclass(frozen=True)
+class AnnotationExpr:
+    """A Chorel annotation expression ``<kind at T in [a..b] from OV to NV>``.
+
+    ``kind`` is one of ``"cre" | "upd" | "add" | "rem"`` (the paper's real
+    annotations), ``"at"`` (the *virtual* annotation of Section 4.2.2), or
+    the cross-time kinds ``"changed"`` (any change event: ``cre``/``upd``
+    on nodes, ``add``/``rem`` on arcs) and ``"last-change"`` (the most
+    recent such event).  ``at_var``/``from_var``/``to_var`` are variable
+    names to bind; ``at_literal`` is set instead of ``at_var`` when the
+    expression pins a concrete time (``<at 5Jan97>``).  ``in_range``
+    restricts the bound times to a :class:`TimeRange` -- for the virtual
+    ``at`` kind it enumerates *versions* over the range instead of reading
+    one state.
     """
 
     kind: str
@@ -46,6 +73,7 @@ class AnnotationExpr:
     from_var: Optional[str] = None
     to_var: Optional[str] = None
     at_literal: Optional[object] = None
+    in_range: Optional[TimeRange] = None
 
     def canonical(self, fresh: "FreshNames") -> "AnnotationExpr":
         """The canonical form with every bindable slot holding a variable.
@@ -53,16 +81,20 @@ class AnnotationExpr:
         Section 4.2.1: "the annotation expressions in a Chorel query are
         transformed into a canonical form that includes all variables" --
         ``<add>`` becomes ``<add at T1>``, ``<upd from X>`` becomes
-        ``<upd at T2 from X to NV2>``.
+        ``<upd at T2 from X to NV2>``.  Range-restricted forms always
+        bind a time variable: ``<changed in [a..b]>`` becomes
+        ``<changed at T1 in [a..b]>``.
         """
         at_var = self.at_var
         if at_var is None and self.at_literal is None:
             at_var = fresh.next("T")
         if self.kind != "upd":
-            return AnnotationExpr(self.kind, at_var, None, None, self.at_literal)
+            return AnnotationExpr(self.kind, at_var, None, None,
+                                  self.at_literal, self.in_range)
         from_var = self.from_var or fresh.next("OV")
         to_var = self.to_var or fresh.next("NV")
-        return AnnotationExpr("upd", at_var, from_var, to_var, self.at_literal)
+        return AnnotationExpr("upd", at_var, from_var, to_var,
+                              self.at_literal, self.in_range)
 
     def __str__(self) -> str:
         operand = self.at_literal if self.at_literal is not None \
@@ -70,10 +102,16 @@ class AnnotationExpr:
         if self.kind == "at":
             # The virtual annotation's kind *is* the "at": <at 5Jan97>,
             # never <at at 5Jan97> (which the parser rightly rejects).
+            if self.in_range is not None:
+                if operand is None:
+                    return f"<at {self.in_range}>"
+                return f"<at {operand} in {self.in_range}>"
             return f"<at {operand}>"
         parts = [self.kind]
         if operand is not None:
             parts.append(f"at {operand}")
+        if self.in_range is not None:
+            parts.append(f"in {self.in_range}")
         if self.from_var:
             parts.append(f"from {self.from_var}")
         if self.to_var:

@@ -74,6 +74,8 @@ _ANNOTATION_DEFAULT_LABELS = {
     ("rem", "at"): "remove-time",
     ("upd", "at"): "update-time",
     ("at", "at"): "at-time",
+    ("changed", "at"): "change-time",
+    ("last-change", "at"): "last-change-time",
     ("upd", "from"): "old-value",
     ("upd", "to"): "new-value",
 }
@@ -451,9 +453,38 @@ class Evaluator:
             for child in self.view.children_at(node, label, when):
                 yield child, env
             return
+        elif annotation.kind in ("changed", "last-change"):
+            yield from self._arc_change_matches(node, label, annotation, env)
+            return
         else:  # pragma: no cover - parser prevents this
             raise EvaluationError(f"bad arc annotation kind {annotation.kind!r}")
         for when, child in pairs:
+            extended = self._bind_time(annotation, when, env)
+            if extended is not None:
+                yield child, extended
+
+    def _arc_change_matches(self, node: str, label: str,
+                            annotation: AnnotationExpr,
+                            env: Env) -> Iterator[tuple[str, Env]]:
+        """Cross-time arc kinds: ``changed`` is the add/rem event union,
+        ``last-change`` keeps only the most recent in-range event per
+        child.  Events enumerate in (time, add-before-rem, child) order so
+        every evaluation strategy replays the identical stream.
+        """
+        events = [(when, 0, str(child), child)
+                  for when, child in self.view.add_fun(node, label)]
+        events += [(when, 1, str(child), child)
+                   for when, child in self.view.rem_fun(node, label)]
+        events.sort(key=lambda e: (e[0]._order_key(), e[1], e[2]))
+        if annotation.kind == "last-change":
+            bounds = self._range_bounds(annotation, env)
+            latest: dict[str, tuple] = {}
+            for event in events:
+                if self._within(event[0], bounds):
+                    latest[event[2]] = event
+            events = sorted(latest.values(),
+                            key=lambda e: (e[0]._order_key(), e[1], e[2]))
+        for when, _rank, _key, child in events:
             extended = self._bind_time(annotation, when, env)
             if extended is not None:
                 yield child, extended
@@ -484,11 +515,64 @@ class Evaluator:
                     yield NodeBinding(child), extended
             return
         if annotation.kind == "at":
+            if annotation.in_range is not None:
+                yield from self._version_matches(child, annotation, env)
+                return
             when = self._resolve_at(annotation, env)
             yield NodeBinding(child, when), env
             return
+        if annotation.kind in ("changed", "last-change"):
+            yield from self._node_change_matches(child, annotation, env)
+            return
         raise EvaluationError(  # pragma: no cover - parser prevents this
             f"bad node annotation kind {annotation.kind!r}")
+
+    def _node_change_matches(self, child: str, annotation: AnnotationExpr,
+                             env: Env) -> Iterator[tuple[NodeBinding, Env]]:
+        """Cross-time node kinds: ``changed`` is the cre/upd event union,
+        ``last-change`` keeps only the most recent in-range event.
+        Events enumerate in (time, cre-before-upd) order.
+        """
+        events = [(when, 0) for when in self.view.cre_fun(child)]
+        events += [(when, 1) for when, _old, _new in self.view.upd_fun(child)]
+        events.sort(key=lambda e: (e[0]._order_key(), e[1]))
+        if annotation.kind == "last-change":
+            bounds = self._range_bounds(annotation, env)
+            events = [e for e in events if self._within(e[0], bounds)][-1:]
+        for when, _rank in events:
+            extended = self._bind_time(annotation, when, env)
+            if extended is not None:
+                yield NodeBinding(child), extended
+
+    def _version_matches(self, child: str, annotation: AnnotationExpr,
+                         env: Env) -> Iterator[tuple[NodeBinding, Env]]:
+        """The range form of the virtual annotation: ``<at [a..b]>``
+        enumerates the node's *versions* over the interval -- its state at
+        the range start (when the node already existed), plus one state
+        per cre/upd event inside the range.  Each match carries the
+        version time as the binding's time context, so value reads and
+        further navigation happen "as of" that version.
+        """
+        low, high = self._range_bounds(annotation, env)
+        events = sorted(
+            {when for when in self.view.cre_fun(child)}
+            | {when for when, _old, _new in self.view.upd_fun(child)},
+            key=lambda when: when._order_key())
+        times: list[Timestamp] = []
+        if low is not None:
+            creations = list(self.view.cre_fun(child))
+            if not creations or min(creations) <= low:
+                times.append(low)
+        for when in events:
+            if not self._within(when, (low, high)):
+                continue
+            if times and when == times[-1]:
+                continue
+            times.append(when)
+        for when in times:
+            extended = self._bind_time(annotation, when, env)
+            if extended is not None:
+                yield NodeBinding(child, when), extended
 
     # -- binding helpers ---------------------------------------------------
 
@@ -510,9 +594,40 @@ class Evaluator:
             return parse_timestamp(value)
         raise EvaluationError("virtual annotation <at> without a time")
 
+    def _range_bounds(self, annotation: AnnotationExpr,
+                      env: Env) -> tuple[Timestamp | None, Timestamp | None]:
+        """The annotation's resolved (low, high) bounds; ``None`` is open."""
+        rng = annotation.in_range
+        if rng is None:
+            return None, None
+        return (self._resolve_bound(rng.low, env),
+                self._resolve_bound(rng.high, env))
+
+    def _resolve_bound(self, bound: object, env: Env) -> Timestamp | None:
+        if bound is None:
+            return None
+        if isinstance(bound, TimeVar):
+            return self._polling_time(bound, env)
+        return parse_timestamp(bound)
+
+    @staticmethod
+    def _within(when: Timestamp,
+                bounds: tuple[Timestamp | None, Timestamp | None]) -> bool:
+        """Is ``when`` inside the closed interval?  Both bounds inclusive."""
+        low, high = bounds
+        if low is not None and when < low:
+            return False
+        if high is not None and high < when:
+            return False
+        return True
+
     def _bind_time(self, annotation: AnnotationExpr, when: Timestamp,
                    env: Env) -> Env | None:
-        """Bind/join the annotation's time slot against ``when``."""
+        """Bind/join the annotation's time slot against ``when``, after
+        filtering against the annotation's ``in_range`` restriction."""
+        if annotation.in_range is not None and \
+                not self._within(when, self._range_bounds(annotation, env)):
+            return None
         if annotation.at_literal is not None:
             literal = annotation.at_literal
             if isinstance(literal, TimeVar):

@@ -8,8 +8,9 @@ Notable lexical quirks this lexer must handle:
 * ``<`` is both the comparison operator and the opener of a Chorel
   annotation expression.  The lexer emits a structural ``LANGLE`` when the
   character is *immediately* followed by an annotation keyword (``cre``,
-  ``upd``, ``add``, ``rem``, ``at``) and a comparison ``OP`` otherwise;
-  the parser double-checks with context;
+  ``upd``, ``add``, ``rem``, ``at``, or a cross-time word such as
+  ``changed`` / ``last-change`` / ``versions``) and a comparison ``OP``
+  otherwise; the parser double-checks with context;
 * QSS filter queries use special time variables ``t[0]``, ``t[-1]`` ...
   (Section 6), lexed as single ``TIMEVAR`` tokens;
 * encoding labels start with ``&`` (``&val``, ``&price-history``) and
@@ -33,7 +34,12 @@ _AMP_IDENT_RE = re.compile(r"&[A-Za-z_][A-Za-z0-9_\-]*")
 _NUMBER_RE = re.compile(r"\d+(\.\d+)?([eE][-+]?\d+)?")
 _TS_TAIL_RE = re.compile(r"[A-Za-z0-9\-]*")
 _TIMEVAR_RE = re.compile(r"t\[\s*(-?\d+)\s*\]")
-_ANNOT_WORDS = ("cre", "upd", "add", "rem", "at")
+_ANNOT_WORDS = ("cre", "upd", "add", "rem", "at",
+                # cross-time annotation kinds (contextual identifiers):
+                "changed", "last-change", "versions")
+# The longest annotation word plus one lookahead character decides how far
+# the LANGLE peek must reach past optional whitespace.
+_ANNOT_PEEK = max(len(word) for word in _ANNOT_WORDS) + 2
 
 
 def tokenize(text: str) -> list[Token]:
@@ -138,7 +144,7 @@ def tokenize(text: str) -> list[Token]:
             continue
 
         if ch == "<":
-            rest = text[pos + 1:pos + 6].lstrip().lower()
+            rest = text[pos + 1:pos + 1 + _ANNOT_PEEK].lstrip().lower()
             if any(rest.startswith(word) for word in _ANNOT_WORDS):
                 tokens.append(Token(TokenKind.LANGLE, "<", "<", pos))
                 pos += 1
@@ -182,6 +188,8 @@ def tokenize(text: str) -> list[Token]:
             ":": TokenKind.COLON,
             "(": TokenKind.LPAREN,
             ")": TokenKind.RPAREN,
+            "[": TokenKind.LBRACKET,
+            "]": TokenKind.RBRACKET,
             "#": TokenKind.HASH,
         }.get(ch)
         if simple is not None:

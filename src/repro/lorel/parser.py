@@ -22,13 +22,24 @@ Grammar (keywords case-insensitive)::
     pathexpr   := name step*
     step       := "." [annot] label [annot]
     label      := IDENT | AMP_IDENT | "#" | pattern-with-%
-    annot      := "<" kind [AT (IDENT|ts-literal)] [FROM IDENT] [TO IDENT] ">"
+    annot      := "<" kind [AT (IDENT|ts-literal)] [range] [FROM IDENT]
+                  [TO IDENT] ">"
+    range      := IN "[" [bound] ".." [bound] "]" | SINCE bound
+    bound      := ts-literal | TIMEVAR | INT
+
+Cross-time kinds (contextual identifiers, not reserved words):
+``changed`` matches any change event (``cre``/``upd`` after a label,
+``add``/``rem`` before one), ``last-change`` its most recent event, and
+``<at [t1..t2]>`` enumerates a node's *versions* over the range.
+``changed-in [a..b]`` is sugar for ``changed in [a..b]``;
+``<versions [at T] over [a..b]>`` is sugar for ``<at T in [a..b]>``;
+``since t`` is sugar for ``in [t..]``.
 """
 
 from __future__ import annotations
 
 from ..errors import ParseError
-from ..timestamps import Timestamp
+from ..timestamps import Timestamp, parse_timestamp
 from .ast import (
     And,
     AnnotationExpr,
@@ -46,6 +57,7 @@ from .ast import (
     PathStep,
     Query,
     SelectItem,
+    TimeRange,
     TimeVar,
     VarRef,
 )
@@ -54,8 +66,8 @@ from .tokens import Token, TokenKind
 
 __all__ = ["Parser", "parse_query", "parse_definition"]
 
-_ARC_ANNOT_KINDS = {"add", "rem", "at"}
-_NODE_ANNOT_KINDS = {"cre", "upd", "at"}
+_ARC_ANNOT_KINDS = {"add", "rem", "at", "changed", "last-change"}
+_NODE_ANNOT_KINDS = {"cre", "upd", "at", "changed", "last-change"}
 _COMPARISON_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
 
 
@@ -323,7 +335,25 @@ class Parser:
                 "parses plain Lorel")
         self._expect(TokenKind.LANGLE, "'<'")
         kind_token = self._advance()
-        kind = kind_token.text.lower()
+        word = kind_token.text.lower()
+        require_range = False
+        versions = False
+        if word == "changed-in":
+            # ``<changed-in [a..b]>`` sugar: a changed kind with a
+            # mandatory range.
+            kind = "changed"
+            require_range = True
+        elif word in ("versions", "versions-of"):
+            # ``<versions [at T] over [a..b]>`` sugar for the virtual
+            # range annotation ``<at T in [a..b]>``.
+            if where != "node":
+                raise self._error(
+                    "<versions ...> can only appear after a label")
+            kind = "at"
+            require_range = True
+            versions = True
+        else:
+            kind = word
         if kind not in allowed:
             raise self._error(
                 f"annotation <{kind}> cannot appear {'before' if where == 'arc' else 'after'} "
@@ -333,13 +363,30 @@ class Parser:
         at_literal = None
         from_var = None
         to_var = None
+        in_range = None
 
-        if kind == "at":
-            # Virtual annotation: <at T> or <at 5Jan97>.
-            at_var, at_literal = self._at_operand()
+        if kind == "at" and not versions:
+            # Virtual annotation: <at T>, <at 5Jan97>, <at [a..b]>, or
+            # <at T in [a..b]>.
+            if self._peek().kind is TokenKind.LBRACKET:
+                in_range = self._time_range()
+            else:
+                at_var, at_literal = self._at_operand()
+                in_range = self._range_suffix()
+            if in_range is not None and where == "arc":
+                raise self._error(
+                    "a range-restricted <at> cannot appear before a label "
+                    "(versions are enumerated on nodes)")
         else:
+            # The range may come before or after the at-operand:
+            # <changed in [a..b] at T> and <changed at T in [a..b]> are
+            # the same annotation (the latter is the canonical print).
+            in_range = self._range_suffix(allow_over=versions)
             if self._accept_keyword("at"):
                 at_var, at_literal = self._at_operand()
+            if in_range is None:
+                in_range = self._range_suffix(require=require_range,
+                                              allow_over=versions)
             if kind == "upd":
                 if self._accept_keyword("from"):
                     from_var = self._expect(TokenKind.IDENT, "a variable").text
@@ -347,7 +394,8 @@ class Parser:
                     to_var = self._expect(TokenKind.IDENT, "a variable").text
 
         self._expect(TokenKind.RANGLE, "'>'")
-        return AnnotationExpr(kind, at_var, from_var, to_var, at_literal)
+        return AnnotationExpr(kind, at_var, from_var, to_var, at_literal,
+                              in_range)
 
     def _at_operand(self) -> tuple[str | None, object | None]:
         token = self._peek()
@@ -361,6 +409,56 @@ class Parser:
             self._advance()
             return None, TimeVar(int(token.value))  # type: ignore[arg-type]
         raise self._error("expected a variable or timestamp after 'at'")
+
+    def _range_suffix(self, *, require: bool = False,
+                      allow_over: bool = False) -> TimeRange | None:
+        """An optional range restriction: ``in [a..b]`` or ``since t``.
+
+        A bare bracket also opens a range (``<changed-in [a..b]>``,
+        ``<versions [a..b]>``) -- the introducing word is optional sugar.
+        """
+        token = self._peek()
+        if token.kind is TokenKind.LBRACKET:
+            return self._time_range()
+        if token.is_keyword("in") or (
+                allow_over and token.kind is TokenKind.IDENT
+                and token.text.lower() == "over"):
+            self._advance()
+            return self._time_range()
+        if token.kind is TokenKind.IDENT and token.text.lower() == "since":
+            self._advance()
+            return TimeRange(self._range_bound(), None)
+        if require:
+            raise self._error("expected a time range ('in [t1..t2]')")
+        return None
+
+    def _time_range(self) -> TimeRange:
+        self._expect(TokenKind.LBRACKET, "'['")
+        low = None
+        if self._peek().kind is not TokenKind.DOT:
+            low = self._range_bound()
+        self._expect(TokenKind.DOT, "'..'")
+        self._expect(TokenKind.DOT, "'..'")
+        high = None
+        if self._peek().kind is not TokenKind.RBRACKET:
+            high = self._range_bound()
+        self._expect(TokenKind.RBRACKET, "']'")
+        if low is None and high is None:
+            raise self._error("a time range needs at least one bound")
+        return TimeRange(low, high)
+
+    def _range_bound(self) -> object:
+        token = self._peek()
+        if token.kind is TokenKind.TIMESTAMP:
+            self._advance()
+            return token.value
+        if token.kind is TokenKind.TIMEVAR:
+            self._advance()
+            return TimeVar(int(token.value))  # type: ignore[arg-type]
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return parse_timestamp(token.value)
+        raise self._error("expected a timestamp bound in a time range")
 
 
 def parse_query(text: str, allow_annotations: bool = True) -> Query:

@@ -25,6 +25,8 @@ class TokenKind(enum.Enum):
     COLON = "colon"
     LPAREN = "lparen"
     RPAREN = "rparen"
+    LBRACKET = "lbracket"      # [ opening a time range [t1..t2]
+    RBRACKET = "rbracket"      # ] closing a time range
     LANGLE = "langle"          # < opening an annotation expression
     RANGLE = "rangle"          # > closing an annotation expression
     HASH = "hash"              # the path wildcard #

@@ -3,18 +3,21 @@
 Three stages (see ``docs/query-planner.md``):
 
 1. **Logical IR** (:mod:`repro.plan.ir`): ``Scan`` / ``PathExpand`` /
-   ``AnnotationFilter`` / ``Predicate`` / ``Project`` / ``Exchange``,
-   lowered from the normalized Lorel/Chorel AST
+   ``AnnotationFilter`` / ``Predicate`` / ``Project`` / ``Exchange``
+   plus the cross-time trio ``TimeRangeScan`` / ``DeltaProject`` /
+   ``VersionJoin``, lowered from the normalized Lorel/Chorel AST
    (:mod:`repro.plan.lowering`).
 2. **Rewrite passes** (:mod:`repro.plan.rules`): a rule-based
    :class:`PassManager` running virtual-``<at T>`` expansion,
-   annotation-literal pushdown, index selection, and predicate
-   reordering -- each with its own trace span and fired counter.
+   time-range strategy selection, annotation-literal pushdown, index
+   selection, and predicate reordering -- each with its own trace span
+   and fired counter.
 3. **Physical operators** (:mod:`repro.plan.physical`): a batched
    operator model (:mod:`repro.plan.batch`) whose kernels are the
    evaluator's staged methods -- with a per-environment iterator model
-   retained at ``batch_size=0`` -- plus the annotation-index scan and
-   the sharding ``Exchange``.
+   retained at ``batch_size=0`` -- plus the annotation-index scan, the
+   range kernel (merged index scans or checkpoint-anchored history
+   replay), and the sharding ``Exchange``.
 
 Engines call :func:`compile_query` then :func:`execute_plan`; the
 :class:`CompiledPlan` in between is what ``repro explain`` renders.
@@ -31,12 +34,15 @@ from .batch import DEFAULT_BATCH_SIZE, EnvBatch, compile_predicate
 from .compiler import CompiledPlan, compile_query
 from .ir import (
     AnnotationFilter,
+    DeltaProject,
     Exchange,
     LogicalNode,
     PathExpand,
     Predicate,
     Project,
     Scan,
+    TimeRangeScan,
+    VersionJoin,
     render,
 )
 from .lowering import lower
@@ -44,6 +50,7 @@ from .physical import (
     ExecutionContext,
     execute_index_plan,
     execute_plan,
+    execute_range_plan,
     insert_exchange,
     run_compiled,
 )
@@ -55,10 +62,11 @@ from .rules import (
     PassReport,
     PredicateReorder,
     RewriteRule,
+    TimeRangeStrategy,
     VirtualAtExpansion,
     default_rules,
 )
-from .stats import EngineStats, IndexPlan
+from .stats import EngineStats, IndexPlan, RangePlan
 
 __all__ = [
     "AnnotationFilter",
@@ -66,6 +74,7 @@ __all__ = [
     "CardinalityFeedback",
     "CompileContext",
     "CompiledPlan",
+    "DeltaProject",
     "DEFAULT_BATCH_SIZE",
     "EnvBatch",
     "compile_predicate",
@@ -83,14 +92,19 @@ __all__ = [
     "Predicate",
     "PredicateReorder",
     "Project",
+    "RangePlan",
     "RewriteRule",
     "Scan",
+    "TimeRangeScan",
+    "TimeRangeStrategy",
+    "VersionJoin",
     "VirtualAtExpansion",
     "cardinality_feedback",
     "compile_query",
     "default_rules",
     "execute_index_plan",
     "execute_plan",
+    "execute_range_plan",
     "insert_exchange",
     "lower",
     "plan_fingerprint",

@@ -42,12 +42,15 @@ from typing import Iterator, Optional
 
 from .ir import (
     AnnotationFilter,
+    DeltaProject,
     Exchange,
     LogicalNode,
     PathExpand,
     Predicate,
     Project,
     Scan,
+    TimeRangeScan,
+    VersionJoin,
 )
 
 __all__ = ["OpStats", "PlanStats", "StageRecorder", "CardinalityFeedback",
@@ -169,6 +172,11 @@ def _estimate(node: LogicalNode, assign: dict[int, int]) -> int:
         est = _estimate(node.child, assign) if node.child is not None else 1
     elif isinstance(node, AnnotationFilter):
         est = PATH_FANOUT
+    elif isinstance(node, TimeRangeScan):
+        est = PATH_FANOUT * len(node.plan.kinds)
+    elif isinstance(node, (DeltaProject, VersionJoin)):
+        child = _estimate(node.child, assign) if node.child is not None else 1
+        est = max(1, child // PREDICATE_KEEP)
     elif isinstance(node, Exchange):
         est = _estimate(node.child, assign)
         for stage in node.stages:

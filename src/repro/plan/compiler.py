@@ -25,10 +25,10 @@ from ..obs.events import emit_event
 from ..obs.metrics import registry as metrics_registry
 from ..obs.trace import span
 from .analyze import plan_fingerprint
-from .ir import AnnotationFilter, LogicalNode, render
+from .ir import AnnotationFilter, DeltaProject, LogicalNode, VersionJoin, render
 from .lowering import lower
 from .rules import CompileContext, PassManager, PassReport, plan_metrics
-from .stats import IndexPlan
+from .stats import IndexPlan, RangePlan
 
 __all__ = ["CompiledPlan", "compile_query", "COMPILE_SECONDS_METRIC"]
 
@@ -59,6 +59,17 @@ class CompiledPlan:
     @property
     def is_indexed(self) -> bool:
         return isinstance(self.root, AnnotationFilter)
+
+    @property
+    def range_plan(self) -> Optional[RangePlan]:
+        """The range scan serving this query, if the range rewrite fired."""
+        if isinstance(self.root, (DeltaProject, VersionJoin)):
+            return self.root.plan
+        return None
+
+    @property
+    def is_range(self) -> bool:
+        return isinstance(self.root, (DeltaProject, VersionJoin))
 
     def explain(self, analyze: bool = False) -> str:
         """The optimized plan tree plus the pass-by-pass firing report.
@@ -107,6 +118,9 @@ def compile_query(query: Query, evaluator, *,
         # the cardinality-feedback store key the same query the same way
         # regardless of which rewrite passes fire for a given engine.
         fingerprint = plan_fingerprint(root)
+        # The range-strategy pass consults recorded cardinality feedback
+        # keyed by this fingerprint, so it rides on the compile context.
+        ctx.fingerprint = fingerprint
         root, reports = PassManager(rules).run(root, ctx)
         elapsed = time.perf_counter() - started
         plan_metrics()["compiled"].inc()

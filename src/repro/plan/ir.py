@@ -1,6 +1,6 @@
 """The logical plan IR: a small algebra lowered from the Lorel/Chorel AST.
 
-Six node kinds cover every query the engines accept:
+Nine node kinds cover every query the engines accept:
 
 * :class:`Scan` -- the ambient environment (database names, polling
   times, trigger pre-bindings); the leaf every chain starts from.
@@ -17,6 +17,19 @@ Six node kinds cover every query the engines accept:
   chain's environments, cut them into contiguous shards, and run the
   detached ``stages`` on pool workers, concatenating in shard order (the
   merge discipline that keeps sharded results order-identical to serial).
+* :class:`TimeRangeScan` -- the cross-time source leaf: enumerate the
+  change events of a :class:`~repro.plan.stats.RangePlan`'s interval,
+  either by merged timestamp-index scans or by checkpoint-anchored
+  history replay (the plan's ``strategy``), in one global deterministic
+  order.
+* :class:`DeltaProject` -- the range rewrite's terminal for change
+  queries (``<changed>``, ``<last-change>``, range-restricted real
+  annotations): verify each scanned event backward along the plan's
+  path and project it into a result row.
+* :class:`VersionJoin` -- the range rewrite's terminal for version
+  enumeration (``<at [a..b]>``): join the live path's node set against
+  the scanned events, anchoring each node's in-range version sequence
+  at the range's lower bound.
 
 Nodes are frozen dataclasses; rewrite passes build new trees rather than
 mutating.  ``render(root)`` is the EXPLAIN tree dump -- deterministic for
@@ -30,10 +43,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..lorel.ast import Condition, FromItem, Literal, SelectItem, TimeVar, VarRef
-from .stats import IndexPlan
+from .stats import IndexPlan, RangePlan
 
 __all__ = ["LogicalNode", "Scan", "PathExpand", "Predicate", "Project",
-           "AnnotationFilter", "Exchange", "render"]
+           "AnnotationFilter", "TimeRangeScan", "DeltaProject",
+           "VersionJoin", "Exchange", "render"]
 
 
 class LogicalNode:
@@ -126,6 +140,68 @@ class AnnotationFilter(LogicalNode):
 
     def describe(self) -> str:
         return f"AnnotationFilter {self.plan.describe()}"
+
+
+@dataclass(frozen=True)
+class TimeRangeScan(LogicalNode):
+    """Enumerate change events inside a time range (the range source leaf).
+
+    The :class:`~repro.plan.stats.RangePlan` names the event kinds, the
+    interval, and the physical ``strategy``: ``index-scan`` merges one
+    timestamp-index range scan per kind, ``checkpoint-replay`` rescans
+    the change history (seeking past the newest durable checkpoint below
+    the range when a store log is attached).  Either way the emitted
+    stream is globally ordered by ``(time, kind, subject)``, so the two
+    strategies are row- and order-interchangeable.
+    """
+
+    plan: RangePlan
+
+    def describe(self) -> str:
+        return f"TimeRangeScan {self.plan.describe()}"
+
+
+@dataclass(frozen=True)
+class DeltaProject(LogicalNode):
+    """Verify and project scanned change events into result rows.
+
+    The range rewrite's terminal for change queries: each event from the
+    child :class:`TimeRangeScan` is verified backward along the plan's
+    path (the same discipline as the ``AnnotationFilter`` kernel) and
+    built into a row; ``last-only`` plans keep the newest in-range event
+    per subject first.
+    """
+
+    plan: RangePlan
+    child: Optional[LogicalNode] = None
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        tail = " last-only" if self.plan.last_only else ""
+        return f"DeltaProject {'+'.join(self.plan.kinds)}{tail}"
+
+
+@dataclass(frozen=True)
+class VersionJoin(LogicalNode):
+    """Enumerate the versions of the path's nodes over the plan's range.
+
+    The range rewrite's terminal for ``<at [a..b]>``: the live path's
+    node set is joined against the child :class:`TimeRangeScan`'s
+    ``cre``/``upd`` events; a node that predates the range anchors one
+    version at the lower bound, and each in-range event adds another.
+    """
+
+    plan: RangePlan
+    child: Optional[LogicalNode] = None
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        path = ".".join((self.plan.root_name,) + self.plan.labels)
+        return f"VersionJoin {path}"
 
 
 @dataclass(frozen=True)

@@ -13,15 +13,24 @@ The default pipeline, in order:
    annotation literals (the virtual annotations of Section 4.2.2, and
    pinned real annotations alike) into internal timestamps at compile
    time, so neither the executor nor later passes re-parse them.
-2. ``annotation-literal-pushdown`` -- recognize the linear
+2. ``time-range-strategy`` -- recognize the cross-time chain shapes
+   (``<changed>``, ``<last-change>``, range-restricted real annotations,
+   version-enumerating ``<at [a..b]>``) and replace the chain with a
+   :class:`~repro.plan.ir.DeltaProject` or
+   :class:`~repro.plan.ir.VersionJoin` over a
+   :class:`~repro.plan.ir.TimeRangeScan`, choosing the scan strategy --
+   timestamp-index scan for narrow ranges, nearest-checkpoint history
+   replay for wide or open-ended ones -- with recorded EXPLAIN ANALYZE
+   actuals overriding the width heuristic.
+3. ``annotation-literal-pushdown`` -- recognize the linear
    root-to-annotation chain shape and build the candidate
    :class:`~repro.plan.stats.IndexPlan`, folding a pinned annotation
    literal into the degenerate interval ``[t, t]``.
-3. ``index-selection`` -- when the engine has an annotation index and the
+4. ``index-selection`` -- when the engine has an annotation index and the
    candidate's where clause folds into one time interval with a
    supported select list, replace the whole chain with a terminal
    :class:`~repro.plan.ir.AnnotationFilter`.
-4. ``predicate-reorder`` -- hoist cheap, pure filter conjuncts (operands
+5. ``predicate-reorder`` -- hoist cheap, pure filter conjuncts (operands
    are literals, time variables, or from-bound variables only) ahead of
    conjuncts that walk paths, preserving the relative order within each
    class.
@@ -54,21 +63,42 @@ from ..obs.trace import span
 from ..timestamps import Timestamp, is_timestamp_literal, parse_timestamp
 from .ir import (
     AnnotationFilter,
+    DeltaProject,
     LogicalNode,
     PathExpand,
     Predicate,
     Project,
     Scan,
+    TimeRangeScan,
+    VersionJoin,
 )
-from .stats import IndexPlan
+from .stats import TIME_LABELS, IndexPlan, RangePlan
 
 __all__ = ["CompileContext", "PassReport", "RewriteRule", "PassManager",
-           "VirtualAtExpansion", "AnnotationLiteralPushdown",
-           "IndexSelection", "PredicateReorder", "default_rules",
-           "RULE_NAMES", "plan_metrics", "fold_interval", "literal_time"]
+           "VirtualAtExpansion", "TimeRangeStrategy",
+           "AnnotationLiteralPushdown", "IndexSelection",
+           "PredicateReorder", "default_rules", "RULE_NAMES",
+           "plan_metrics", "fold_interval", "literal_time",
+           "RANGE_REPLAY_THRESHOLD_DAYS"]
 
-RULE_NAMES = ("virtual-at-expansion", "annotation-literal-pushdown",
-              "index-selection", "predicate-reorder")
+RULE_NAMES = ("virtual-at-expansion", "time-range-strategy",
+              "annotation-literal-pushdown", "index-selection",
+              "predicate-reorder")
+
+# Strategy selection for cross-time range scans: ranges spanning at most
+# this many days scan the timestamp index, wider (or open-ended) ranges
+# replay the change history from the nearest checkpoint.
+RANGE_REPLAY_THRESHOLD_DAYS = 30
+# Recorded EXPLAIN ANALYZE actuals override the width heuristic at these
+# event counts (see TimeRangeStrategy).
+RANGE_FEEDBACK_WIDE_EVENTS = 4096
+RANGE_FEEDBACK_NARROW_EVENTS = 64
+
+# Default result labels for the bound time variable of a cross-time
+# annotation (mirrors the evaluator's default-label table).
+_RANGE_TIME_LABELS = {"changed": "change-time",
+                      "last-change": "last-change-time",
+                      "at": "at-time"}
 
 _metrics_group = None
 
@@ -102,6 +132,7 @@ class CompileContext:
     bound_names: frozenset = frozenset()
     candidate: Optional[IndexPlan] = None
     notes: dict = field(default_factory=dict)
+    fingerprint: str = ""  # lowered-tree hash (cardinality-feedback key)
 
 
 @dataclass(frozen=True)
@@ -149,8 +180,9 @@ class PassManager:
 
 def default_rules() -> list[RewriteRule]:
     """The standard pipeline, in its required order."""
-    return [VirtualAtExpansion(), AnnotationLiteralPushdown(),
-            IndexSelection(), PredicateReorder()]
+    return [VirtualAtExpansion(), TimeRangeStrategy(),
+            AnnotationLiteralPushdown(), IndexSelection(),
+            PredicateReorder()]
 
 
 # ---------------------------------------------------------------------------
@@ -231,6 +263,56 @@ def fold_interval(condition: Condition, plan: IndexPlan,
     else:
         return False
     return True
+
+
+def _chain_labels_annotation(items, ctx):
+    """Walk a root-anchored linear chain of plain labels.
+
+    Returns ``(labels, annotation, on_arc)`` when the chain starts at a
+    name resolving to the root, walks plain labels only, and carries
+    exactly one annotation on its final step (``on_arc`` says which
+    position); ``None`` for every other shape.  Shared by the index
+    pushdown and the time-range strategy, which differ only in which
+    annotation kinds they accept.
+    """
+    if not items:
+        return None
+    first = items[0]
+    if ctx.view.resolve_name(first.path.start) != ctx.root_node:
+        return None  # non-root entry points keep the general engine
+    total = sum(len(item.path.steps) for item in items)
+    labels: list[str] = []
+    annotation: AnnotationExpr | None = None
+    on_arc = False
+    previous_var = None
+    seen = 0
+    for position, item in enumerate(items):
+        if position > 0 and (previous_var is None
+                             or item.path.start != previous_var):
+            return None  # not one linear root-anchored walk
+        if not item.path.steps:
+            return None
+        for step in item.path.steps:
+            seen += 1
+            is_last = seen == total
+            if step.is_wildcard or step.is_pattern or step.label == "" \
+                    or step.is_alternation or step.repetition is not None:
+                return None
+            if step.arc_annotation is not None:
+                if not is_last or step.node_annotation is not None:
+                    return None
+                annotation = step.arc_annotation
+                on_arc = True
+            if step.node_annotation is not None:
+                if not is_last:
+                    return None
+                annotation = step.node_annotation
+                on_arc = False
+            labels.append(step.label)
+        previous_var = item.var
+    if annotation is None:
+        return None
+    return tuple(labels), annotation, on_arc
 
 
 def _select_supported(plan: IndexPlan) -> bool:
@@ -340,7 +422,183 @@ class VirtualAtExpansion(RewriteRule):
 
 
 # ---------------------------------------------------------------------------
-# Pass 2: annotation-literal pushdown (candidate construction + pinning)
+# Pass 2: time-range strategy selection (the cross-time rewrite)
+# ---------------------------------------------------------------------------
+
+class TimeRangeStrategy(RewriteRule):
+    """Rewrite cross-time chains into range scans with a chosen strategy.
+
+    Recognizes the same linear root-anchored chain shape as the index
+    rules, but ending in a *range-family* annotation: ``<changed>`` /
+    ``<last-change>`` (node position scans ``cre``/``upd`` events, arc
+    position ``add``/``rem``), a real annotation restricted by
+    ``in [a..b]``, or the version-enumerating ``<at [a..b]>``.  The
+    whole chain becomes a :class:`~repro.plan.ir.DeltaProject` (or
+    :class:`~repro.plan.ir.VersionJoin` for versions) over a
+    :class:`~repro.plan.ir.TimeRangeScan`.
+
+    The single-time annotation path is *not* a sibling of this rewrite:
+    the ``AnnotationFilter`` kernel executes as the degenerate ``[t, t]``
+    single-kind case of the same range machinery
+    (:func:`~repro.plan.physical.execute_index_plan`).
+
+    Strategy selection: ranges spanning at most
+    :data:`RANGE_REPLAY_THRESHOLD_DAYS` days scan the timestamp index;
+    wider or open-ended ranges replay the change history from the
+    nearest checkpoint.  Cardinality feedback closes the loop: when a
+    previous EXPLAIN ANALYZE of the same plan fingerprint recorded the
+    scan's actual event count, that count overrides the width heuristic
+    (``> RANGE_FEEDBACK_WIDE_EVENTS`` events flips a narrow range to
+    replay, ``< RANGE_FEEDBACK_NARROW_EVENTS`` flips a wide one to the
+    index).
+    """
+
+    name = "time-range-strategy"
+
+    def apply(self, root, ctx):
+        if ctx.view is None or ctx.root_node is None:
+            return root, False
+        if not (ctx.has_index and ctx.allow_index):
+            # The range operators verify against the engine's path and
+            # timestamp indexes; engines without them keep the general
+            # evaluator (which serves every cross-time form directly).
+            return root, False
+        chain = linear_chain(root)
+        if chain is None:
+            return root, False
+        project, items, condition = chain
+        walked = _chain_labels_annotation(items, ctx)
+        if walked is None:
+            return root, False
+        labels, annotation, on_arc = walked
+        kinds = self._event_kinds(annotation, on_arc)
+        if kinds is None or annotation.at_literal is not None:
+            return root, False
+        versions = annotation.kind == "at"
+        plan = RangePlan(
+            kinds=kinds,
+            labels=labels,
+            root_name=items[0].path.start,
+            at_var=annotation.at_var or "__anon_T",
+            from_var=annotation.from_var,
+            to_var=annotation.to_var,
+            object_var=items[-1].var,
+            last_only=annotation.kind == "last-change",
+            select=project.select,
+            object_label=labels[-1],
+            time_label=_RANGE_TIME_LABELS.get(annotation.kind,
+                                              TIME_LABELS.get(annotation.kind,
+                                                              "change-time")),
+        )
+        if not self._seed_range(plan, annotation.in_range, ctx):
+            return root, False
+        if condition is not None:
+            # Interval folding filters per event, which does not commute
+            # with last-only selection or with the version anchor --
+            # those shapes keep the general engine when a where clause
+            # remains.
+            if plan.last_only or versions:
+                return root, False
+            if not fold_interval(condition, plan, ctx.polling_times):
+                return root, False
+        if not _select_supported(plan):
+            return root, False
+        why = self._choose_strategy(plan, ctx, versions)
+        scan = TimeRangeScan(plan)
+        terminal = VersionJoin(plan, scan) if versions \
+            else DeltaProject(plan, scan)
+        ctx.notes[self.name] = f"{plan.describe()} ({why})"
+        return terminal, True
+
+    @staticmethod
+    def _event_kinds(annotation: AnnotationExpr,
+                     on_arc: bool) -> tuple[str, ...] | None:
+        kind = annotation.kind
+        if kind in ("changed", "last-change"):
+            return ("add", "rem") if on_arc else ("cre", "upd")
+        if annotation.in_range is None:
+            return None  # single-time annotations: the index rules' job
+        if kind == "at":
+            # Version enumeration; the parser only allows the range-
+            # restricted <at> in node position.
+            return ("cre", "upd")
+        if kind in TIME_LABELS:
+            return (kind,)
+        return None
+
+    @staticmethod
+    def _seed_range(plan: RangePlan, rng, ctx) -> bool:
+        """Resolve the annotation's ``[a..b]`` bounds into the plan."""
+        if rng is None:
+            return True  # unrestricted <changed>: the full time axis
+        for bound, attr in ((rng.low, "low"), (rng.high, "high")):
+            if bound is None:
+                continue
+            operand = bound if isinstance(bound, TimeVar) else Literal(bound)
+            when = literal_time(operand, ctx.polling_times)
+            if when is None:
+                return False  # unresolvable bound: keep the general engine
+            setattr(plan, attr, when)
+        return True
+
+    def _choose_strategy(self, plan: RangePlan, ctx,
+                         versions: bool) -> str:
+        if plan.low.is_finite and plan.high.is_finite:
+            width = (plan.high - plan.low) / 86400
+            if width <= RANGE_REPLAY_THRESHOLD_DAYS:
+                strategy = "index-scan"
+                why = (f"width {width:g}d <= "
+                       f"{RANGE_REPLAY_THRESHOLD_DAYS}d")
+            else:
+                strategy = "checkpoint-replay"
+                why = f"width {width:g}d > {RANGE_REPLAY_THRESHOLD_DAYS}d"
+        else:
+            strategy = "checkpoint-replay"
+            why = "open-ended range"
+        events = self._feedback_events(plan, ctx, strategy, versions)
+        if events is not None:
+            if strategy == "index-scan" \
+                    and events > RANGE_FEEDBACK_WIDE_EVENTS:
+                strategy = "checkpoint-replay"
+                why = (f"feedback: {events} events > "
+                       f"{RANGE_FEEDBACK_WIDE_EVENTS}")
+            elif strategy == "checkpoint-replay" \
+                    and events < RANGE_FEEDBACK_NARROW_EVENTS:
+                strategy = "index-scan"
+                why = (f"feedback: {events} events < "
+                       f"{RANGE_FEEDBACK_NARROW_EVENTS}")
+        plan.strategy = strategy
+        return why
+
+    @staticmethod
+    def _feedback_events(plan: RangePlan, ctx, strategy: str,
+                         versions: bool) -> int | None:
+        """The scan's recorded event count for this fingerprint, if any.
+
+        Looks up the shape the plan would execute as under the tentative
+        strategy -- the shape a previous analyzed run of the identical
+        query recorded -- and returns the ``TimeRangeScan``'s actual
+        rows out (preorder position 1, after the terminal).
+        """
+        if not ctx.fingerprint:
+            return None
+        from .analyze import cardinality_feedback
+        previous, plan.strategy = plan.strategy, strategy
+        try:
+            scan = TimeRangeScan(plan)
+            terminal = VersionJoin(plan, scan) if versions \
+                else DeltaProject(plan, scan)
+            shape = (terminal.describe(), scan.describe())
+            actuals = cardinality_feedback().lookup(ctx.fingerprint, shape)
+        finally:
+            plan.strategy = previous
+        if actuals is None or len(actuals) < 2:
+            return None
+        return actuals[1]
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: annotation-literal pushdown (candidate construction + pinning)
 # ---------------------------------------------------------------------------
 
 class AnnotationLiteralPushdown(RewriteRule):
@@ -386,46 +644,22 @@ class AnnotationLiteralPushdown(RewriteRule):
         return root, fired
 
     def _candidate(self, project: Project, items, ctx):
-        if not items:
+        walked = _chain_labels_annotation(items, ctx)
+        if walked is None:
             return None
-        first = items[0]
-        if ctx.view.resolve_name(first.path.start) != ctx.root_node:
-            return None  # non-root entry points keep the general engine
-        total = sum(len(item.path.steps) for item in items)
-        labels: list[str] = []
-        annotation: AnnotationExpr | None = None
-        previous_var = None
-        seen = 0
-        for position, item in enumerate(items):
-            if position > 0 and (previous_var is None
-                                 or item.path.start != previous_var):
-                return None  # not one linear root-anchored walk
-            if not item.path.steps:
-                return None
-            for step in item.path.steps:
-                seen += 1
-                is_last = seen == total
-                if step.is_wildcard or step.is_pattern or step.label == "" \
-                        or step.is_alternation or step.repetition is not None:
-                    return None
-                if step.arc_annotation is not None:
-                    if not is_last or step.node_annotation is not None:
-                        return None
-                    annotation = step.arc_annotation
-                if step.node_annotation is not None:
-                    if not is_last:
-                        return None
-                    annotation = step.node_annotation
-                labels.append(step.label)
-            previous_var = item.var
-        if annotation is None or annotation.kind == "at":
+        labels, annotation, _on_arc = walked
+        if annotation.kind not in TIME_LABELS \
+                or annotation.in_range is not None:
+            # Virtual <at> and the cross-time family (changed,
+            # last-change, range-restricted real kinds) are the
+            # time-range strategy's shapes, not the index scan's.
             return None
         # Anonymous annotations (<add>) index-scan the full time axis.
         at_var = annotation.at_var or "__anon_T"
         plan = IndexPlan(
             kind=annotation.kind,
-            labels=tuple(labels),
-            root_name=first.path.start,
+            labels=labels,
+            root_name=items[0].path.start,
             at_var=at_var,
             from_var=annotation.from_var,
             to_var=annotation.to_var,
@@ -437,7 +671,7 @@ class AnnotationLiteralPushdown(RewriteRule):
 
 
 # ---------------------------------------------------------------------------
-# Pass 3: index selection
+# Pass 4: index selection
 # ---------------------------------------------------------------------------
 
 class IndexSelection(RewriteRule):
@@ -469,7 +703,7 @@ class IndexSelection(RewriteRule):
 
 
 # ---------------------------------------------------------------------------
-# Pass 4: predicate reordering
+# Pass 5: predicate reordering
 # ---------------------------------------------------------------------------
 
 class PredicateReorder(RewriteRule):

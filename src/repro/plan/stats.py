@@ -17,7 +17,7 @@ from ..lorel.ast import SelectItem
 from ..obs.metrics import CounterField, registry as metrics_registry
 from ..timestamps import NEG_INF, POS_INF, Timestamp
 
-__all__ = ["IndexPlan", "EngineStats", "TIME_LABELS"]
+__all__ = ["IndexPlan", "RangePlan", "EngineStats", "TIME_LABELS"]
 
 TIME_LABELS = {"cre": "create-time", "add": "add-time",
                "rem": "remove-time", "upd": "update-time"}
@@ -48,6 +48,54 @@ class IndexPlan:
         return (f"index-scan {self.kind} over "
                 f"{'.'.join((self.root_name,) + self.labels)} "
                 f"in {lo}{self.low}, {self.high}{hi}")
+
+
+@dataclass
+class RangePlan:
+    """A recognized range-servable cross-time query.
+
+    The range analogue of :class:`IndexPlan`: ``kinds`` lists the *real*
+    event kinds to enumerate (``("cre", "upd")`` for a node-position
+    ``<changed>``, ``("add", "rem")`` for the arc position, a 1-tuple for
+    a range-restricted real annotation), the interval comes from the
+    annotation's ``in [a..b]`` range (inclusive on both present sides)
+    optionally narrowed by folded where conjuncts, and ``strategy`` is
+    the physical source the planner chose: ``"index-scan"`` merges
+    per-kind :class:`~repro.lore.indexes.TimestampIndex` scans,
+    ``"checkpoint-replay"`` rescans the change history (seeking past the
+    newest durable checkpoint below the range when a store log is
+    attached).  Both strategies must produce the same globally ordered
+    event stream -- the cross-time equivalence suite pins that.
+    """
+
+    kinds: tuple[str, ...]        # real event kinds to enumerate
+    labels: tuple[str, ...]       # plain labels of the path, in order
+    root_name: str                # the database name the path starts at
+    at_var: str
+    from_var: Optional[str] = None   # upd only
+    to_var: Optional[str] = None     # upd only
+    object_var: Optional[str] = None  # explicit range variable, if any
+    low: Timestamp = NEG_INF
+    high: Timestamp = POS_INF
+    include_low: bool = True
+    include_high: bool = True
+    last_only: bool = False       # <last-change ...>: newest per subject
+    strategy: str = "index-scan"  # | "checkpoint-replay"
+    select: tuple[SelectItem, ...] = ()
+    object_label: str = "answer"
+    time_label: str = "change-time"
+
+    def describe(self) -> str:
+        """Human-readable plan summary (for EXPLAIN and the goldens)."""
+        lo = "[" if self.include_low else "("
+        hi = "]" if self.include_high else ")"
+        text = (f"range-scan {'+'.join(self.kinds)} over "
+                f"{'.'.join((self.root_name,) + self.labels)} "
+                f"in {lo}{self.low}, {self.high}{hi} "
+                f"strategy={self.strategy}")
+        if self.last_only:
+            text += " last-only"
+        return text
 
 
 class EngineStats:

@@ -39,6 +39,7 @@ from repro.lorel.ast import (
     PathStep,
     Query,
     SelectItem,
+    TimeRange,
     TimeVar,
     VarRef,
 )
@@ -59,6 +60,29 @@ def golden_corpus() -> list[str]:
     return [query for query in queries if query]
 
 
+# Every cross-time surface form, including the sugar spellings
+# (``changed-in``, ``versions over``, ``since``) that normalize to the
+# canonical ``<kind at .. in [a..b]>`` shape.
+RANGE_CORPUS = [
+    "select T from guide.restaurant.price <changed at T in [1Jan97..5Jan97]>",
+    "select T from guide.restaurant.price <changed-in [1Jan97..5Jan97] at T>",
+    "select T from guide.restaurant.name <changed since 2Jan97 at T>",
+    "select T from guide.restaurant <changed at T>",
+    "select X, T from guide.restaurant <last-change at T> X",
+    "select X, T from guide.<last-change at T>parking X",
+    "select X from guide.restaurant.price <at [1Jan97..9Jan97]> X",
+    "select X from guide.restaurant.price <at T in [1Jan97..9Jan97]> X",
+    "select X from guide.restaurant.price <versions over [1Jan97..9Jan97]> X",
+    "select X from guide.restaurant.price <versions in [1Jan97..9Jan97]> X",
+    "select X, T from guide.restaurant.comment"
+    "<upd at T in [1Jan97..9Jan97] from OV to NV> X",
+    "select T from guide.<add at T in [1Jan97..]>restaurant",
+    "select T from guide.<rem at T in [5Jan97..8Jan97]>parking",
+    "select T from guide.restaurant <changed at T in [..8Jan97]>",
+    "select T from guide.restaurant <changed at T in [t[0]..t[1]]>",
+    "select T from guide.<changed at T in [1Jan97..8Jan97]>restaurant",
+]
+
 CORPUS = (
     list(INDEXABLE)
     + list(FALLBACK)
@@ -66,6 +90,7 @@ CORPUS = (
                        label="item")
        for template in QUERY_TEMPLATES]
     + golden_corpus()
+    + RANGE_CORPUS
 )
 
 
@@ -94,16 +119,31 @@ SAFE_STRINGS = st.text(
 LIKE_PATTERNS = st.sampled_from(["%a%", "Jan%", "_b_", "%lot%"])
 
 
+RANGE_BOUNDS = st.one_of(
+    TIMESTAMPS, st.integers(min_value=0, max_value=2).map(TimeVar))
+
+
 @st.composite
-def annotations(draw, kinds):
+def time_ranges(draw):
+    shape = draw(st.integers(min_value=0, max_value=2))
+    low = draw(RANGE_BOUNDS) if shape != 1 else None
+    high = draw(RANGE_BOUNDS) if shape != 0 else None
+    return TimeRange(low, high)
+
+
+@st.composite
+def annotations(draw, kinds, range_kinds=()):
     kind = draw(st.sampled_from(kinds))
+    in_range = None
+    if kind in range_kinds and draw(st.booleans()):
+        in_range = draw(time_ranges())
     at_var = at_literal = None
     slot = draw(st.integers(min_value=0, max_value=2))
     if slot == 1:
         at_var = draw(TIME_VARS)
     elif slot == 2:
         at_literal = draw(TIMESTAMPS)
-    if kind == "at" and slot == 0:
+    if kind == "at" and slot == 0 and in_range is None:
         at_var = draw(TIME_VARS)  # a bare <at> is not printable syntax
     from_var = to_var = None
     if kind == "upd":
@@ -112,7 +152,16 @@ def annotations(draw, kinds):
         if draw(st.booleans()):
             to_var = draw(VALUE_VARS)
     return AnnotationExpr(kind, at_var=at_var, from_var=from_var,
-                          to_var=to_var, at_literal=at_literal)
+                          to_var=to_var, at_literal=at_literal,
+                          in_range=in_range)
+
+
+# Range-at is node-only syntax, so the arc position excludes "at" from
+# its range-capable kinds; everything else takes an ``in [a..b]``.
+ARC_KINDS = ("add", "rem", "at", "changed", "last-change")
+ARC_RANGE_KINDS = ("add", "rem", "changed", "last-change")
+NODE_KINDS = ("cre", "upd", "at", "changed", "last-change")
+NODE_RANGE_KINDS = NODE_KINDS
 
 
 @st.composite
@@ -125,9 +174,9 @@ def path_steps(draw):
         return PathStep(label, repetition=draw(st.sampled_from(["*", "+"])))
     arc = node = None
     if shape in (2, 3):
-        arc = draw(annotations(("add", "rem", "at")))
+        arc = draw(annotations(ARC_KINDS, range_kinds=ARC_RANGE_KINDS))
     if shape in (3, 4):
-        node = draw(annotations(("cre", "upd", "at")))
+        node = draw(annotations(NODE_KINDS, range_kinds=NODE_RANGE_KINDS))
     return PathStep(label, arc_annotation=arc, node_annotation=node)
 
 
